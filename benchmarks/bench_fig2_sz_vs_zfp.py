@@ -1,0 +1,74 @@
+"""Figure 2 — SZ vs ZFP compression ratios on pruned fc-layer data arrays.
+
+The paper compresses the 1-D data arrays of AlexNet's and VGG-16's fc6/fc7/fc8
+with absolute error bounds 1e-2, 1e-3 and 1e-4 and shows SZ consistently ahead
+of ZFP.  Here the fc-layers are synthesised at (scaled) paper dimensions with
+a trained-like weight distribution, pruned at the paper's ratios, and pushed
+through both codecs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import scale_factor, write_result
+from repro.analysis import ascii_series
+from repro.nn.models import synthesize_fc_weights
+from repro.nn.specs import PAPER_PRUNING_RATIOS
+from repro.pruning import encode_sparse, prune_weights
+from repro.sz import SZCompressor, SZConfig
+from repro.zfp import ZFPCompressor, ZFPConfig
+
+NETWORKS = ["AlexNet", "VGG-16"]
+LAYERS = ["fc6", "fc7", "fc8"]
+ERROR_BOUNDS = [1e-2, 1e-3, 1e-4]
+
+
+def _pruned_data_array(network: str, layer: str):
+    scale = scale_factor()
+    weights = synthesize_fc_weights(network, layer, seed=hash((network, layer)) % 2**31, scale=scale)
+    keep = PAPER_PRUNING_RATIOS[network][layer]
+    pruned, _ = prune_weights(weights, keep)
+    return encode_sparse(pruned).data
+
+
+@pytest.mark.parametrize("network", NETWORKS)
+def bench_fig2_sz_vs_zfp(benchmark, network):
+    """Compression ratio of SZ and ZFP per fc-layer and error bound."""
+    arrays = {layer: _pruned_data_array(network, layer) for layer in LAYERS}
+
+    series = {}
+    for layer in LAYERS:
+        data = arrays[layer]
+        for eb in ERROR_BOUNDS:
+            sz_ratio = SZCompressor(SZConfig(error_bound=eb)).compress(data).ratio
+            zfp_ratio = ZFPCompressor(ZFPConfig(tolerance=eb)).compress(data).ratio
+            series.setdefault(f"SZ-{layer}", {})[eb] = sz_ratio
+            series.setdefault(f"ZFP-{layer}", {})[eb] = zfp_ratio
+            # The Figure 2 ordering: SZ always ahead of ZFP.
+            assert sz_ratio > zfp_ratio, (network, layer, eb)
+
+    text = ascii_series(
+        f"Figure 2 — SZ vs ZFP compression ratio on pruned {network} fc-layers "
+        f"(columns: absolute error bound)",
+        series,
+        value_format="{:.2f}",
+    )
+    write_result(f"fig2_sz_vs_zfp_{network.lower()}", text)
+
+    # Timed kernel: SZ compression of the largest layer at the middle bound.
+    compressor = SZCompressor(SZConfig(error_bound=1e-3))
+    benchmark(lambda: compressor.compress(arrays["fc6"]))
+
+    # Ratios grow monotonically with the error bound, as in the figure.
+    for layer in LAYERS:
+        ratios = [series[f"SZ-{layer}"][eb] for eb in ERROR_BOUNDS]
+        assert ratios[0] > ratios[1] > ratios[2]
+
+
+def bench_fig2_decompression_throughput(benchmark):
+    """Companion: SZ decompression of a paper-like fc6 data array."""
+    data = _pruned_data_array("AlexNet", "fc6")
+    compressor = SZCompressor(SZConfig(error_bound=1e-3))
+    payload = compressor.compress(data).payload
+    benchmark(lambda: compressor.decompress(payload))

@@ -1,0 +1,68 @@
+"""Figures 3 & 5 — inference accuracy vs per-layer error bound.
+
+For every network and every fc-layer, compress only that layer's data array at
+error bounds spanning 1e-4 … 1e-1, reconstruct it, and measure the test
+accuracy of the otherwise untouched network.  The paper's shape: accuracy is
+flat through small bounds (the feasible range) and collapses as the bound
+approaches 1e-1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import BENCH_MODELS, write_result
+from repro.analysis import ascii_series
+from repro.core.assessment import AssessmentConfig, evaluate_candidate
+from repro.nn import zoo
+
+ERROR_BOUNDS = [1e-4, 1e-3, 5e-3, 1e-2, 3e-2, 1e-1]
+
+
+@pytest.mark.parametrize("model", BENCH_MODELS)
+def bench_fig5_accuracy_vs_error_bound(benchmark, zoo_pruned, model):
+    pruned, _, test = zoo_pruned(model)
+    network = pruned.network
+    config = AssessmentConfig(expected_accuracy_loss=0.05)
+    baseline = network.accuracy(test.images, test.labels)
+
+    series = {}
+    for layer, sparse in pruned.sparse_layers.items():
+        series[layer] = {}
+        for eb in ERROR_BOUNDS:
+            accuracy, _ = evaluate_candidate(
+                network, layer, sparse, eb, test.images, test.labels, config=config
+            )
+            series[layer][eb] = accuracy
+
+    text = ascii_series(
+        f"Figure 3/5 — inference accuracy vs error bound, {zoo.PAPER_NAME[model]} "
+        f"(mini); baseline accuracy {baseline:.4f}",
+        series,
+    )
+    write_result(f"fig5_accuracy_vs_eb_{model}", text)
+
+    largest = max(pruned.sparse_layers, key=lambda n: pruned.sparse_layers[n].dense_bytes)
+    for layer, curve in series.items():
+        # Tiny bounds preserve accuracy (within a couple of test-set quanta).
+        assert abs(curve[1e-4] - baseline) <= 0.01
+    # On the dominant layer, accuracy never improves meaningfully as the bound
+    # grows, and at least one layer is visibly distorted at 1e-1 — which is
+    # why the paper restricts error bounds to < 0.1.
+    assert series[largest][1e-1] <= series[largest][1e-4] + 0.01
+    worst_drop = max(baseline - curve[1e-1] for curve in series.values())
+    assert worst_drop >= 0.005
+
+    # Timed kernel: one candidate evaluation on the largest layer.
+    largest = max(pruned.sparse_layers, key=lambda n: pruned.sparse_layers[n].dense_bytes)
+    benchmark(
+        lambda: evaluate_candidate(
+            network,
+            largest,
+            pruned.sparse_layers[largest],
+            1e-2,
+            test.images[:200],
+            test.labels[:200],
+            config=config,
+        )
+    )

@@ -1,0 +1,55 @@
+"""Figure 6 — approximate linearity of the accuracy loss (Equation 1).
+
+Random combinations of per-layer error bounds are applied jointly; the summed
+per-layer degradations (the x-axis of Figure 6) are compared with the measured
+joint degradation (the y-axis).  Below the ~2% regime the two track each
+other, which is what lets Algorithm 2 treat the per-layer losses as additive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import write_result
+from repro.analysis import render_table
+from repro.core.accuracy_model import linearity_probe
+
+
+def bench_fig6_linearity_of_accuracy_loss(benchmark, zoo_pruned):
+    pruned, _, test = zoo_pruned("lenet-300-100")
+
+    def probe():
+        return linearity_probe(
+            pruned.network,
+            pruned.sparse_layers,
+            test.images,
+            test.labels,
+            error_bound_grid=(5e-3, 1e-2, 2e-2, 3e-2, 5e-2),
+            samples=10,
+            seed=17,
+        )
+
+    result = benchmark.pedantic(probe, rounds=1, iterations=1)
+
+    rows = [
+        [f"{e * 100:.2f}%", f"{a * 100:.2f}%", f"{abs(e - a) * 100:.2f}%"]
+        for e, a in zip(result.expected_losses, result.actual_losses)
+    ]
+    text = render_table(
+        ["expected loss (sum of layers)", "actual loss (joint)", "|deviation|"],
+        rows,
+        title=(
+            "Figure 6 — expected vs actual accuracy loss "
+            f"(correlation {result.correlation:.3f}, max deviation "
+            f"{result.max_deviation * 100:.2f}%)"
+        ),
+    )
+    write_result("fig6_linearity", text)
+
+    # The additive model holds to within a few test-set quanta in this regime.
+    assert result.max_deviation <= 0.04
+    assert result.mean_absolute_deviation <= 0.02
+    # And when there is real variation, predictions track measurements.
+    if np.std(result.expected_losses) > 1e-4:
+        assert result.correlation > 0.5

@@ -1,0 +1,78 @@
+"""Table 1 — architectures of the evaluated networks and their storage breakdown.
+
+Reproduces: fc-layer shapes, total parameter storage, the fc share of storage
+(89.4%–100%), and the conv-vs-fc forward-time asymmetry ("conv layers take
+~95% of the compute but ~5% of the storage").
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from common import write_result
+from repro.analysis import architecture_table, render_table
+from repro.nn import models
+from repro.nn.layers import Conv2D, Dense
+from repro.nn.specs import all_specs
+
+
+def bench_table1_storage_breakdown(benchmark):
+    """Render Table 1 from the paper-scale specs and check the fc dominance."""
+    specs = benchmark(all_specs)
+    text = architecture_table(specs)
+    write_result("table1_architectures", text)
+
+    by_name = {s.name: s for s in specs}
+    # The paper's fc storage shares: 100%, ~95%, 96.1%, 89.4%.
+    assert by_name["LeNet-300-100"].fc_fraction == 1.0
+    assert by_name["LeNet-5"].fc_fraction > 0.9
+    assert abs(by_name["AlexNet"].fc_fraction - 0.961) < 0.01
+    assert abs(by_name["VGG-16"].fc_fraction - 0.894) < 0.01
+    # Totals: 1.1 MB / 1.7 MB / 243.9 MB / 553.4 MB.
+    assert abs(by_name["AlexNet"].total_bytes / 1e6 - 243.9) < 5
+    assert abs(by_name["VGG-16"].total_bytes / 1e6 - 553.4) < 10
+
+
+def bench_table1_forward_time_split(benchmark):
+    """Conv layers dominate forward time while fc layers dominate storage."""
+    net = models.alexnet_mini(seed=0)
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(32, 3, 32, 32)).astype(np.float32)
+
+    def forward():
+        return net.forward(x)
+
+    benchmark(forward)
+
+    # Per-layer timing of one forward pass.
+    conv_time = fc_time = 0.0
+    out = x
+    for layer in net.layers:
+        start = time.perf_counter()
+        out = layer.forward(out)
+        elapsed = time.perf_counter() - start
+        if isinstance(layer, Conv2D):
+            conv_time += elapsed
+        elif isinstance(layer, Dense):
+            fc_time += elapsed
+
+    conv_bytes = sum(l.parameter_bytes() for l in net.layers if isinstance(l, Conv2D))
+    fc_bytes = sum(l.parameter_bytes() for l in net.layers if isinstance(l, Dense))
+
+    rows = [
+        ["conv layers", f"{conv_time * 1e3:.1f} ms", f"{conv_bytes / 1e6:.2f} MB"],
+        ["fc layers", f"{fc_time * 1e3:.1f} ms", f"{fc_bytes / 1e6:.2f} MB"],
+    ]
+    text = render_table(
+        ["layer group", "fwd time (batch of 32)", "parameter storage"],
+        rows,
+        title="Table 1 (companion) — compute vs storage split, AlexNet-mini",
+    )
+    write_result("table1_forward_split", text)
+
+    # The paper's asymmetry: conv dominates time, fc dominates storage.
+    assert conv_time > fc_time
+    assert fc_bytes > conv_bytes

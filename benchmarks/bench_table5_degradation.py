@@ -1,0 +1,92 @@
+"""Table 5 — accuracy degradation at comparable compression ratios.
+
+The paper quantises Deep Compression down to the bit width DeepSZ effectively
+uses (2.0–3.3 bits per pruned weight) and shows the codebook approach losing
+1.5%–2.8% accuracy on the ImageNet networks while DeepSZ stays within ~0.25%.
+Here the same experiment runs on the mini networks: Deep Compression's
+codebook width is matched to DeepSZ's measured bits-per-weight, both models
+are decoded without any retraining, and the degradations are compared.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import BENCH_MODELS, write_result
+from repro.analysis import render_table
+from repro.baselines import (
+    DeepCompressionConfig,
+    DeepCompressionEncoder,
+    WeightlessConfig,
+    WeightlessEncoder,
+)
+from repro.nn import zoo
+
+
+def bench_table5_degradation_at_matched_ratio(benchmark, zoo_pruned, deepsz_results):
+    rows = []
+    summary = {}
+
+    def run_all():
+        for model in BENCH_MODELS:
+            pruned, _, test = zoo_pruned(model)
+            deepsz = deepsz_results(model)
+            baseline = deepsz.baseline_accuracy[1]
+
+            # Match Deep Compression's codebook width to the rate DeepSZ's
+            # *data arrays* achieve (both methods pay the same index-array
+            # cost), as the paper does when it quotes 2.0-3.3 bits per weight.
+            largest = max(deepsz.model.layers.values(), key=lambda l: l.nnz)
+            data_bits = 8.0 * len(largest.sz_payload) / max(1, largest.nnz)
+            matched_bits = int(np.clip(round(data_bits), 2, 6))
+            dc = DeepCompressionEncoder(DeepCompressionConfig(bits=matched_bits))
+            weights, _ = dc.decode_network(dc.encode_network(pruned.sparse_layers))
+            dc_net = pruned.network.clone()
+            for name, dense in weights.items():
+                dc_net.set_weights(name, dense)
+            dc_loss = baseline - dc_net.accuracy(test.images, test.labels)
+
+            # Weightless on the largest layer only (its published scope).
+            wl = WeightlessEncoder(WeightlessConfig(value_bits=3, slot_bits=8, seed=11))
+            target = wl.pick_target_layer(pruned.sparse_layers)
+            wl_name, wl_dense = wl.decode_layer(
+                wl.encode_layer(target, pruned.sparse_layers[target]).payload
+            )
+            wl_net = pruned.network.clone()
+            wl_net.set_weights(wl_name, wl_dense)
+            wl_loss = baseline - wl_net.accuracy(test.images, test.labels)
+
+            summary[model] = (matched_bits, dc_loss, wl_loss, deepsz.top1_loss)
+        return summary
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for model, (bits, dc_loss, wl_loss, deepsz_loss) in summary.items():
+        rows.append(
+            [
+                zoo.PAPER_NAME[model] + " (mini)",
+                f"{bits} bits",
+                f"{dc_loss * 100:+.2f}%",
+                f"{wl_loss * 100:+.2f}%",
+                f"{deepsz_loss * 100:+.2f}%",
+            ]
+        )
+    text = render_table(
+        ["network", "matched code width", "codebook quantization", "Bloomier filter", "SZ (DeepSZ)"],
+        rows,
+        title="Table 5 — accuracy degradation of the three encoders without retraining",
+    )
+    write_result("table5_degradation", text)
+
+    # Shape: DeepSZ's loss is never worse than the matched-rate codebook or
+    # the Bloomier filter by more than measurement noise, and on at least one
+    # network it is strictly (clearly) better than one of them.
+    noise = 0.01
+    clearly_better = 0
+    for model, (bits, dc_loss, wl_loss, deepsz_loss) in summary.items():
+        assert deepsz_loss <= dc_loss + noise, model
+        assert deepsz_loss <= wl_loss + noise, model
+        if deepsz_loss + 0.005 < max(dc_loss, wl_loss):
+            clearly_better += 1
+    assert clearly_better >= 1

@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+helpers here handle the two cross-cutting concerns:
+
+* **scale** — ``REPRO_SCALE=full`` in the environment runs the
+  compression-only experiments at the paper's real layer dimensions
+  (hundreds of MB of weights); the default ``small`` scale shrinks the
+  synthetic paper-scale layers so the whole harness finishes in minutes on a
+  laptop.  Accuracy-dependent experiments always run on the trained mini
+  networks from :mod:`repro.nn.zoo`.
+* **result files** — each benchmark writes its rendered table / series to
+  ``benchmarks/results/<name>.txt`` so the outputs referenced by
+  EXPERIMENTS.md can be regenerated and diffed.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: The zoo models, in the paper's order (they stand in for LeNet-300-100,
+#: LeNet-5, AlexNet and VGG-16 respectively).
+BENCH_MODELS = ["lenet-300-100", "lenet-5", "alexnet-mini", "vgg-16-mini"]
+
+
+def scale_factor() -> float:
+    """Linear shrink factor applied to paper-scale layer dimensions."""
+    mode = os.environ.get("REPRO_SCALE", "small").lower()
+    if mode in ("full", "paper", "1", "1.0"):
+        return 1.0
+    if mode in ("small", "default", ""):
+        return 0.15
+    try:
+        value = float(mode)
+    except ValueError:
+        return 0.15
+    return min(max(value, 0.01), 1.0)
+
+
+def write_result(name: str, text: str) -> Path:
+    """Write a rendered experiment output under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

@@ -1,0 +1,64 @@
+"""Session fixtures shared by the benchmark harness.
+
+The expensive artifacts (trained + pruned zoo models, full DeepSZ pipeline
+results) are built lazily, at most once per session, and the trained weights
+are additionally cached on disk by :mod:`repro.nn.zoo`, so repeated benchmark
+runs skip the training cost entirely.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import BENCH_MODELS  # noqa: F401  (re-exported for bench modules)
+from repro.core import DeepSZ, DeepSZConfig
+from repro.nn import zoo
+from repro.nn.specs import PAPER_EXPECTED_ACCURACY_LOSS
+
+
+@pytest.fixture(scope="session")
+def zoo_pruned():
+    """Factory: pruned zoo model + train/test datasets, built at most once each."""
+    cache = {}
+
+    def get(name: str):
+        if name not in cache:
+            cache[name] = zoo.pruned_model(name)
+        return cache[name]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def deepsz_results(zoo_pruned):
+    """Factory: full DeepSZ pipeline result per zoo model, built at most once each."""
+    cache = {}
+
+    def get(name: str):
+        if name not in cache:
+            pruned, _, test = zoo_pruned(name)
+            paper_name = zoo.PAPER_NAME[name]
+            expected_loss = PAPER_EXPECTED_ACCURACY_LOSS[paper_name]
+            # The mini test sets quantise accuracy at ~0.15% per sample, so the
+            # sub-percent budgets of the paper are widened proportionally.  The
+            # assessment (Step 2) runs on a 300-sample subset — the paper uses
+            # the full 50k ImageNet test set, but its test set is only ~4% of
+            # the training set whereas ours is ~40%, so a subset keeps the
+            # relative cost of assessment comparable.
+            assessment_samples = min(300, len(test))
+            budget = max(expected_loss, 2.0 / assessment_samples)
+            config = DeepSZConfig(
+                expected_accuracy_loss=budget,
+                topk=(1, 5),
+                assessment_samples=assessment_samples,
+            )
+            test_images, test_labels = test.images, test.labels
+            cache[name] = DeepSZ(config).compress(pruned, test_images, test_labels)
+        return cache[name]
+
+    return get

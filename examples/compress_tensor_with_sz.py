@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Using the SZ / ZFP substrates directly on arbitrary float arrays.
+
+The error-bounded compressors built for DeepSZ are general 1-D floating-point
+codecs; this example exercises them standalone, the way the paper's Figure 2
+does: compress the same weight array with SZ and the ZFP-style codec under
+absolute, relative and PSNR error controls, and compare ratios and actual
+errors.
+
+Run with::
+
+    python examples/compress_tensor_with_sz.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_bytes, max_abs_error, psnr, render_table
+from repro.nn.models import synthesize_fc_weights
+from repro.sz import ErrorMode, SZCompressor, SZConfig
+from repro.zfp import ZFPCompressor, ZFPConfig
+
+
+def main() -> None:
+    # A trained-looking AlexNet fc6 weight matrix at 20% of paper scale.
+    weights = synthesize_fc_weights("AlexNet", "fc6", seed=7, scale=0.2).ravel()
+    print(f"input: {weights.size:,} float32 weights ({format_bytes(weights.nbytes)}), "
+          f"range [{weights.min():.3f}, {weights.max():.3f}]\n")
+
+    rows = []
+
+    for eb in (1e-2, 1e-3, 1e-4):
+        sz = SZCompressor(SZConfig(error_bound=eb))
+        result = sz.compress(weights)
+        recon = sz.decompress(result.payload)
+        rows.append(
+            ["SZ", f"abs {eb:.0e}", f"{result.ratio:.2f}x",
+             f"{max_abs_error(weights, recon):.2e}", f"{psnr(weights, recon):.1f} dB"]
+        )
+
+        zfp = ZFPCompressor(ZFPConfig(tolerance=eb))
+        zresult = zfp.compress(weights)
+        zrecon = zfp.decompress(zresult.payload)
+        rows.append(
+            ["ZFP-style", f"abs {eb:.0e}", f"{zresult.ratio:.2f}x",
+             f"{max_abs_error(weights, zrecon):.2e}", f"{psnr(weights, zrecon):.1f} dB"]
+        )
+
+    # Relative and PSNR error controls (SZ only — ZFP's mode is absolute/rate).
+    rel = SZCompressor(SZConfig(error_bound=0.005, mode=ErrorMode.REL))
+    result = rel.compress(weights)
+    recon = rel.decompress(result.payload)
+    rows.append(
+        ["SZ", "rel 0.5% of range", f"{result.ratio:.2f}x",
+         f"{max_abs_error(weights, recon):.2e}", f"{psnr(weights, recon):.1f} dB"]
+    )
+
+    target_psnr = 70.0
+    ps = SZCompressor(SZConfig(error_bound=target_psnr, mode=ErrorMode.PSNR))
+    result = ps.compress(weights)
+    recon = ps.decompress(result.payload)
+    rows.append(
+        ["SZ", f"PSNR >= {target_psnr:.0f} dB", f"{result.ratio:.2f}x",
+         f"{max_abs_error(weights, recon):.2e}", f"{psnr(weights, recon):.1f} dB"]
+    )
+
+    print(render_table(
+        ["codec", "error control", "ratio", "max abs error", "PSNR"],
+        rows,
+        title="Error-bounded compression of an fc6-like weight array",
+    ))
+    print("\nSZ stays ahead of the ZFP-style codec at every bound on this 1-D, "
+          "noise-like data — the Figure 2 result that motivates DeepSZ's choice of SZ.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""DeepSZ reproduction: error-bounded lossy compression of deep neural networks.
+
+This library is a from-scratch reproduction of *DeepSZ: A Novel Framework to
+Compress Deep Neural Networks by Using Error-Bounded Lossy Compression*
+(Jin et al., HPDC 2019), including every substrate the paper depends on:
+
+* :mod:`repro.sz` — the SZ error-bounded lossy compressor (prediction,
+  linear-scaling quantization, Huffman coding, lossless back ends);
+* :mod:`repro.zfp` — a ZFP-style block transform codec (the Figure 2 baseline);
+* :mod:`repro.nn` — a NumPy neural-network framework with training
+  (the Caffe substitute) plus the paper-scale architecture specs;
+* :mod:`repro.data` — synthetic MNIST-like / ImageNet-like datasets;
+* :mod:`repro.pruning` — magnitude pruning, masked retraining, and the
+  two-array sparse weight format;
+* :mod:`repro.baselines` — Deep Compression and Weightless;
+* :mod:`repro.core` — the DeepSZ framework itself (error bound assessment,
+  accuracy model, error-bound optimization, compressed model generation);
+* :mod:`repro.parallel` — the process-pool assessment harness;
+* :mod:`repro.analysis` — metrics and table/figure renderers.
+
+Quickstart
+----------
+>>> from repro.core import DeepSZ, DeepSZConfig
+>>> from repro.nn import models
+>>> from repro.data import mnist_like, train_test_split
+>>> # see examples/quickstart.py for the full pruning + compression flow
+"""
+
+from repro import analysis, baselines, core, data, nn, parallel, pruning, sz, utils, zfp
+from repro.core import DeepSZ, DeepSZConfig, DeepSZResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "core",
+    "data",
+    "nn",
+    "parallel",
+    "pruning",
+    "sz",
+    "utils",
+    "zfp",
+    "DeepSZ",
+    "DeepSZConfig",
+    "DeepSZResult",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Metrics and report rendering for the paper's tables and figures."""
+
+from repro.analysis.metrics import (
+    compression_ratio,
+    bits_per_weight,
+    format_bytes,
+    max_abs_error,
+    psnr,
+)
+from repro.analysis.reporting import (
+    render_table,
+    architecture_table,
+    compression_stats_table,
+    accuracy_table,
+    comparison_table,
+    ascii_series,
+)
+
+__all__ = [
+    "compression_ratio",
+    "bits_per_weight",
+    "format_bytes",
+    "max_abs_error",
+    "psnr",
+    "render_table",
+    "architecture_table",
+    "compression_stats_table",
+    "accuracy_table",
+    "comparison_table",
+    "ascii_series",
+]

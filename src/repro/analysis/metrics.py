@@ -1,0 +1,62 @@
+"""Compression / accuracy metrics shared by tests and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+__all__ = ["compression_ratio", "bits_per_weight", "format_bytes", "max_abs_error", "psnr"]
+
+
+def compression_ratio(original_bytes: int, compressed_bytes: int) -> float:
+    """original / compressed (the paper's "compression ratio")."""
+    if original_bytes < 0 or compressed_bytes < 0:
+        raise ValidationError("sizes must be non-negative")
+    if compressed_bytes == 0:
+        return float("inf")
+    return original_bytes / compressed_bytes
+
+
+def bits_per_weight(compressed_bytes: int, weight_count: int) -> float:
+    """Average encoded bits per (non-zero) weight."""
+    if weight_count <= 0:
+        raise ValidationError("weight_count must be positive")
+    return 8.0 * compressed_bytes / weight_count
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable size: the paper mixes KB and MB depending on the network."""
+    num_bytes = float(num_bytes)
+    for unit, scale in (("GB", 1024**3), ("MB", 1024**2), ("KB", 1024)):
+        if abs(num_bytes) >= scale:
+            return f"{num_bytes / scale:.2f} {unit}"
+    return f"{num_bytes:.0f} B"
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """L-infinity norm of the reconstruction error."""
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if original.shape != reconstructed.shape:
+        raise ValidationError("shape mismatch between original and reconstructed arrays")
+    if original.size == 0:
+        return 0.0
+    return float(np.max(np.abs(original - reconstructed)))
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (SZ's third error-control metric)."""
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if original.shape != reconstructed.shape:
+        raise ValidationError("shape mismatch between original and reconstructed arrays")
+    if original.size == 0:
+        return float("inf")
+    value_range = float(np.max(original) - np.min(original))
+    mse = float(np.mean((original - reconstructed) ** 2))
+    if mse == 0.0:
+        return float("inf")
+    if value_range == 0.0:
+        return float("-inf")
+    return 20.0 * np.log10(value_range) - 10.0 * np.log10(mse)

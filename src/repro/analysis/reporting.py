@@ -1,0 +1,141 @@
+"""Plain-text renderers for the paper's tables and figure series.
+
+Benchmarks print their results through these helpers so that every table and
+figure of the paper has a textual twin that can be diffed against
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+from repro.analysis.metrics import format_bytes
+from repro.nn.specs import NetworkSpec
+from repro.utils.errors import ValidationError
+
+__all__ = [
+    "render_table",
+    "architecture_table",
+    "compression_stats_table",
+    "accuracy_table",
+    "comparison_table",
+    "ascii_series",
+]
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render a fixed-width text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValidationError("row width does not match header width")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def architecture_table(specs: Sequence[NetworkSpec]) -> str:
+    """Table 1: architecture and storage breakdown of the evaluated networks."""
+    headers = ["network", "conv layers", "fc-layers", "fc shapes", "total size", "fc size (%)"]
+    rows = []
+    for spec in specs:
+        shapes = ", ".join(f"{l.name} {l.rows}x{l.cols}" for l in spec.fc_layers)
+        rows.append(
+            [
+                spec.name,
+                len(spec.conv_layers),
+                len(spec.fc_layers),
+                shapes,
+                format_bytes(spec.total_bytes),
+                f"{100.0 * spec.fc_fraction:.1f}%",
+            ]
+        )
+    return render_table(headers, rows, title="Table 1 — network architectures")
+
+
+def compression_stats_table(
+    network: str, per_layer: Mapping[str, Mapping[str, object]]
+) -> str:
+    """Tables 2a–2d: per-layer original / CSR / DeepSZ sizes."""
+    headers = ["layer", "original", "pruning ratio", "CSR size", "DeepSZ size", "error bound"]
+    rows = []
+    for layer, stats in per_layer.items():
+        rows.append(
+            [
+                layer,
+                format_bytes(stats["original_bytes"]),
+                f"{100.0 * float(stats['pruning_ratio']):.1f}%",
+                format_bytes(stats["csr_bytes"]),
+                format_bytes(stats["compressed_bytes"]),
+                f"{float(stats['error_bound']):.0e}",
+            ]
+        )
+    return render_table(headers, rows, title=f"Table 2 — fc-layer compression statistics ({network})")
+
+
+def accuracy_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Table 3: accuracy and compression ratio of the DeepSZ-compressed networks."""
+    headers = ["network", "top-1", "top-5", "fc size", "ratio"]
+    formatted = []
+    for row in rows:
+        top5 = row.get("top5")
+        formatted.append(
+            [
+                row["network"],
+                f"{100.0 * float(row['top1']):.2f}%",
+                f"{100.0 * float(top5):.2f}%" if top5 is not None else "-",
+                format_bytes(row["fc_bytes"]),
+                f"{float(row['ratio']):.1f}x" if row.get("ratio") else "-",
+            ]
+        )
+    return render_table(headers, formatted, title="Table 3 — accuracy of DeepSZ-compressed networks")
+
+
+def comparison_table(
+    network: str, per_layer: Mapping[str, Mapping[str, float]]
+) -> str:
+    """Table 4: compression ratios of Deep Compression / Weightless / DeepSZ."""
+    headers = ["layer", "Deep Compression", "Weightless", "DeepSZ", "improvement"]
+    rows = []
+    for layer, ratios in per_layer.items():
+        dc = ratios.get("deep_compression")
+        wl = ratios.get("weightless")
+        dsz = ratios.get("deepsz")
+        best_other = max(x for x in (dc, wl) if x is not None) if (dc or wl) else None
+        improvement = (dsz / best_other) if (dsz and best_other) else None
+        rows.append(
+            [
+                layer,
+                f"{dc:.1f}x" if dc else "-",
+                f"{wl:.1f}x" if wl else "-",
+                f"{dsz:.1f}x" if dsz else "-",
+                f"{improvement:.2f}x" if improvement else "-",
+            ]
+        )
+    return render_table(headers, rows, title=f"Table 4 — compression ratio comparison ({network})")
+
+
+def ascii_series(
+    title: str, series: Mapping[str, Mapping[float, float]], *, value_format: str = "{:.4f}"
+) -> str:
+    """Render figure data (x -> y per series) as an aligned text block.
+
+    Used for Figures 2–7: each series is one line of ``x: y`` pairs, which is
+    enough to eyeball the shape and compare against the paper's plots.
+    """
+    lines = [title]
+    for name, points in series.items():
+        parts = [f"{x:g}: {value_format.format(y)}" for x, y in sorted(points.items())]
+        lines.append(f"  {name:<12} " + "  ".join(parts))
+    return "\n".join(lines)

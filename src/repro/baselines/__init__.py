@@ -1,0 +1,36 @@
+"""Comparison systems the paper evaluates against (Section 4, Tables 4-5, Fig. 7).
+
+* :mod:`repro.baselines.deep_compression` — Han et al.'s Deep Compression:
+  pruning + k-means codebook quantization + Huffman coding.
+* :mod:`repro.baselines.weightless` — Reagen et al.'s Weightless: lossy
+  Bloomier-filter encoding of (one) pruned fc-layer.
+
+Both are reimplemented from their published descriptions (neither has usable
+open-source code, as the paper itself notes for Weightless) and operate on the
+same :class:`repro.pruning.SparseLayer` representation DeepSZ uses, so the
+three encoders can be compared layer-for-layer.
+"""
+
+from repro.baselines.deep_compression import (
+    DeepCompressionConfig,
+    DeepCompressionEncoder,
+    DeepCompressionLayerResult,
+    kmeans_1d,
+)
+from repro.baselines.weightless import (
+    BloomierFilter,
+    WeightlessConfig,
+    WeightlessEncoder,
+    WeightlessLayerResult,
+)
+
+__all__ = [
+    "DeepCompressionConfig",
+    "DeepCompressionEncoder",
+    "DeepCompressionLayerResult",
+    "kmeans_1d",
+    "BloomierFilter",
+    "WeightlessConfig",
+    "WeightlessEncoder",
+    "WeightlessLayerResult",
+]

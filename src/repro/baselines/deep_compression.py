@@ -1,0 +1,191 @@
+"""Deep Compression (Han et al., ICLR'16) reimplementation.
+
+Deep Compression's post-pruning stages are:
+
+1. **codebook quantization** — all surviving weights of a layer are clustered
+   into ``2**bits`` centroids with 1-D k-means (linear initialisation); each
+   weight is replaced by its centroid index;
+2. **Huffman coding** of the centroid indices and of the position-delta index
+   array.
+
+The decoder looks indices up in the codebook and rebuilds the sparse layer.
+Unlike DeepSZ there is no error bound: the quantization error is whatever the
+codebook produces, which is why accuracy drops sharply at low bit widths
+(Table 5) and the original method needs retraining to recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.pruning.sparse_format import SparseLayer, decode_sparse
+from repro.sz.huffman import HuffmanCodec
+from repro.utils.bytesio import read_named_sections, write_named_sections
+from repro.utils.errors import DecompressionError, ValidationError
+from repro.utils.timing import TimingBreakdown
+
+__all__ = [
+    "kmeans_1d",
+    "DeepCompressionConfig",
+    "DeepCompressionLayerResult",
+    "DeepCompressionEncoder",
+]
+
+_MAGIC = "repro-deepcompression-v1"
+
+
+def kmeans_1d(
+    values: np.ndarray, k: int, *, iterations: int = 25, tol: float = 1e-7
+) -> tuple[np.ndarray, np.ndarray]:
+    """1-D Lloyd's k-means with linear initialisation (Deep Compression's choice).
+
+    Returns ``(centroids, assignments)``.  Fully vectorised: assignment uses
+    ``np.searchsorted`` on the sorted centroids, the update uses
+    ``np.bincount``.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if k < 1:
+        raise ValidationError("k must be >= 1")
+    if values.size == 0:
+        return np.zeros(k), np.zeros(0, dtype=np.int64)
+    lo, hi = float(values.min()), float(values.max())
+    if lo == hi:
+        centroids = np.full(k, lo)
+        return centroids, np.zeros(values.size, dtype=np.int64)
+    centroids = np.linspace(lo, hi, k)
+    for _ in range(iterations):
+        # Nearest centroid via boundaries between consecutive centroids.
+        boundaries = (centroids[1:] + centroids[:-1]) / 2.0
+        assignments = np.searchsorted(boundaries, values)
+        sums = np.bincount(assignments, weights=values, minlength=k)
+        counts = np.bincount(assignments, minlength=k)
+        new_centroids = np.where(counts > 0, sums / np.maximum(counts, 1), centroids)
+        shift = float(np.max(np.abs(new_centroids - centroids)))
+        centroids = new_centroids
+        if shift < tol:
+            break
+    # Final assignment pass against the converged centroids so that every
+    # value is mapped to its true nearest centroid.
+    centroids = np.sort(centroids)
+    boundaries = (centroids[1:] + centroids[:-1]) / 2.0
+    assignments = np.searchsorted(boundaries, values)
+    return centroids, assignments
+
+
+@dataclass(frozen=True)
+class DeepCompressionConfig:
+    """Configuration: bits per weight for the fc-layer codebooks (paper: 5)."""
+
+    bits: int = 5
+    kmeans_iterations: int = 25
+
+    def __post_init__(self) -> None:
+        if not (1 <= int(self.bits) <= 16):
+            raise ValidationError("bits must be in [1, 16]")
+
+
+@dataclass(frozen=True)
+class DeepCompressionLayerResult:
+    """Per-layer outcome of Deep Compression encoding."""
+
+    layer: str
+    payload: bytes
+    dense_bytes: int
+    compressed_bytes: int
+    max_quantization_error: float
+
+    @property
+    def ratio(self) -> float:
+        return self.dense_bytes / self.compressed_bytes if self.compressed_bytes else float("inf")
+
+
+class DeepCompressionEncoder:
+    """Encode / decode pruned fc-layers with codebook quantization + Huffman."""
+
+    def __init__(self, config: DeepCompressionConfig | None = None) -> None:
+        self.config = config or DeepCompressionConfig()
+        self._huffman = HuffmanCodec()
+
+    # -- encoding ---------------------------------------------------------
+    def encode_layer(self, name: str, layer: SparseLayer) -> DeepCompressionLayerResult:
+        """Quantize and entropy-code one pruned layer."""
+        cfg = self.config
+        k = 1 << cfg.bits
+        values = layer.data.astype(np.float64)
+        centroids, assignments = kmeans_1d(values, k, iterations=cfg.kmeans_iterations)
+        reconstructed = centroids[assignments]
+        max_err = float(np.max(np.abs(reconstructed - values))) if values.size else 0.0
+
+        codes_blob = self._huffman.encode(assignments.astype(np.int64))
+        index_blob = self._huffman.encode(layer.index.astype(np.int64))
+        payload = write_named_sections(
+            {
+                "codes": codes_blob,
+                "index": index_blob,
+                "codebook": centroids.astype("<f4").tobytes(),
+            },
+            meta={
+                "magic": _MAGIC,
+                "layer": name,
+                "bits": cfg.bits,
+                "rows": layer.shape[0],
+                "cols": layer.shape[1],
+                "nnz": layer.nnz,
+                "entries": layer.entry_count,
+            },
+        )
+        return DeepCompressionLayerResult(
+            layer=name,
+            payload=payload,
+            dense_bytes=layer.dense_bytes,
+            compressed_bytes=len(payload),
+            max_quantization_error=max_err,
+        )
+
+    def encode_network(
+        self, sparse_layers: Dict[str, SparseLayer]
+    ) -> Dict[str, DeepCompressionLayerResult]:
+        """Encode every pruned fc-layer of a network."""
+        return {name: self.encode_layer(name, layer) for name, layer in sparse_layers.items()}
+
+    # -- decoding ---------------------------------------------------------
+    def decode_layer(
+        self, payload: bytes, timing: TimingBreakdown | None = None
+    ) -> tuple[str, np.ndarray]:
+        """Decode one layer; returns ``(layer name, dense weight matrix)``."""
+        timing = timing if timing is not None else TimingBreakdown()
+        meta, sections = read_named_sections(payload)
+        if meta.get("magic") != _MAGIC:
+            raise DecompressionError("not a Deep Compression payload")
+        with timing.phase("codebook quantization"):
+            assignments = self._huffman.decode(sections["codes"])
+            centroids = np.frombuffer(sections["codebook"], dtype="<f4").astype(np.float32)
+            if assignments.size and (assignments.min() < 0 or assignments.max() >= centroids.size):
+                raise DecompressionError("codebook index out of range")
+            values = centroids[assignments]
+        with timing.phase("csr"):
+            index = self._huffman.decode(sections["index"]).astype(np.uint8)
+            shape = (int(meta["rows"]), int(meta["cols"]))
+            skeleton = SparseLayer(
+                data=np.zeros(index.size, dtype=np.float32),
+                index=index,
+                shape=shape,
+                nnz=int(meta["nnz"]),
+            )
+            dense = decode_sparse(skeleton, data=values)
+        return str(meta["layer"]), dense
+
+    def decode_network(
+        self, results: Dict[str, DeepCompressionLayerResult] | Dict[str, bytes]
+    ) -> tuple[Dict[str, np.ndarray], TimingBreakdown]:
+        """Decode every layer; returns the dense weights and a timing breakdown."""
+        timing = TimingBreakdown()
+        weights: Dict[str, np.ndarray] = {}
+        for name, item in results.items():
+            payload = item.payload if isinstance(item, DeepCompressionLayerResult) else item
+            decoded_name, dense = self.decode_layer(payload, timing)
+            weights[decoded_name or name] = dense
+        return weights, timing

@@ -1,0 +1,75 @@
+"""DeepSZ: the paper's primary contribution.
+
+The framework has four steps (Figure 1):
+
+1. **Network pruning** (:mod:`repro.pruning`) — magnitude pruning plus masked
+   retraining, producing the two-array sparse layers.
+2. **Error bound assessment** (:mod:`repro.core.assessment`, Algorithm 1) —
+   for each fc-layer, sweep SZ error bounds, measure the inference-accuracy
+   degradation with *only that layer* reconstructed from lossy data, and
+   identify the feasible error-bound range.
+3. **Optimization of the error-bound configuration**
+   (:mod:`repro.core.optimizer`, Algorithm 2) — a knapsack-style dynamic
+   program that picks one error bound per layer to minimise the total
+   compressed size subject to the user's expected accuracy loss (or, in
+   expected-ratio mode, to maximise accuracy subject to a size budget),
+   relying on the additivity of per-layer degradations
+   (:mod:`repro.core.accuracy_model`, Equation 1).
+4. **Generation of the compressed model** (:mod:`repro.core.encoder`) — SZ on
+   every data array at its chosen bound, best-fit lossless coding of every
+   index array, packed into a single self-describing container;
+   :mod:`repro.core.decoder` reverses it and reports the Figure 7b timing
+   breakdown.
+
+:class:`repro.core.DeepSZ` (in :mod:`repro.core.pipeline`) chains the four
+steps behind one call.
+"""
+
+from repro.core.assessment import (
+    AssessmentConfig,
+    AssessmentPoint,
+    LayerAssessment,
+    AssessmentResult,
+    assess_layer,
+    assess_network,
+    evaluate_candidate,
+)
+from repro.core.accuracy_model import (
+    predict_total_loss,
+    linearity_probe,
+    LinearityProbeResult,
+)
+from repro.core.optimizer import (
+    OptimizerConfig,
+    OptimizationPlan,
+    optimize_error_bounds,
+    optimize_for_size_budget,
+)
+from repro.core.encoder import CompressedLayer, CompressedModel, DeepSZEncoder
+from repro.core.decoder import DeepSZDecoder, DecodedModel
+from repro.core.pipeline import DeepSZ, DeepSZConfig, DeepSZResult
+
+__all__ = [
+    "AssessmentConfig",
+    "AssessmentPoint",
+    "LayerAssessment",
+    "AssessmentResult",
+    "assess_layer",
+    "assess_network",
+    "evaluate_candidate",
+    "predict_total_loss",
+    "linearity_probe",
+    "LinearityProbeResult",
+    "OptimizerConfig",
+    "OptimizationPlan",
+    "optimize_error_bounds",
+    "optimize_for_size_budget",
+    "CompressedLayer",
+    "CompressedModel",
+    "DeepSZEncoder",
+    "DeepSZDecoder",
+    "DecodedModel",
+    "DeepSZ",
+    "DeepSZConfig",
+    "DeepSZResult",
+]

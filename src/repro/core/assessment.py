@@ -1,0 +1,294 @@
+"""Error bound assessment (Step 2, Algorithm 1).
+
+For every fc-layer the assessment compresses the layer's pruned *data array*
+with SZ at a series of error bounds, rebuilds the dense weight matrix from the
+decompressed values (all other layers untouched), runs the forward pass on the
+test set and records the accuracy degradation and the compressed size.  The
+sweep follows Algorithm 1:
+
+* a coarse scan over ``{1e-3, 1e-2, 1e-1}`` finds the decade in which the
+  degradation first exceeds the distortion criterion (0.1% absolute);
+* a fine scan then starts one decade below that point and walks upwards in
+  steps of the current decade (8e-3, 9e-3, 1e-2, 2e-2, ...), stopping at the
+  first bound whose degradation exceeds the user's expected accuracy loss.
+
+The collected ``(error bound, degradation, size)`` triples for each layer are
+the input of the Algorithm 2 optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.nn.network import Network
+from repro.pruning.sparse_format import SparseLayer, decode_sparse
+from repro.sz.compressor import SZCompressor
+from repro.sz.config import SZConfig
+from repro.sz.lossless import best_fit_backend
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "AssessmentConfig",
+    "AssessmentPoint",
+    "LayerAssessment",
+    "AssessmentResult",
+    "evaluate_candidate",
+    "assess_layer",
+    "assess_network",
+]
+
+
+@dataclass(frozen=True)
+class AssessmentConfig:
+    """Parameters of the error-bound assessment."""
+
+    expected_accuracy_loss: float = 0.004
+    distortion_criterion: float = 0.001  #: the paper's 0.1% absolute criterion
+    coarse_bounds: Sequence[float] = (1e-3, 1e-2, 1e-1)
+    max_fine_tests: int = 24  #: safety cap on the fine scan length per layer
+    capacity: int = 65536
+    lossless: str = "zlib"
+    index_lossless_candidates: Sequence[str] = ("zlib", "lzma", "bz2")
+    eval_batch_size: int = 256
+
+    def __post_init__(self) -> None:
+        check_positive(self.expected_accuracy_loss, "expected_accuracy_loss")
+        check_positive(self.distortion_criterion, "distortion_criterion")
+        if not self.coarse_bounds or list(self.coarse_bounds) != sorted(self.coarse_bounds):
+            raise ValidationError("coarse_bounds must be a non-empty ascending sequence")
+        if self.max_fine_tests < 1:
+            raise ValidationError("max_fine_tests must be positive")
+
+
+@dataclass(frozen=True)
+class AssessmentPoint:
+    """One tested (layer, error bound) combination."""
+
+    layer: str
+    error_bound: float
+    accuracy: float
+    degradation: float  #: baseline accuracy - accuracy (may be negative)
+    compressed_bytes: int  #: SZ data array + lossless index array + container
+
+
+@dataclass
+class LayerAssessment:
+    """All assessment points of one fc-layer."""
+
+    layer: str
+    baseline_accuracy: float
+    points: List[AssessmentPoint] = field(default_factory=list)
+
+    def point_for(self, error_bound: float) -> AssessmentPoint:
+        for point in self.points:
+            if np.isclose(point.error_bound, error_bound, rtol=1e-9):
+                return point
+        raise KeyError(f"no assessment point at error bound {error_bound} for {self.layer}")
+
+    @property
+    def tested_bounds(self) -> List[float]:
+        return [p.error_bound for p in self.points]
+
+    @property
+    def feasible_range(self) -> tuple[float, float]:
+        """(start, end) of the feasible error-bound range.
+
+        The start is the smallest tested bound; the end is the largest tested
+        bound whose degradation stays within the expected accuracy loss used
+        during the sweep (falling back to the smallest bound if none does).
+        """
+        if not self.points:
+            raise ValidationError(f"layer {self.layer} has no assessment points")
+        ordered = sorted(self.points, key=lambda p: p.error_bound)
+        start = ordered[0].error_bound
+        end = start
+        for point in ordered:
+            if point.degradation <= _last_expected_loss(self):
+                end = point.error_bound
+        return (start, end)
+
+
+def _last_expected_loss(assessment: "LayerAssessment") -> float:
+    # The expected loss is recorded on the result object by assess_layer via
+    # a private attribute; default to +inf when probing hand-built objects.
+    return getattr(assessment, "_expected_loss", float("inf"))
+
+
+@dataclass
+class AssessmentResult:
+    """Assessment of every fc-layer of a network."""
+
+    network: str
+    baseline_accuracy: float
+    layers: Dict[str, LayerAssessment]
+    tests_performed: int = 0
+
+    def candidates(self) -> Dict[str, List[AssessmentPoint]]:
+        """Per-layer candidate lists for the optimizer."""
+        return {name: list(assessment.points) for name, assessment in self.layers.items()}
+
+
+def evaluate_candidate(
+    network: Network,
+    layer_name: str,
+    sparse_layer: SparseLayer,
+    error_bound: float,
+    test_images: np.ndarray,
+    test_labels: np.ndarray,
+    *,
+    config: AssessmentConfig | None = None,
+) -> tuple[float, int]:
+    """Accuracy and compressed size with one layer reconstructed at ``error_bound``.
+
+    This is the unit of work Algorithm 1 repeats and the parallel harness
+    distributes: compress the layer's data array with SZ, decompress it,
+    rebuild the dense weights through the index array, temporarily swap them
+    into the network, run the forward pass, and restore the layer.
+    """
+    config = config or AssessmentConfig()
+    compressor = SZCompressor(
+        SZConfig(error_bound=error_bound, capacity=config.capacity, lossless=config.lossless)
+    )
+    result = compressor.compress(sparse_layer.data)
+    decompressed = compressor.decompress(result.payload)
+    dense = decode_sparse(sparse_layer, data=decompressed)
+
+    _, index_blob = best_fit_backend(
+        sparse_layer.index.tobytes(), config.index_lossless_candidates
+    )
+    compressed_bytes = result.compressed_bytes + len(index_blob)
+
+    original = network.get_weights(layer_name)
+    try:
+        network.set_weights(layer_name, dense)
+        accuracy = network.accuracy(
+            test_images, test_labels, batch_size=config.eval_batch_size
+        )
+    finally:
+        network.set_weights(layer_name, original)
+    return accuracy, compressed_bytes
+
+
+def _fine_bounds(start: float, max_tests: int) -> List[float]:
+    """The fine-scan schedule: start, 2*start, ... 9*start, 10*start, 20*start, ...
+
+    Mirrors Algorithm 1's ``eb += base; base *= 10 when eb == 10 * base``.
+    """
+    bounds: List[float] = []
+    base = start
+    eb = start
+    while len(bounds) < max_tests:
+        bounds.append(eb)
+        eb += base
+        # Floating-point-safe version of "eb == 10 * base".
+        if eb >= 10 * base - 1e-15:
+            base *= 10
+    return bounds
+
+
+def assess_layer(
+    network: Network,
+    layer_name: str,
+    sparse_layer: SparseLayer,
+    test_images: np.ndarray,
+    test_labels: np.ndarray,
+    *,
+    baseline_accuracy: float,
+    config: AssessmentConfig | None = None,
+    evaluator: Callable[..., tuple[float, int]] | None = None,
+) -> tuple[LayerAssessment, int]:
+    """Run Algorithm 1 for a single fc-layer.
+
+    Returns the layer assessment and the number of accuracy tests performed.
+    ``evaluator`` can override :func:`evaluate_candidate` (used by the
+    parallel harness and by tests).
+    """
+    config = config or AssessmentConfig()
+    evaluator = evaluator or evaluate_candidate
+    assessment = LayerAssessment(layer=layer_name, baseline_accuracy=baseline_accuracy)
+    assessment._expected_loss = config.expected_accuracy_loss  # type: ignore[attr-defined]
+    tests = 0
+    seen: Dict[float, AssessmentPoint] = {}
+
+    def run(eb: float) -> AssessmentPoint:
+        nonlocal tests
+        if eb in seen:
+            return seen[eb]
+        accuracy, size = evaluator(
+            network, layer_name, sparse_layer, eb, test_images, test_labels, config=config
+        )
+        tests += 1
+        point = AssessmentPoint(
+            layer=layer_name,
+            error_bound=eb,
+            accuracy=accuracy,
+            degradation=baseline_accuracy - accuracy,
+            compressed_bytes=size,
+        )
+        seen[eb] = point
+        return point
+
+    # Coarse scan: find the decade where distortion first appears.
+    fine_start: float | None = None
+    last_coarse: AssessmentPoint | None = None
+    for beta in config.coarse_bounds:
+        point = run(beta)
+        last_coarse = point
+        if point.degradation > config.distortion_criterion:
+            fine_start = beta / 10.0
+            break
+
+    if fine_start is None:
+        # Even the largest coarse bound stays within the distortion criterion:
+        # the feasible range is the whole coarse schedule; keep those points.
+        assessment.points = sorted(seen.values(), key=lambda p: p.error_bound)
+        return assessment, tests
+
+    # Fine scan (Check procedure): walk upward from one decade below the
+    # distortion point until the degradation exceeds the expected loss.
+    for eb in _fine_bounds(fine_start, config.max_fine_tests):
+        point = run(eb)
+        if point.degradation > config.expected_accuracy_loss:
+            break
+
+    assessment.points = sorted(seen.values(), key=lambda p: p.error_bound)
+    return assessment, tests
+
+
+def assess_network(
+    network: Network,
+    sparse_layers: Dict[str, SparseLayer],
+    test_images: np.ndarray,
+    test_labels: np.ndarray,
+    *,
+    config: AssessmentConfig | None = None,
+    evaluator: Callable[..., tuple[float, int]] | None = None,
+) -> AssessmentResult:
+    """Run Algorithm 1 for every pruned fc-layer of a network."""
+    config = config or AssessmentConfig()
+    baseline = network.accuracy(test_images, test_labels, batch_size=config.eval_batch_size)
+    layers: Dict[str, LayerAssessment] = {}
+    total_tests = 0
+    for name, sparse_layer in sparse_layers.items():
+        assessment, tests = assess_layer(
+            network,
+            name,
+            sparse_layer,
+            test_images,
+            test_labels,
+            baseline_accuracy=baseline,
+            config=config,
+            evaluator=evaluator,
+        )
+        layers[name] = assessment
+        total_tests += tests
+    return AssessmentResult(
+        network=network.name,
+        baseline_accuracy=baseline,
+        layers=layers,
+        tests_performed=total_tests,
+    )

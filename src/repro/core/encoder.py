@@ -1,0 +1,196 @@
+"""Generation of the compressed model (Step 4).
+
+The encoder takes the pruned sparse layers and the per-layer error bounds
+chosen by the optimizer, compresses every data array with SZ and every index
+array with the best-fit lossless codec, and packs the result into one
+self-describing container (the "bitstream" of Figure 1).  The container also
+carries everything the decoder needs to rebuild dense weight matrices: layer
+shapes, entry counts and the lossless back end that won the selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.pruning.sparse_format import SparseLayer
+from repro.sz.compressor import SZCompressor
+from repro.sz.config import SZConfig
+from repro.sz.lossless import best_fit_backend
+from repro.utils.bytesio import read_named_sections, write_named_sections
+from repro.utils.errors import DecompressionError, ValidationError
+from repro.utils.timing import TimingBreakdown
+
+__all__ = ["CompressedLayer", "CompressedModel", "DeepSZEncoder"]
+
+_MAGIC = "repro-deepsz-model-v1"
+
+
+@dataclass(frozen=True)
+class CompressedLayer:
+    """One fc-layer inside a compressed model."""
+
+    name: str
+    error_bound: float
+    shape: tuple[int, int]
+    nnz: int
+    entry_count: int
+    sz_payload: bytes
+    index_payload: bytes
+    index_backend: str
+
+    @property
+    def compressed_bytes(self) -> int:
+        return len(self.sz_payload) + len(self.index_payload)
+
+    @property
+    def dense_bytes(self) -> int:
+        return int(np.prod(self.shape)) * 4
+
+    @property
+    def ratio(self) -> float:
+        total = self.compressed_bytes
+        return self.dense_bytes / total if total else float("inf")
+
+    @property
+    def bits_per_nonzero(self) -> float:
+        """Encoded bits per surviving weight (the paper's 2.0–3.3 bits range)."""
+        return 8.0 * self.compressed_bytes / self.nnz if self.nnz else 0.0
+
+
+@dataclass
+class CompressedModel:
+    """A fully encoded network: per-layer streams plus container metadata."""
+
+    network: str
+    layers: Dict[str, CompressedLayer]
+    expected_accuracy_loss: float
+    encoding_time: TimingBreakdown = field(default_factory=TimingBreakdown)
+
+    @property
+    def compressed_bytes(self) -> int:
+        return int(sum(layer.compressed_bytes for layer in self.layers.values()))
+
+    @property
+    def dense_bytes(self) -> int:
+        return int(sum(layer.dense_bytes for layer in self.layers.values()))
+
+    @property
+    def compression_ratio(self) -> float:
+        total = self.compressed_bytes
+        return self.dense_bytes / total if total else float("inf")
+
+    def error_bounds(self) -> Dict[str, float]:
+        return {name: layer.error_bound for name, layer in self.layers.items()}
+
+    # -- serialization -----------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialise the whole model to one byte string."""
+        sections: Dict[str, bytes] = {}
+        layer_meta = {}
+        for name, layer in self.layers.items():
+            sections[f"{name}/sz"] = layer.sz_payload
+            sections[f"{name}/index"] = layer.index_payload
+            layer_meta[name] = {
+                "error_bound": layer.error_bound,
+                "shape": list(layer.shape),
+                "nnz": layer.nnz,
+                "entry_count": layer.entry_count,
+                "index_backend": layer.index_backend,
+            }
+        meta = {
+            "magic": _MAGIC,
+            "network": self.network,
+            "expected_accuracy_loss": self.expected_accuracy_loss,
+            "layers": layer_meta,
+        }
+        return write_named_sections(sections, meta=meta)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "CompressedModel":
+        """Rebuild a :class:`CompressedModel` from :meth:`to_bytes` output."""
+        meta, sections = read_named_sections(blob)
+        if meta.get("magic") != _MAGIC:
+            raise DecompressionError("not a DeepSZ compressed model (bad magic)")
+        layers: Dict[str, CompressedLayer] = {}
+        for name, info in meta["layers"].items():
+            layers[name] = CompressedLayer(
+                name=name,
+                error_bound=float(info["error_bound"]),
+                shape=tuple(info["shape"]),  # type: ignore[arg-type]
+                nnz=int(info["nnz"]),
+                entry_count=int(info["entry_count"]),
+                sz_payload=sections[f"{name}/sz"],
+                index_payload=sections[f"{name}/index"],
+                index_backend=str(info["index_backend"]),
+            )
+        return cls(
+            network=str(meta["network"]),
+            layers=layers,
+            expected_accuracy_loss=float(meta["expected_accuracy_loss"]),
+        )
+
+
+class DeepSZEncoder:
+    """Step 4: produce the compressed model from sparse layers + error bounds."""
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 65536,
+        sz_lossless: str = "zlib",
+        index_lossless_candidates: Sequence[str] = ("zlib", "lzma", "bz2"),
+    ) -> None:
+        self.capacity = int(capacity)
+        self.sz_lossless = sz_lossless
+        self.index_lossless_candidates = tuple(index_lossless_candidates)
+
+    def encode_layer(
+        self, name: str, sparse_layer: SparseLayer, error_bound: float
+    ) -> CompressedLayer:
+        """Compress one layer: SZ on the data array, best-fit lossless on the index."""
+        compressor = SZCompressor(
+            SZConfig(
+                error_bound=error_bound, capacity=self.capacity, lossless=self.sz_lossless
+            )
+        )
+        sz_result = compressor.compress(sparse_layer.data)
+        backend, index_blob = best_fit_backend(
+            sparse_layer.index.tobytes(), self.index_lossless_candidates
+        )
+        return CompressedLayer(
+            name=name,
+            error_bound=float(error_bound),
+            shape=sparse_layer.shape,
+            nnz=sparse_layer.nnz,
+            entry_count=sparse_layer.entry_count,
+            sz_payload=sz_result.payload,
+            index_payload=index_blob,
+            index_backend=backend.name,
+        )
+
+    def encode(
+        self,
+        network_name: str,
+        sparse_layers: Mapping[str, SparseLayer],
+        error_bounds: Mapping[str, float],
+        *,
+        expected_accuracy_loss: float = 0.0,
+    ) -> CompressedModel:
+        """Compress every layer with its chosen error bound."""
+        missing = set(sparse_layers) - set(error_bounds)
+        if missing:
+            raise ValidationError(f"no error bound chosen for layers: {sorted(missing)}")
+        timing = TimingBreakdown()
+        layers: Dict[str, CompressedLayer] = {}
+        for name, sparse_layer in sparse_layers.items():
+            with timing.phase(f"encode:{name}"):
+                layers[name] = self.encode_layer(name, sparse_layer, error_bounds[name])
+        return CompressedModel(
+            network=network_name,
+            layers=layers,
+            expected_accuracy_loss=float(expected_accuracy_loss),
+            encoding_time=timing,
+        )

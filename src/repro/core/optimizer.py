@@ -1,0 +1,221 @@
+"""Optimization of the error-bound configuration (Step 3, Algorithm 2).
+
+Given, for every fc-layer, a list of tested error bounds with their measured
+accuracy degradation and compressed size, the optimizer picks one bound per
+layer.  Two modes are provided, as in the paper:
+
+* **expected-accuracy mode** (:func:`optimize_error_bounds`, the default):
+  minimise the total compressed size subject to the summed degradation not
+  exceeding the user's expected accuracy loss.  This is the knapsack-style
+  dynamic program of Algorithm 2: the accuracy budget is discretised into
+  ``resolution`` steps, ``S[layer][budget]`` holds the minimum total size of
+  the first layers within that budget, and a trace-back recovers the chosen
+  bound per layer.
+
+* **expected-ratio mode** (:func:`optimize_for_size_budget`): minimise the
+  summed degradation subject to a total-size budget — the same DP with the
+  roles of size and accuracy swapped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.assessment import AssessmentPoint
+from repro.utils.errors import OptimizationError, ValidationError
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "OptimizerConfig",
+    "OptimizationPlan",
+    "optimize_error_bounds",
+    "optimize_for_size_budget",
+]
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Parameters of the Algorithm 2 dynamic program."""
+
+    expected_accuracy_loss: float = 0.004
+    resolution: int = 100  #: number of accuracy budget steps (the paper's 100 x eps*)
+    allow_negative_degradation: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive(self.expected_accuracy_loss, "expected_accuracy_loss")
+        if self.resolution < 1:
+            raise ValidationError("resolution must be positive")
+
+
+@dataclass(frozen=True)
+class OptimizationPlan:
+    """The chosen per-layer error bounds and their predicted cost."""
+
+    error_bounds: Dict[str, float]
+    predicted_loss: float
+    total_compressed_bytes: int
+    per_layer_bytes: Dict[str, int]
+
+    def __post_init__(self) -> None:
+        if set(self.error_bounds) != set(self.per_layer_bytes):
+            raise ValidationError("error_bounds and per_layer_bytes must cover the same layers")
+
+
+def _quantize_delta(delta: float, step: float, allow_negative: bool) -> int:
+    """Conservative (ceiling) quantization of a degradation onto the DP grid."""
+    if delta <= 0 and allow_negative:
+        return 0
+    return int(np.ceil(max(delta, 0.0) / step - 1e-12))
+
+
+def optimize_error_bounds(
+    candidates: Mapping[str, Sequence[AssessmentPoint]],
+    config: OptimizerConfig | None = None,
+) -> OptimizationPlan:
+    """Expected-accuracy mode: smallest model within the accuracy-loss budget."""
+    config = config or OptimizerConfig()
+    if not candidates:
+        raise ValidationError("no candidate layers to optimize")
+    layers = list(candidates)
+    steps = config.resolution
+    step_size = config.expected_accuracy_loss / steps
+    budget_slots = steps + 1
+
+    INF = float("inf")
+    # dp[b] = minimal total size of the layers processed so far using exactly
+    # budget <= b; choice[layer][b] = index of the candidate chosen.
+    dp = np.zeros(budget_slots)
+    choices: List[np.ndarray] = []
+
+    for layer in layers:
+        points = list(candidates[layer])
+        if not points:
+            raise OptimizationError(f"layer {layer!r} has no assessment candidates")
+        new_dp = np.full(budget_slots, INF)
+        choice = np.full(budget_slots, -1, dtype=np.int64)
+        for idx, point in enumerate(points):
+            cost = _quantize_delta(
+                point.degradation, step_size, config.allow_negative_degradation
+            )
+            if cost > steps:
+                continue  # this bound alone blows the budget
+            size = float(point.compressed_bytes)
+            # For every achievable previous budget b, taking this candidate
+            # lands at budget b + cost.
+            prev = dp[: budget_slots - cost]
+            updated = prev + size
+            target = new_dp[cost:budget_slots]
+            better = updated < target
+            new_dp[cost:budget_slots] = np.where(better, updated, target)
+            choice[cost:budget_slots] = np.where(better, idx, choice[cost:budget_slots])
+        if not np.isfinite(new_dp).any():
+            raise OptimizationError(
+                f"no feasible error bound for layer {layer!r} within the accuracy budget; "
+                "re-run the assessment with a smaller starting bound"
+            )
+        dp = new_dp
+        choices.append(choice)
+
+    # Find the cheapest total size over all budgets, then trace back.
+    best_budget = int(np.argmin(dp))
+    if not np.isfinite(dp[best_budget]):
+        raise OptimizationError("optimizer found no feasible configuration")
+
+    error_bounds: Dict[str, float] = {}
+    per_layer_bytes: Dict[str, int] = {}
+    predicted = 0.0
+    budget = best_budget
+    for layer_idx in range(len(layers) - 1, -1, -1):
+        layer = layers[layer_idx]
+        points = list(candidates[layer])
+        idx = int(choices[layer_idx][budget])
+        if idx < 0:
+            raise OptimizationError("trace-back failed; inconsistent DP tables")
+        point = points[idx]
+        error_bounds[layer] = point.error_bound
+        per_layer_bytes[layer] = point.compressed_bytes
+        predicted += point.degradation
+        budget -= _quantize_delta(
+            point.degradation, step_size, config.allow_negative_degradation
+        )
+    return OptimizationPlan(
+        error_bounds=error_bounds,
+        predicted_loss=float(predicted),
+        total_compressed_bytes=int(sum(per_layer_bytes.values())),
+        per_layer_bytes=per_layer_bytes,
+    )
+
+
+def optimize_for_size_budget(
+    candidates: Mapping[str, Sequence[AssessmentPoint]],
+    size_budget_bytes: int,
+    *,
+    resolution: int = 200,
+) -> OptimizationPlan:
+    """Expected-ratio mode: most accurate model within a total-size budget."""
+    if not candidates:
+        raise ValidationError("no candidate layers to optimize")
+    if size_budget_bytes <= 0:
+        raise ValidationError("size_budget_bytes must be positive")
+    if resolution < 1:
+        raise ValidationError("resolution must be positive")
+
+    layers = list(candidates)
+    step_size = size_budget_bytes / resolution
+    slots = resolution + 1
+    INF = float("inf")
+    dp = np.zeros(slots)  # dp[b] = minimal total degradation with size <= b*step
+    choices: List[np.ndarray] = []
+
+    for layer in layers:
+        points = list(candidates[layer])
+        if not points:
+            raise OptimizationError(f"layer {layer!r} has no assessment candidates")
+        new_dp = np.full(slots, INF)
+        choice = np.full(slots, -1, dtype=np.int64)
+        for idx, point in enumerate(points):
+            cost = int(np.ceil(point.compressed_bytes / step_size - 1e-12))
+            if cost > resolution:
+                continue
+            delta = max(point.degradation, 0.0)
+            prev = dp[: slots - cost]
+            updated = prev + delta
+            target = new_dp[cost:slots]
+            better = updated < target
+            new_dp[cost:slots] = np.where(better, updated, target)
+            choice[cost:slots] = np.where(better, idx, choice[cost:slots])
+        if not np.isfinite(new_dp).any():
+            raise OptimizationError(
+                f"size budget of {size_budget_bytes} bytes is too small for layer {layer!r}"
+            )
+        dp = new_dp
+        choices.append(choice)
+
+    best_budget = int(np.argmin(dp))
+    if not np.isfinite(dp[best_budget]):
+        raise OptimizationError("no configuration fits the size budget")
+
+    error_bounds: Dict[str, float] = {}
+    per_layer_bytes: Dict[str, int] = {}
+    predicted = 0.0
+    budget = best_budget
+    for layer_idx in range(len(layers) - 1, -1, -1):
+        layer = layers[layer_idx]
+        points = list(candidates[layer])
+        idx = int(choices[layer_idx][budget])
+        if idx < 0:
+            raise OptimizationError("trace-back failed; inconsistent DP tables")
+        point = points[idx]
+        error_bounds[layer] = point.error_bound
+        per_layer_bytes[layer] = point.compressed_bytes
+        predicted += point.degradation
+        budget -= int(np.ceil(point.compressed_bytes / step_size - 1e-12))
+    return OptimizationPlan(
+        error_bounds=error_bounds,
+        predicted_loss=float(predicted),
+        total_compressed_bytes=int(sum(per_layer_bytes.values())),
+        per_layer_bytes=per_layer_bytes,
+    )

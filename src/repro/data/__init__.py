@@ -1,0 +1,29 @@
+"""Synthetic datasets (the MNIST / ImageNet substitutes).
+
+The real datasets are not available offline, so this package synthesises
+deterministic, cluster-structured image classification problems with the same
+tensor shapes (1x28x28 for the MNIST-like set, 3x32x32 for the ImageNet-like
+set).  The generator places each class at a random template image and adds
+per-sample deformations plus noise; the resulting problems are learnable to
+high accuracy by the mini networks yet hard enough that accuracy degrades
+smoothly as weight error grows — the property every DeepSZ experiment relies
+on.
+"""
+
+from repro.data.datasets import Dataset, train_test_split, iterate_batches
+from repro.data.synthetic import (
+    SyntheticSpec,
+    make_classification_images,
+    mnist_like,
+    imagenet_like,
+)
+
+__all__ = [
+    "Dataset",
+    "train_test_split",
+    "iterate_batches",
+    "SyntheticSpec",
+    "make_classification_images",
+    "mnist_like",
+    "imagenet_like",
+]

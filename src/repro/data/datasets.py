@@ -1,0 +1,82 @@
+"""Dataset container and batching utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+from repro.utils.rng import make_rng
+
+__all__ = ["Dataset", "train_test_split", "iterate_batches"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A labelled image dataset: ``images`` (N, C, H, W) and ``labels`` (N,)."""
+
+    images: np.ndarray
+    labels: np.ndarray
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        if self.images.ndim != 4:
+            raise ValidationError(f"images must be (N, C, H, W), got {self.images.shape}")
+        if self.labels.shape != (self.images.shape[0],):
+            raise ValidationError("labels must be 1-D with one entry per image")
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self) else 0
+
+    @property
+    def image_shape(self) -> tuple[int, int, int]:
+        return tuple(self.images.shape[1:])  # type: ignore[return-value]
+
+    def subset(self, indices: np.ndarray, name: str | None = None) -> "Dataset":
+        """A new dataset holding only the given sample indices."""
+        return Dataset(
+            images=self.images[indices],
+            labels=self.labels[indices],
+            name=name or self.name,
+        )
+
+    def take(self, count: int) -> "Dataset":
+        """The first ``count`` samples (used to shrink test sets in fast mode)."""
+        count = min(int(count), len(self))
+        return self.subset(np.arange(count), name=self.name)
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.2, seed: int | None = None
+) -> Tuple[Dataset, Dataset]:
+    """Shuffle and split a dataset into train / test parts."""
+    if not (0.0 < test_fraction < 1.0):
+        raise ValidationError("test_fraction must be in (0, 1)")
+    rng = make_rng(seed)
+    order = rng.permutation(len(dataset))
+    n_test = max(1, int(round(len(dataset) * test_fraction)))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return (
+        dataset.subset(train_idx, name=f"{dataset.name}-train"),
+        dataset.subset(test_idx, name=f"{dataset.name}-test"),
+    )
+
+
+def iterate_batches(
+    dataset: Dataset, batch_size: int, *, shuffle: bool = False, seed: int | None = None
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(images, labels)`` mini-batches."""
+    if batch_size <= 0:
+        raise ValidationError("batch_size must be positive")
+    order = np.arange(len(dataset))
+    if shuffle:
+        order = make_rng(seed).permutation(len(dataset))
+    for start in range(0, len(dataset), batch_size):
+        idx = order[start : start + batch_size]
+        yield dataset.images[idx], dataset.labels[idx]

@@ -1,0 +1,182 @@
+"""Deterministic synthetic image-classification datasets.
+
+These generators stand in for MNIST and ImageNet (see the substitution table
+in DESIGN.md).  The design is driven by the three properties every DeepSZ
+experiment relies on:
+
+1. **learnable** — the mini networks must reach high accuracy, so there is
+   accuracy to lose;
+2. **prunable** — magnitude pruning at the paper's ratios (a few percent of
+   weights kept) must not cost accuracy, so the class-discriminative signal is
+   spatially localised (a central region of the image carries the class
+   information, as digits do in MNIST) and the first fc-layer can drop the
+   weights attached to uninformative pixels;
+3. **sensitive** — accuracy must degrade *smoothly* as bounded error is
+   injected into fc weights, so a controlled fraction of samples is generated
+   near the decision boundary: each sample is a convex mixture of its own
+   class template and one other class's template, with the mixing coefficient
+   drawn up to :attr:`SyntheticSpec.ambiguity`.  Samples mixed past 0.5 are
+   genuinely ambiguous, which caps the achievable accuracy and keeps decision
+   margins finite.
+
+Every sample additionally gets a brightness jitter, a small random
+translation, and Gaussian pixel noise.  All randomness flows from one seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.data.datasets import Dataset
+from repro.utils.errors import ValidationError
+from repro.utils.rng import make_rng
+
+__all__ = ["SyntheticSpec", "make_classification_images", "mnist_like", "imagenet_like"]
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of a synthetic classification problem."""
+
+    num_classes: int = 10
+    samples_per_class: int = 300
+    channels: int = 1
+    height: int = 28
+    width: int = 28
+    basis_size: int = 24  #: number of shared low-frequency basis images
+    support: float = 0.35  #: fraction of the image area carrying class signal
+    ambiguity: float = 0.55  #: maximum class-mixing coefficient (see module docs)
+    noise_std: float = 0.25  #: per-pixel Gaussian noise
+    max_shift: int = 2  #: maximum absolute translation in pixels
+    brightness_jitter: float = 0.15
+    smoothness: float = 2.0  #: Gaussian blur sigma applied to the basis fields
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if min(self.num_classes, self.samples_per_class, self.channels, self.height, self.width) <= 0:
+            raise ValidationError("all dataset dimensions must be positive")
+        if self.num_classes < 2:
+            raise ValidationError("need at least two classes")
+        if self.basis_size < 2:
+            raise ValidationError("basis_size must be at least 2")
+        if not (0.0 < self.support <= 1.0):
+            raise ValidationError("support must be in (0, 1]")
+        if not (0.0 <= self.ambiguity <= 1.0):
+            raise ValidationError("ambiguity must be in [0, 1]")
+        if self.noise_std < 0 or self.brightness_jitter < 0 or self.max_shift < 0:
+            raise ValidationError("noise parameters must be non-negative")
+
+
+def _make_basis(spec: SyntheticSpec, rng: np.random.Generator) -> np.ndarray:
+    """Shared low-frequency basis fields of shape (basis, C, H, W), unit RMS."""
+    fields = rng.normal(
+        0.0, 1.0, size=(spec.basis_size, spec.channels, spec.height, spec.width)
+    )
+    if spec.smoothness > 0:
+        fields = ndimage.gaussian_filter(
+            fields, sigma=(0, 0, spec.smoothness, spec.smoothness), mode="wrap"
+        )
+    rms = np.sqrt(np.mean(fields**2, axis=(1, 2, 3), keepdims=True))
+    return fields / np.maximum(rms, 1e-12)
+
+
+def _support_mask(spec: SyntheticSpec) -> np.ndarray:
+    """Smooth radial bump covering roughly ``support`` of the image area."""
+    yy, xx = np.mgrid[0 : spec.height, 0 : spec.width]
+    r2 = ((yy - spec.height / 2) / (spec.height / 2)) ** 2 + (
+        (xx - spec.width / 2) / (spec.width / 2)
+    ) ** 2
+    return np.clip(1.0 - r2 / spec.support, 0.0, 1.0)
+
+
+def _class_templates(spec: SyntheticSpec, rng: np.random.Generator) -> np.ndarray:
+    """Per-class templates: localised, unit-RMS mixtures over the shared basis."""
+    basis = _make_basis(spec, rng)
+    coeffs = rng.normal(0.0, 1.0, size=(spec.num_classes, spec.basis_size))
+    coeffs /= np.linalg.norm(coeffs, axis=1, keepdims=True)
+    templates = np.tensordot(coeffs, basis, axes=(1, 0))  # (classes, C, H, W)
+    templates *= _support_mask(spec)[None, None, :, :]
+    rms = np.sqrt(np.mean(templates**2, axis=(1, 2, 3), keepdims=True))
+    return templates / np.maximum(rms, 1e-12)
+
+
+def make_classification_images(spec: SyntheticSpec) -> Dataset:
+    """Generate a dataset according to ``spec`` (deterministic given the seed)."""
+    rng = make_rng(spec.seed)
+    templates = _class_templates(spec, rng)
+
+    n_total = spec.num_classes * spec.samples_per_class
+    labels = np.repeat(np.arange(spec.num_classes), spec.samples_per_class)
+    confusers = (labels + rng.integers(1, spec.num_classes, size=n_total)) % spec.num_classes
+    mixing = rng.uniform(0.0, spec.ambiguity, size=n_total)
+    brightness = 1.0 + rng.uniform(
+        -spec.brightness_jitter, spec.brightness_jitter, size=n_total
+    )
+    shifts_h = rng.integers(-spec.max_shift, spec.max_shift + 1, size=n_total)
+    shifts_w = rng.integers(-spec.max_shift, spec.max_shift + 1, size=n_total)
+
+    images = np.empty((n_total, spec.channels, spec.height, spec.width), dtype=np.float32)
+    for i in range(n_total):
+        img = (1.0 - mixing[i]) * templates[labels[i]] + mixing[i] * templates[confusers[i]]
+        img = img * brightness[i]
+        if spec.max_shift:
+            img = np.roll(img, (int(shifts_h[i]), int(shifts_w[i])), axis=(1, 2))
+        images[i] = img
+    if spec.noise_std:
+        images += rng.normal(0.0, spec.noise_std, size=images.shape).astype(np.float32)
+
+    # Shuffle so that class blocks are interleaved before any later split.
+    order = rng.permutation(n_total)
+    return Dataset(images=images[order], labels=labels[order], name="synthetic")
+
+
+def mnist_like(
+    samples_per_class: int = 300, num_classes: int = 10, seed: int | None = None
+) -> Dataset:
+    """An MNIST-shaped (1x28x28, 10-class) synthetic dataset.
+
+    Tuned so that LeNet-300-100 / LeNet-5 reach ~96-98% accuracy (the paper's
+    LeNets are at 98-99%) and stay at that accuracy through pruning at the
+    paper's ratios.
+    """
+    spec = SyntheticSpec(
+        num_classes=num_classes,
+        samples_per_class=samples_per_class,
+        channels=1,
+        height=28,
+        width=28,
+        ambiguity=0.5,
+        noise_std=0.18,
+        seed=seed,
+    )
+    ds = make_classification_images(spec)
+    return Dataset(ds.images, ds.labels, name="mnist-like")
+
+
+def imagenet_like(
+    samples_per_class: int = 150, num_classes: int = 15, seed: int | None = None
+) -> Dataset:
+    """An ImageNet-flavoured (3x32x32, 20-class) synthetic dataset.
+
+    Harder than the MNIST-like set (more classes, more ambiguity), so the mini
+    AlexNet / VGG models land in the 60-75% top-1 band — comparable to the
+    57% / 68% the paper reports on real ImageNet — and top-5 accuracy is
+    meaningfully higher than top-1 (Table 3 reports both).
+    """
+    spec = SyntheticSpec(
+        num_classes=num_classes,
+        samples_per_class=samples_per_class,
+        channels=3,
+        height=32,
+        width=32,
+        basis_size=32,
+        support=0.45,
+        ambiguity=0.8,
+        noise_std=0.22,
+        seed=seed,
+    )
+    ds = make_classification_images(spec)
+    return Dataset(ds.images, ds.labels, name="imagenet-like")

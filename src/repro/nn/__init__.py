@@ -1,0 +1,64 @@
+"""A NumPy neural-network framework (the Caffe substitute).
+
+DeepSZ only ever needs two things from its deep-learning substrate:
+
+* a **forward pass** over a held-out test set to measure inference accuracy
+  with one (or more) fc-layers replaced by their decompressed weights, and
+* a **masked retraining** loop used once, during the pruning step.
+
+This package provides both, plus everything needed to build and train the
+four networks the paper evaluates (LeNet-300-100, LeNet-5, AlexNet, VGG-16):
+layers with forward *and* backward passes, SGD training, model serialization,
+and exact architecture specifications used for the Table 1 storage accounting.
+
+Public API highlights
+---------------------
+* :class:`repro.nn.Network` -- a sequential container with ``forward``,
+  ``predict``, ``evaluate`` (top-1 / top-5), named-layer access and weight
+  replacement (what the error-bound assessment uses).
+* :mod:`repro.nn.models` -- builders for the paper's networks at trainable
+  ("mini") and exact paper-scale dimensions.
+* :mod:`repro.nn.specs` -- the architecture bookkeeping behind Table 1.
+"""
+
+from repro.nn.initializers import he_init, xavier_init, zeros_init
+from repro.nn.layers import (
+    Layer,
+    Dense,
+    Conv2D,
+    ReLU,
+    MaxPool2D,
+    Flatten,
+    Dropout,
+    Softmax,
+)
+from repro.nn.losses import softmax_cross_entropy
+from repro.nn.network import Network
+from repro.nn.train import SGDConfig, SGDTrainer, TrainResult
+from repro.nn import models, specs
+from repro.nn.serialize import save_network, load_network, network_to_bytes, network_from_bytes
+
+__all__ = [
+    "he_init",
+    "xavier_init",
+    "zeros_init",
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "ReLU",
+    "MaxPool2D",
+    "Flatten",
+    "Dropout",
+    "Softmax",
+    "softmax_cross_entropy",
+    "Network",
+    "SGDConfig",
+    "SGDTrainer",
+    "TrainResult",
+    "models",
+    "specs",
+    "save_network",
+    "load_network",
+    "network_to_bytes",
+    "network_from_bytes",
+]

@@ -1,0 +1,34 @@
+"""Weight initializers for the NumPy NN framework."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+__all__ = ["he_init", "xavier_init", "normal_init", "zeros_init"]
+
+
+def he_init(shape: tuple[int, ...], fan_in: int, rng=None) -> np.ndarray:
+    """He-normal initialization (suited to ReLU networks)."""
+    rng = make_rng(rng)
+    std = np.sqrt(2.0 / max(1, fan_in))
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def xavier_init(shape: tuple[int, ...], fan_in: int, fan_out: int, rng=None) -> np.ndarray:
+    """Xavier/Glorot-uniform initialization."""
+    rng = make_rng(rng)
+    limit = np.sqrt(6.0 / max(1, fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def normal_init(shape: tuple[int, ...], std: float = 0.01, rng=None) -> np.ndarray:
+    """Plain Gaussian initialization (Caffe's default for AlexNet-style nets)."""
+    rng = make_rng(rng)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def zeros_init(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialization (biases)."""
+    return np.zeros(shape, dtype=np.float32)

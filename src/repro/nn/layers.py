@@ -1,0 +1,361 @@
+"""Layers of the NumPy NN framework.
+
+Every layer implements ``forward`` and ``backward``; trainable layers expose
+their parameters through ``params`` / ``grads`` dictionaries so the trainer
+and the pruning machinery can address them uniformly.  Only the layer types
+the paper's four networks need are implemented: Dense (fc), Conv2D, ReLU,
+MaxPool2D, Flatten, Dropout and Softmax.
+
+The convolution and pooling hot paths use im2col / stride-tricks windowing so
+that the heavy arithmetic runs inside BLAS-backed matmuls and NumPy
+reductions, never in Python loops (per the hpc-parallel guide idioms).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn.initializers import he_init, normal_init, zeros_init
+from repro.utils.errors import ValidationError
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "ReLU",
+    "MaxPool2D",
+    "Flatten",
+    "Dropout",
+    "Softmax",
+]
+
+
+class Layer:
+    """Base class: a named, optionally trainable transformation."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+
+    # -- interface --------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- bookkeeping ------------------------------------------------------
+    @property
+    def trainable(self) -> bool:
+        return bool(self.params)
+
+    def parameter_count(self) -> int:
+        """Total number of scalar parameters in this layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def parameter_bytes(self) -> int:
+        """Storage footprint of the parameters (float32)."""
+        return int(sum(p.size * p.itemsize for p in self.params.values()))
+
+    def zero_grads(self) -> None:
+        for key, p in self.params.items():
+            self.grads[key] = np.zeros_like(p)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r}, params={self.parameter_count()})"
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x @ W.T + b``.
+
+    The weight matrix uses the paper's (out_features, in_features) orientation
+    — e.g. AlexNet fc6 is 4096 x 9216 — so that the flattened 1-D view of
+    ``W`` is exactly the "data array" DeepSZ compresses.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        in_features: int,
+        out_features: int,
+        *,
+        rng=None,
+        weight_std: float | None = None,
+    ) -> None:
+        super().__init__(name)
+        if in_features <= 0 or out_features <= 0:
+            raise ValidationError("Dense dimensions must be positive")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        rng = make_rng(rng)
+        if weight_std is None:
+            weight = he_init((out_features, in_features), fan_in=in_features, rng=rng)
+        else:
+            weight = normal_init((out_features, in_features), std=weight_std, rng=rng)
+        self.params = {"weight": weight, "bias": zeros_init((out_features,))}
+        self.zero_grads()
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValidationError(
+                f"{self.name}: expected input (N, {self.in_features}), got {x.shape}"
+            )
+        if training:
+            self._x = x
+        return x @ self.params["weight"].T + self.params["bias"]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ValidationError(f"{self.name}: backward called before a training forward pass")
+        self.grads["weight"] = grad_out.T @ self._x
+        self.grads["bias"] = grad_out.sum(axis=0)
+        return grad_out @ self.params["weight"]
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> tuple[np.ndarray, int, int]:
+    """Rearrange image patches into columns for a matmul-based convolution.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(N * out_h * out_w, C * kh * kw)``.
+    """
+    n, c, h, w = x.shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValidationError("convolution output size is non-positive")
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    shape = (n, c, out_h, out_w, kh, kw)
+    strides = (
+        x.strides[0],
+        x.strides[1],
+        x.strides[2] * stride,
+        x.strides[3] * stride,
+        x.strides[2],
+        x.strides[3],
+    )
+    windows = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kh * kw)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Scatter-add column gradients back to image space (inverse of im2col)."""
+    n, c, h, w = x_shape
+    x_padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    cols6 = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    for i in range(kh):
+        for j in range(kw):
+            x_padded[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += (
+                cols6[:, :, :, :, i, j]
+            )
+    if pad:
+        return x_padded[:, :, pad : pad + h, pad : pad + w]
+    return x_padded
+
+
+class Conv2D(Layer):
+    """2-D convolution implemented with im2col + matmul."""
+
+    def __init__(
+        self,
+        name: str,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        *,
+        stride: int = 1,
+        padding: int = 0,
+        rng=None,
+    ) -> None:
+        super().__init__(name)
+        if min(in_channels, out_channels, kernel_size) <= 0:
+            raise ValidationError("Conv2D dimensions must be positive")
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        fan_in = in_channels * kernel_size * kernel_size
+        rng = make_rng(rng)
+        self.params = {
+            "weight": he_init(
+                (out_channels, in_channels, kernel_size, kernel_size), fan_in=fan_in, rng=rng
+            ),
+            "bias": zeros_init((out_channels,)),
+        }
+        self.zero_grads()
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValidationError(
+                f"{self.name}: expected input (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        k = self.kernel_size
+        cols, out_h, out_w = _im2col(x, k, k, self.stride, self.padding)
+        w_mat = self.params["weight"].reshape(self.out_channels, -1)
+        out = cols @ w_mat.T + self.params["bias"]
+        n = x.shape[0]
+        out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        if training:
+            self._cache = (x.shape, cols, out_h, out_w)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ValidationError(f"{self.name}: backward called before a training forward pass")
+        x_shape, cols, out_h, out_w = self._cache
+        n = x_shape[0]
+        k = self.kernel_size
+        grad_mat = grad_out.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, self.out_channels)
+        w_mat = self.params["weight"].reshape(self.out_channels, -1)
+        self.grads["weight"] = (grad_mat.T @ cols).reshape(self.params["weight"].shape)
+        self.grads["bias"] = grad_mat.sum(axis=0)
+        grad_cols = grad_mat @ w_mat
+        return _col2im(grad_cols, x_shape, k, k, self.stride, self.padding, out_h, out_w)
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ValidationError(f"{self.name}: backward called before a training forward pass")
+        return grad_out * self._mask
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping (or strided) max pooling."""
+
+    def __init__(self, name: str, pool_size: int = 2, stride: int | None = None) -> None:
+        super().__init__(name)
+        self.pool_size = int(pool_size)
+        self.stride = int(stride) if stride is not None else int(pool_size)
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValidationError(f"{self.name}: expected 4-D input, got {x.shape}")
+        n, c, h, w = x.shape
+        p, s = self.pool_size, self.stride
+        out_h = (h - p) // s + 1
+        out_w = (w - p) // s + 1
+        shape = (n, c, out_h, out_w, p, p)
+        strides = (
+            x.strides[0],
+            x.strides[1],
+            x.strides[2] * s,
+            x.strides[3] * s,
+            x.strides[2],
+            x.strides[3],
+        )
+        windows = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+        flat = windows.reshape(n, c, out_h, out_w, p * p)
+        out = flat.max(axis=4)
+        if training:
+            argmax = flat.argmax(axis=4)
+            self._cache = (x.shape, argmax, out_h, out_w)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ValidationError(f"{self.name}: backward called before a training forward pass")
+        x_shape, argmax, out_h, out_w = self._cache
+        n, c, h, w = x_shape
+        p, s = self.pool_size, self.stride
+        grad_in = np.zeros(x_shape, dtype=grad_out.dtype)
+        # Scatter each output gradient back to the argmax location.
+        ni, ci, oi, oj = np.meshgrid(
+            np.arange(n), np.arange(c), np.arange(out_h), np.arange(out_w), indexing="ij"
+        )
+        di = argmax // p
+        dj = argmax % p
+        np.add.at(grad_in, (ni, ci, oi * s + di, oj * s + dj), grad_out)
+        return grad_in
+
+
+class Flatten(Layer):
+    """Flatten all non-batch dimensions."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._shape: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise ValidationError(f"{self.name}: backward called before a training forward pass")
+        return grad_out.reshape(self._shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, name: str, rate: float = 0.5, rng=None) -> None:
+        super().__init__(name)
+        if not (0.0 <= rate < 1.0):
+            raise ValidationError("dropout rate must be in [0, 1)")
+        self.rate = float(rate)
+        self._rng = make_rng(rng)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep).astype(x.dtype) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class Softmax(Layer):
+    """Row-wise softmax (numerically stabilised).
+
+    The training loss uses :func:`repro.nn.losses.softmax_cross_entropy`
+    directly on logits, so this layer's backward simply passes the gradient
+    through (it is only present so that ``Network.forward`` produces the
+    probability vector the paper describes as the network output).
+    """
+
+    def __init__(self, name: str = "softmax") -> None:
+        super().__init__(name)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        shifted = x - x.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out

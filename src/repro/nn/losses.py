@@ -1,0 +1,46 @@
+"""Loss functions for training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+__all__ = ["softmax_cross_entropy"]
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Softmax cross-entropy loss and its gradient w.r.t. the logits.
+
+    Parameters
+    ----------
+    logits:
+        (N, num_classes) raw scores.
+    labels:
+        (N,) integer class labels.
+
+    Returns
+    -------
+    (loss, grad):
+        Mean loss over the batch and the gradient of that mean loss with
+        respect to ``logits`` (shape (N, num_classes)).
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValidationError(f"logits must be 2-D, got shape {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ValidationError("labels must be a 1-D array matching the batch size")
+    n, k = logits.shape
+    if labels.min() < 0 or labels.max() >= k:
+        raise ValidationError("labels out of range for the logit width")
+
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    loss = float(-log_probs[np.arange(n), labels].mean())
+
+    probs = np.exp(log_probs)
+    grad = probs
+    grad[np.arange(n), labels] -= 1.0
+    grad /= n
+    return loss, grad.astype(np.float32)

@@ -1,0 +1,179 @@
+"""Sequential network container.
+
+A :class:`Network` is the object DeepSZ operates on: it exposes the forward
+pass, top-k accuracy evaluation, and — crucially for the error-bound
+assessment — named access to the fc-layer weight matrices so that a single
+layer can be swapped for its decompressed reconstruction while all other
+layers stay untouched.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Dense, Layer, Softmax
+from repro.utils.errors import ValidationError
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A feed-forward network as an ordered list of named layers."""
+
+    def __init__(self, layers: Sequence[Layer], name: str = "network") -> None:
+        names = [layer.name for layer in layers]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate layer names in network: {names}")
+        self.name = name
+        self.layers: List[Layer] = list(layers)
+
+    # -- structure --------------------------------------------------------
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __getitem__(self, name: str) -> Layer:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no layer named {name!r} in network {self.name!r}")
+
+    def layer_names(self) -> List[str]:
+        return [layer.name for layer in self.layers]
+
+    def fc_layers(self) -> List[Dense]:
+        """The fully connected layers, in forward order (what DeepSZ compresses)."""
+        return [layer for layer in self.layers if isinstance(layer, Dense)]
+
+    def fc_layer_names(self) -> List[str]:
+        return [layer.name for layer in self.fc_layers()]
+
+    def parameter_count(self) -> int:
+        return int(sum(layer.parameter_count() for layer in self.layers))
+
+    def parameter_bytes(self) -> int:
+        return int(sum(layer.parameter_bytes() for layer in self.layers))
+
+    def fc_parameter_bytes(self) -> int:
+        return int(sum(layer.parameter_bytes() for layer in self.fc_layers()))
+
+    # -- weights ----------------------------------------------------------
+    def get_weights(self, layer_name: str) -> np.ndarray:
+        """Return (a reference to) the weight matrix of a named layer."""
+        layer = self[layer_name]
+        if "weight" not in layer.params:
+            raise ValidationError(f"layer {layer_name!r} has no weights")
+        return layer.params["weight"]
+
+    def set_weights(self, layer_name: str, weights: np.ndarray) -> None:
+        """Replace the weight matrix of a named layer (shape must match)."""
+        layer = self[layer_name]
+        current = layer.params.get("weight")
+        if current is None:
+            raise ValidationError(f"layer {layer_name!r} has no weights")
+        weights = np.asarray(weights, dtype=np.float32)
+        if weights.shape != current.shape:
+            raise ValidationError(
+                f"weight shape mismatch for {layer_name!r}: "
+                f"expected {current.shape}, got {weights.shape}"
+            )
+        layer.params["weight"] = weights.copy()
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """All parameters as a flat ``{layer.param: array}`` mapping (copies)."""
+        out: Dict[str, np.ndarray] = {}
+        for layer in self.layers:
+            for key, value in layer.params.items():
+                out[f"{layer.name}.{key}"] = value.copy()
+        return out
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters produced by :meth:`state_dict`."""
+        for layer in self.layers:
+            for key in layer.params:
+                full = f"{layer.name}.{key}"
+                if full not in state:
+                    raise ValidationError(f"state dict is missing parameter {full!r}")
+                value = np.asarray(state[full], dtype=np.float32)
+                if value.shape != layer.params[key].shape:
+                    raise ValidationError(
+                        f"shape mismatch for {full!r}: expected "
+                        f"{layer.params[key].shape}, got {value.shape}"
+                    )
+                layer.params[key] = value.copy()
+
+    def clone(self) -> "Network":
+        """Deep copy (used to build reconstructed networks without touching the original)."""
+        return copy.deepcopy(self)
+
+    # -- execution --------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.asarray(x, dtype=np.float32)
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def logits(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Forward pass that stops before a trailing Softmax layer (for the loss)."""
+        out = np.asarray(x, dtype=np.float32)
+        for layer in self.layers:
+            if isinstance(layer, Softmax):
+                continue
+            out = layer.forward(out, training=training)
+        return out
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Predicted class labels for a batch of inputs."""
+        preds = []
+        for start in range(0, len(x), batch_size):
+            probs = self.forward(x[start : start + batch_size], training=False)
+            preds.append(np.argmax(probs, axis=1))
+        return np.concatenate(preds) if preds else np.zeros(0, dtype=np.int64)
+
+    def evaluate(
+        self,
+        x: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int = 256,
+        topk: Iterable[int] = (1,),
+    ) -> Dict[int, float]:
+        """Top-k accuracies on a labelled dataset.
+
+        Returns a mapping ``{k: accuracy}`` with accuracies in [0, 1].
+        """
+        labels = np.asarray(labels)
+        if len(x) != len(labels):
+            raise ValidationError("inputs and labels must have the same length")
+        topk = sorted(set(int(k) for k in topk))
+        if not topk or topk[0] < 1:
+            raise ValidationError("topk must contain positive integers")
+        correct = {k: 0 for k in topk}
+        total = len(labels)
+        if total == 0:
+            return {k: 0.0 for k in topk}
+        max_k = topk[-1]
+        for start in range(0, total, batch_size):
+            probs = self.forward(x[start : start + batch_size], training=False)
+            batch_labels = labels[start : start + batch_size]
+            # top-k indices per row (unordered within the top set, which is
+            # all top-k accuracy needs).
+            k_eff = min(max_k, probs.shape[1])
+            top = np.argpartition(-probs, kth=k_eff - 1, axis=1)[:, :k_eff]
+            ranked = np.take_along_axis(
+                top, np.argsort(-np.take_along_axis(probs, top, axis=1), axis=1), axis=1
+            )
+            for k in topk:
+                hits = (ranked[:, : min(k, k_eff)] == batch_labels[:, None]).any(axis=1)
+                correct[k] += int(hits.sum())
+        return {k: correct[k] / total for k in topk}
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray, batch_size: int = 256) -> float:
+        """Top-1 accuracy in [0, 1]."""
+        return self.evaluate(x, labels, batch_size=batch_size, topk=(1,))[1]

@@ -1,0 +1,88 @@
+"""Serialization of network parameters.
+
+DeepSZ needs to measure the size of the *uncompressed* model (Table 2's
+"Original Size" column is simply float32 bytes of the fc weight matrices) and
+to ship reconstructed weights around between processes in the parallel
+assessment harness.  Parameters are serialised with the shared named-section
+container; architecture is carried as (builder name, kwargs) when a network
+was created through :func:`repro.nn.models.build_model`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.network import Network
+from repro.utils.bytesio import read_named_sections, write_named_sections
+from repro.utils.errors import DecompressionError, ValidationError
+
+__all__ = [
+    "state_dict_to_bytes",
+    "state_dict_from_bytes",
+    "network_to_bytes",
+    "network_from_bytes",
+    "save_network",
+    "load_network",
+]
+
+_MAGIC = "repro-nn-state-v1"
+
+
+def state_dict_to_bytes(state: Dict[str, np.ndarray]) -> bytes:
+    """Serialise a ``{name: array}`` parameter mapping."""
+    sections = {}
+    shapes = {}
+    dtypes = {}
+    for name, array in state.items():
+        arr = np.ascontiguousarray(array)
+        sections[name] = arr.tobytes()
+        shapes[name] = list(arr.shape)
+        dtypes[name] = arr.dtype.str
+    return write_named_sections(
+        sections, meta={"magic": _MAGIC, "shapes": shapes, "dtypes": dtypes}
+    )
+
+
+def state_dict_from_bytes(blob: bytes) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`state_dict_to_bytes`."""
+    meta, sections = read_named_sections(blob)
+    if meta.get("magic") != _MAGIC:
+        raise DecompressionError("not a serialised parameter blob (bad magic)")
+    shapes = meta["shapes"]
+    dtypes = meta["dtypes"]
+    out: Dict[str, np.ndarray] = {}
+    for name, payload in sections.items():
+        arr = np.frombuffer(payload, dtype=np.dtype(dtypes[name]))
+        out[name] = arr.reshape(shapes[name]).copy()
+    return out
+
+
+def network_to_bytes(network: Network) -> bytes:
+    """Serialise a network's parameters (architecture is not embedded)."""
+    return state_dict_to_bytes(network.state_dict())
+
+
+def network_from_bytes(blob: bytes, into: Network) -> Network:
+    """Load serialised parameters into an existing compatible network."""
+    into.load_state_dict(state_dict_from_bytes(blob))
+    return into
+
+
+def save_network(network: Network, path: str | os.PathLike) -> int:
+    """Write the network parameters to ``path``; returns the byte count."""
+    blob = network_to_bytes(network)
+    with open(path, "wb") as fh:
+        fh.write(blob)
+    return len(blob)
+
+
+def load_network(path: str | os.PathLike, into: Network) -> Network:
+    """Load parameters saved by :func:`save_network` into ``into``."""
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    if not blob:
+        raise ValidationError(f"{os.fspath(path)!r} is empty")
+    return network_from_bytes(blob, into)

@@ -1,0 +1,227 @@
+"""Exact architecture specifications for the paper's four networks (Table 1).
+
+These specs carry the *paper-scale* layer dimensions — e.g. AlexNet fc6 is
+4096 x 9216 and VGG-16 fc6 is 4096 x 25088 — and are used for all storage
+accounting (Table 1, Table 2) and for the full-scale compression-only
+experiments (Figure 2), independent of the smaller trainable "mini" models in
+:mod:`repro.nn.models`.
+
+The numbers reproduce the paper's Table 1/Table 2 size arithmetic: a layer's
+original size is ``rows * cols * 4`` bytes (float32), conv sizes come from the
+standard filter shapes of each architecture, and the fc share of storage
+matches the 89.4%–100% range the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.utils.errors import ValidationError
+
+__all__ = [
+    "FcLayerSpec",
+    "ConvLayerSpec",
+    "NetworkSpec",
+    "lenet_300_100_spec",
+    "lenet5_spec",
+    "alexnet_spec",
+    "vgg16_spec",
+    "all_specs",
+    "get_spec",
+    "PAPER_PRUNING_RATIOS",
+    "PAPER_EXPECTED_ACCURACY_LOSS",
+]
+
+
+@dataclass(frozen=True)
+class FcLayerSpec:
+    """A fully connected layer: ``rows x cols`` float32 weights (+ bias)."""
+
+    name: str
+    rows: int  #: output neurons
+    cols: int  #: input neurons
+
+    @property
+    def weight_count(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.weight_count * 4
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+
+@dataclass(frozen=True)
+class ConvLayerSpec:
+    """A convolutional layer: ``out x in x k x k`` float32 filters."""
+
+    name: str
+    out_channels: int
+    in_channels: int
+    kernel_size: int
+
+    @property
+    def weight_count(self) -> int:
+        return self.out_channels * self.in_channels * self.kernel_size * self.kernel_size
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.weight_count * 4
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Paper-scale description of one evaluated network."""
+
+    name: str
+    dataset: str
+    conv_layers: List[ConvLayerSpec]
+    fc_layers: List[FcLayerSpec]
+
+    def fc_layer(self, name: str) -> FcLayerSpec:
+        for layer in self.fc_layers:
+            if layer.name == name:
+                return layer
+        raise ValidationError(f"{self.name} has no fc-layer named {name!r}")
+
+    @property
+    def fc_layer_names(self) -> List[str]:
+        return [layer.name for layer in self.fc_layers]
+
+    @property
+    def conv_bytes(self) -> int:
+        return sum(layer.weight_bytes for layer in self.conv_layers)
+
+    @property
+    def fc_bytes(self) -> int:
+        return sum(layer.weight_bytes for layer in self.fc_layers)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.conv_bytes + self.fc_bytes
+
+    @property
+    def fc_fraction(self) -> float:
+        """Fraction of total parameter storage held by the fc-layers."""
+        total = self.total_bytes
+        return self.fc_bytes / total if total else 0.0
+
+
+def lenet_300_100_spec() -> NetworkSpec:
+    """LeNet-300-100 on MNIST: three fc-layers, no convolutions."""
+    return NetworkSpec(
+        name="LeNet-300-100",
+        dataset="MNIST",
+        conv_layers=[],
+        fc_layers=[
+            FcLayerSpec("ip1", 300, 784),
+            FcLayerSpec("ip2", 100, 300),
+            FcLayerSpec("ip3", 10, 100),
+        ],
+    )
+
+
+def lenet5_spec() -> NetworkSpec:
+    """LeNet-5 (Caffe variant) on MNIST: two conv layers + two fc-layers.
+
+    The paper's Table 1 lists three conv layers for LeNet-5; the Caffe model
+    the size arithmetic corresponds to (ip1 = 500 x 800) has two, and the two
+    extra-vs-missing conv layers change the fc storage share by about one
+    percentage point (94.1% here vs the paper's 95.3%).
+    """
+    return NetworkSpec(
+        name="LeNet-5",
+        dataset="MNIST",
+        conv_layers=[
+            ConvLayerSpec("conv1", 20, 1, 5),
+            ConvLayerSpec("conv2", 50, 20, 5),
+        ],
+        fc_layers=[
+            FcLayerSpec("ip1", 500, 800),
+            FcLayerSpec("ip2", 10, 500),
+        ],
+    )
+
+
+def alexnet_spec() -> NetworkSpec:
+    """AlexNet on ImageNet (grouped conv2/4/5, as in the original)."""
+    return NetworkSpec(
+        name="AlexNet",
+        dataset="ImageNet",
+        conv_layers=[
+            ConvLayerSpec("conv1", 96, 3, 11),
+            ConvLayerSpec("conv2", 256, 48, 5),
+            ConvLayerSpec("conv3", 384, 256, 3),
+            ConvLayerSpec("conv4", 384, 192, 3),
+            ConvLayerSpec("conv5", 256, 192, 3),
+        ],
+        fc_layers=[
+            FcLayerSpec("fc6", 4096, 9216),
+            FcLayerSpec("fc7", 4096, 4096),
+            FcLayerSpec("fc8", 1000, 4096),
+        ],
+    )
+
+
+def vgg16_spec() -> NetworkSpec:
+    """VGG-16 on ImageNet: thirteen conv layers + three fc-layers."""
+    cfg = [
+        ("conv1_1", 64, 3),
+        ("conv1_2", 64, 64),
+        ("conv2_1", 128, 64),
+        ("conv2_2", 128, 128),
+        ("conv3_1", 256, 128),
+        ("conv3_2", 256, 256),
+        ("conv3_3", 256, 256),
+        ("conv4_1", 512, 256),
+        ("conv4_2", 512, 512),
+        ("conv4_3", 512, 512),
+        ("conv5_1", 512, 512),
+        ("conv5_2", 512, 512),
+        ("conv5_3", 512, 512),
+    ]
+    return NetworkSpec(
+        name="VGG-16",
+        dataset="ImageNet",
+        conv_layers=[ConvLayerSpec(n, o, i, 3) for n, o, i in cfg],
+        fc_layers=[
+            FcLayerSpec("fc6", 4096, 25088),
+            FcLayerSpec("fc7", 4096, 4096),
+            FcLayerSpec("fc8", 1000, 4096),
+        ],
+    )
+
+
+def all_specs() -> List[NetworkSpec]:
+    """The four evaluated networks, in the paper's order."""
+    return [lenet_300_100_spec(), lenet5_spec(), alexnet_spec(), vgg16_spec()]
+
+
+def get_spec(name: str) -> NetworkSpec:
+    """Look up a spec by (case-insensitive) network name."""
+    for spec in all_specs():
+        if spec.name.lower() == name.lower():
+            return spec
+    raise ValidationError(f"unknown network spec {name!r}")
+
+
+#: Per-layer pruning ratios (fraction of weights kept) the paper adopts from
+#: Deep Compression (Tables 2a-2d).
+PAPER_PRUNING_RATIOS: Dict[str, Dict[str, float]] = {
+    "LeNet-300-100": {"ip1": 0.08, "ip2": 0.09, "ip3": 0.26},
+    "LeNet-5": {"ip1": 0.08, "ip2": 0.19},
+    "AlexNet": {"fc6": 0.09, "fc7": 0.09, "fc8": 0.25},
+    "VGG-16": {"fc6": 0.03, "fc7": 0.04, "fc8": 0.24},
+}
+
+#: Expected (user-set) loss of inference accuracy used in Section 5.1.
+PAPER_EXPECTED_ACCURACY_LOSS: Dict[str, float] = {
+    "LeNet-300-100": 0.002,
+    "LeNet-5": 0.002,
+    "AlexNet": 0.004,
+    "VGG-16": 0.004,
+}

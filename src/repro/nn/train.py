@@ -1,0 +1,175 @@
+"""SGD training, including the masked retraining used by network pruning.
+
+The paper's pruning step is "magnitude threshold plus retraining": weights
+below a per-layer threshold are zeroed and the network is retrained *with
+masks* so the pruned weights stay zero.  :class:`SGDTrainer` implements plain
+mini-batch SGD with momentum and optional per-layer boolean masks on the
+weight matrices; masked entries receive no updates and are re-zeroed after
+every step, which is exactly the Caffe masking trick the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.nn.losses import softmax_cross_entropy
+from repro.nn.network import Network
+from repro.utils.errors import TrainingError, ValidationError
+from repro.utils.rng import make_rng
+
+__all__ = ["SGDConfig", "TrainResult", "SGDTrainer"]
+
+
+@dataclass(frozen=True)
+class SGDConfig:
+    """Hyper-parameters for :class:`SGDTrainer`."""
+
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    batch_size: int = 64
+    epochs: int = 5
+    lr_decay: float = 1.0  #: multiplicative LR decay applied per epoch
+    shuffle: bool = True
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValidationError("learning_rate must be positive")
+        if not (0.0 <= self.momentum < 1.0):
+            raise ValidationError("momentum must be in [0, 1)")
+        if self.batch_size <= 0 or self.epochs < 0:
+            raise ValidationError("batch_size must be positive and epochs non-negative")
+        if not (0.0 < self.lr_decay <= 1.0):
+            raise ValidationError("lr_decay must be in (0, 1]")
+
+
+@dataclass
+class TrainResult:
+    """Per-epoch training history."""
+
+    losses: List[float] = field(default_factory=list)
+    train_accuracies: List[float] = field(default_factory=list)
+    val_accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    @property
+    def final_val_accuracy(self) -> float:
+        return self.val_accuracies[-1] if self.val_accuracies else float("nan")
+
+
+class SGDTrainer:
+    """Mini-batch SGD with momentum and optional pruning masks."""
+
+    def __init__(self, config: SGDConfig | None = None) -> None:
+        self.config = config or SGDConfig()
+
+    def train(
+        self,
+        network: Network,
+        x: np.ndarray,
+        labels: np.ndarray,
+        *,
+        masks: Optional[Mapping[str, np.ndarray]] = None,
+        x_val: Optional[np.ndarray] = None,
+        labels_val: Optional[np.ndarray] = None,
+    ) -> TrainResult:
+        """Train ``network`` in place and return the per-epoch history.
+
+        Parameters
+        ----------
+        masks:
+            Optional mapping ``layer name -> boolean array`` (same shape as
+            the layer's weight matrix) marking the weights that are *kept*.
+            Masked-out (pruned) weights stay exactly zero throughout.
+        """
+        cfg = self.config
+        x = np.asarray(x, dtype=np.float32)
+        labels = np.asarray(labels)
+        if len(x) != len(labels):
+            raise ValidationError("inputs and labels must have the same length")
+        if len(x) == 0:
+            raise ValidationError("cannot train on an empty dataset")
+        masks = dict(masks or {})
+        for name, mask in masks.items():
+            expected = network.get_weights(name).shape
+            if np.asarray(mask).shape != expected:
+                raise ValidationError(
+                    f"mask shape {np.asarray(mask).shape} does not match layer "
+                    f"{name!r} weights {expected}"
+                )
+        self._apply_masks(network, masks)
+
+        rng = make_rng(cfg.seed)
+        velocity: Dict[str, Dict[str, np.ndarray]] = {
+            layer.name: {k: np.zeros_like(v) for k, v in layer.params.items()}
+            for layer in network.layers
+            if layer.trainable
+        }
+
+        result = TrainResult()
+        lr = cfg.learning_rate
+        n = len(x)
+        for epoch in range(cfg.epochs):
+            order = rng.permutation(n) if cfg.shuffle else np.arange(n)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, n, cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+                loss = self._step(network, x[idx], labels[idx], lr, velocity, masks)
+                epoch_loss += loss
+                batches += 1
+            mean_loss = epoch_loss / max(1, batches)
+            if not np.isfinite(mean_loss):
+                raise TrainingError(
+                    f"training diverged at epoch {epoch} (loss={mean_loss}); "
+                    "lower the learning rate"
+                )
+            result.losses.append(mean_loss)
+            result.train_accuracies.append(network.accuracy(x[: min(n, 2048)], labels[: min(n, 2048)]))
+            if x_val is not None and labels_val is not None:
+                result.val_accuracies.append(network.accuracy(x_val, labels_val))
+            lr *= cfg.lr_decay
+        return result
+
+    # -- internals ---------------------------------------------------------
+    def _step(
+        self,
+        network: Network,
+        xb: np.ndarray,
+        yb: np.ndarray,
+        lr: float,
+        velocity: Dict[str, Dict[str, np.ndarray]],
+        masks: Mapping[str, np.ndarray],
+    ) -> float:
+        cfg = self.config
+        logits = network.logits(xb, training=True)
+        loss, grad = softmax_cross_entropy(logits, yb)
+        network.backward(grad)
+        for layer in network.layers:
+            if not layer.trainable:
+                continue
+            vel = velocity[layer.name]
+            for key, param in layer.params.items():
+                g = layer.grads[key]
+                if cfg.weight_decay and key == "weight":
+                    g = g + cfg.weight_decay * param
+                if key == "weight" and layer.name in masks:
+                    g = g * masks[layer.name]
+                vel[key] = cfg.momentum * vel[key] - lr * g
+                param += vel[key].astype(param.dtype)
+                if key == "weight" and layer.name in masks:
+                    param *= masks[layer.name]
+        return loss
+
+    @staticmethod
+    def _apply_masks(network: Network, masks: Mapping[str, np.ndarray]) -> None:
+        for name, mask in masks.items():
+            layer = network[name]
+            layer.params["weight"] = layer.params["weight"] * np.asarray(mask, dtype=np.float32)

@@ -1,0 +1,12 @@
+"""Parallel assessment harness (the multi-GPU substitute).
+
+The expensive part of DeepSZ encoding is Step 2: dozens of forward-pass tests
+over the test set, one per (layer, error bound) candidate.  Those tests are
+embarrassingly parallel — the paper runs them on four V100 GPUs; this package
+runs them on a process pool (mpi4py is not available offline) and exposes the
+same scaling behaviour for the Figure 7a experiment.
+"""
+
+from repro.parallel.executor import ParallelAssessment, AssessmentTask, run_tasks_serial
+
+__all__ = ["ParallelAssessment", "AssessmentTask", "run_tasks_serial"]

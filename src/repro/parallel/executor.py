@@ -1,0 +1,145 @@
+"""Process-pool execution of error-bound assessment tests.
+
+Each task is one (layer, error bound) candidate evaluation: compress the
+layer's data array with SZ, decompress, rebuild the dense weights, run the
+forward pass, report (accuracy, compressed size).  Tasks share large
+read-only state (the network parameters, the test set, the sparse layers),
+which is shipped to every worker once through the pool initializer rather
+than per task.
+
+On platforms or environments where spawning processes is undesirable (or when
+``workers=1``), everything degrades to a serial loop with identical results.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.assessment import AssessmentConfig, AssessmentPoint, evaluate_candidate
+from repro.nn.network import Network
+from repro.pruning.sparse_format import SparseLayer
+from repro.utils.errors import ValidationError
+
+__all__ = ["AssessmentTask", "ParallelAssessment", "run_tasks_serial"]
+
+
+@dataclass(frozen=True)
+class AssessmentTask:
+    """One candidate evaluation: a layer name and an error bound."""
+
+    layer: str
+    error_bound: float
+
+
+# Worker-process globals, populated by _init_worker.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(state_blob: dict) -> None:
+    _WORKER_STATE.clear()
+    _WORKER_STATE.update(state_blob)
+
+
+def _run_task(task: AssessmentTask) -> Tuple[str, float, float, int]:
+    network: Network = _WORKER_STATE["network"]
+    sparse_layers: Dict[str, SparseLayer] = _WORKER_STATE["sparse_layers"]
+    config: AssessmentConfig = _WORKER_STATE["config"]
+    accuracy, size = evaluate_candidate(
+        network,
+        task.layer,
+        sparse_layers[task.layer],
+        task.error_bound,
+        _WORKER_STATE["test_images"],
+        _WORKER_STATE["test_labels"],
+        config=config,
+    )
+    return task.layer, task.error_bound, accuracy, size
+
+
+def run_tasks_serial(
+    network: Network,
+    sparse_layers: Dict[str, SparseLayer],
+    test_images: np.ndarray,
+    test_labels: np.ndarray,
+    tasks: Sequence[AssessmentTask],
+    config: AssessmentConfig | None = None,
+) -> List[Tuple[str, float, float, int]]:
+    """Evaluate tasks one after another in the current process."""
+    config = config or AssessmentConfig()
+    results = []
+    for task in tasks:
+        accuracy, size = evaluate_candidate(
+            network,
+            task.layer,
+            sparse_layers[task.layer],
+            task.error_bound,
+            test_images,
+            test_labels,
+            config=config,
+        )
+        results.append((task.layer, task.error_bound, accuracy, size))
+    return results
+
+
+class ParallelAssessment:
+    """Evaluate a batch of (layer, error bound) candidates on a process pool."""
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is None:
+            workers = max(1, min(4, (os.cpu_count() or 2) - 1))
+        if workers < 1:
+            raise ValidationError("workers must be >= 1")
+        self.workers = int(workers)
+
+    def run(
+        self,
+        network: Network,
+        sparse_layers: Dict[str, SparseLayer],
+        test_images: np.ndarray,
+        test_labels: np.ndarray,
+        tasks: Sequence[AssessmentTask],
+        config: AssessmentConfig | None = None,
+    ) -> List[Tuple[str, float, float, int]]:
+        """Evaluate every task; results preserve the task order."""
+        config = config or AssessmentConfig()
+        if self.workers == 1 or len(tasks) <= 1:
+            return run_tasks_serial(
+                network, sparse_layers, test_images, test_labels, tasks, config
+            )
+        state = {
+            "network": network,
+            "sparse_layers": dict(sparse_layers),
+            "test_images": test_images,
+            "test_labels": test_labels,
+            "config": config,
+        }
+        with ProcessPoolExecutor(
+            max_workers=self.workers, initializer=_init_worker, initargs=(state,)
+        ) as pool:
+            return list(pool.map(_run_task, tasks))
+
+    def assessment_points(
+        self,
+        baseline_accuracy: float,
+        results: Sequence[Tuple[str, float, float, int]],
+    ) -> Dict[str, List[AssessmentPoint]]:
+        """Group raw task results into per-layer candidate lists."""
+        grouped: Dict[str, List[AssessmentPoint]] = {}
+        for layer, eb, accuracy, size in results:
+            grouped.setdefault(layer, []).append(
+                AssessmentPoint(
+                    layer=layer,
+                    error_bound=eb,
+                    accuracy=accuracy,
+                    degradation=baseline_accuracy - accuracy,
+                    compressed_bytes=size,
+                )
+            )
+        for points in grouped.values():
+            points.sort(key=lambda p: p.error_bound)
+        return grouped

@@ -1,0 +1,42 @@
+"""Network pruning and the two-array sparse weight format (Step 1 of DeepSZ).
+
+The paper builds on Deep Compression's *magnitude threshold plus retraining*
+pruning: per-layer thresholds remove the smallest-magnitude weights, then the
+network is retrained with masks so the pruned weights stay zero.  After
+pruning, each fc-layer is stored as two 1-D arrays (Section 3.2):
+
+* the **data array** — float32 values of the non-zero weights (plus the
+  occasional zero padding), and
+* the **index array** — uint8 differences between consecutive non-zero
+  positions, with a ``255 + zero-padding`` escape when a gap exceeds the
+  8-bit range.
+
+The data array is what SZ compresses lossily; the index array is compressed
+losslessly (Step 4).
+"""
+
+from repro.pruning.magnitude import (
+    magnitude_threshold,
+    prune_weights,
+    PruningConfig,
+    PrunedNetwork,
+    prune_network,
+)
+from repro.pruning.sparse_format import (
+    SparseLayer,
+    encode_sparse,
+    decode_sparse,
+    sparse_to_scipy,
+)
+
+__all__ = [
+    "magnitude_threshold",
+    "prune_weights",
+    "PruningConfig",
+    "PrunedNetwork",
+    "prune_network",
+    "SparseLayer",
+    "encode_sparse",
+    "decode_sparse",
+    "sparse_to_scipy",
+]

@@ -1,0 +1,147 @@
+"""The two-array sparse representation of a pruned fc-layer.
+
+Unlike textbook CSR (three arrays), the paper uses two 1-D arrays per layer:
+a float32 ``data`` array of the non-zero weights and a uint8 ``index`` array
+of position *differences* between consecutive non-zeros.  When a gap exceeds
+the 8-bit range, a padding entry is emitted: 255 in the index array and 0.0
+in the data array (Section 3.2).  Every stored weight therefore costs
+40 bits, which is why the post-pruning ratio is slightly below the nominal
+1 / pruning-ratio.
+
+Both encode and decode are fully vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse as sp
+
+from repro.utils.errors import DecompressionError, ValidationError
+
+__all__ = ["SparseLayer", "encode_sparse", "decode_sparse", "sparse_to_scipy"]
+
+_GAP_LIMIT = 255  #: largest position difference representable in one uint8 entry
+
+
+@dataclass(frozen=True)
+class SparseLayer:
+    """A pruned fc-layer in the paper's two-array format.
+
+    Attributes
+    ----------
+    data:
+        float32 values (non-zero weights plus 0.0 padding entries).
+    index:
+        uint8 position deltas, same length as ``data``.
+    shape:
+        The dense (rows, cols) shape of the original weight matrix.
+    nnz:
+        Number of true non-zero weights (excludes padding entries).
+    """
+
+    data: np.ndarray
+    index: np.ndarray
+    shape: tuple[int, int]
+    nnz: int
+
+    def __post_init__(self) -> None:
+        if self.data.shape != self.index.shape:
+            raise ValidationError("data and index arrays must have equal length")
+
+    @property
+    def entry_count(self) -> int:
+        """Stored entries, padding included."""
+        return int(self.data.size)
+
+    @property
+    def dense_bytes(self) -> int:
+        """Size of the dense float32 matrix this layer came from."""
+        return int(np.prod(self.shape)) * 4
+
+    @property
+    def packed_bytes(self) -> int:
+        """Storage of the two-array format: 40 bits (4 + 1 bytes) per entry."""
+        return self.entry_count * 5
+
+    @property
+    def compression_ratio(self) -> float:
+        """Dense bytes / two-array bytes (the paper's "CSR Size" ratio)."""
+        return self.dense_bytes / self.packed_bytes if self.packed_bytes else float("inf")
+
+    @property
+    def density(self) -> float:
+        """Fraction of weights that survived pruning."""
+        total = int(np.prod(self.shape))
+        return self.nnz / total if total else 0.0
+
+
+def encode_sparse(weights: np.ndarray) -> SparseLayer:
+    """Encode a (pruned) dense weight matrix into the two-array format."""
+    weights = np.asarray(weights, dtype=np.float32)
+    if weights.ndim != 2:
+        raise ValidationError(f"weights must be a 2-D matrix, got shape {weights.shape}")
+    flat = weights.ravel()
+    positions = np.flatnonzero(flat)
+    nnz = int(positions.size)
+    if nnz == 0:
+        return SparseLayer(
+            data=np.zeros(0, dtype=np.float32),
+            index=np.zeros(0, dtype=np.uint8),
+            shape=weights.shape,
+            nnz=0,
+        )
+
+    # Gaps between consecutive non-zeros; the first gap is measured from
+    # position -1 so that every entry's delta is >= 1.
+    gaps = np.diff(positions, prepend=-1).astype(np.int64)
+    # Number of 255-padding entries needed in front of each real entry.
+    pad_counts = (gaps - 1) // _GAP_LIMIT
+    remainders = gaps - pad_counts * _GAP_LIMIT  # final delta, in [1, 255]
+
+    total_entries = int(nnz + pad_counts.sum())
+    index = np.empty(total_entries, dtype=np.uint8)
+    data = np.zeros(total_entries, dtype=np.float32)
+
+    # Positions of the real (non-padding) entries in the output arrays.
+    entry_pos = np.arange(nnz) + np.cumsum(pad_counts)
+    index[:] = _GAP_LIMIT  # every slot defaults to a padding entry
+    index[entry_pos] = remainders.astype(np.uint8)
+    data[entry_pos] = flat[positions]
+
+    return SparseLayer(data=data, index=index, shape=weights.shape, nnz=nnz)
+
+
+def decode_sparse(layer: SparseLayer, data: np.ndarray | None = None) -> np.ndarray:
+    """Reconstruct the dense weight matrix.
+
+    Parameters
+    ----------
+    layer:
+        The sparse layer (provides the index array and shape).
+    data:
+        Optional replacement data array — this is how DeepSZ rebuilds a layer
+        from the *decompressed* values while reusing the lossless index array.
+    """
+    values = layer.data if data is None else np.asarray(data, dtype=np.float32)
+    if values.shape != layer.index.shape:
+        raise DecompressionError(
+            f"data array length {values.shape} does not match index array {layer.index.shape}"
+        )
+    total = int(np.prod(layer.shape))
+    dense = np.zeros(total, dtype=np.float32)
+    if values.size:
+        positions = np.cumsum(layer.index.astype(np.int64)) - 1
+        if positions[-1] >= total:
+            raise DecompressionError("index array addresses past the end of the matrix")
+        # Padding entries carry (near-)zero values; writing them is harmless
+        # and mirrors the paper's reconstruction.
+        dense[positions] = values
+    return dense.reshape(layer.shape)
+
+
+def sparse_to_scipy(layer: SparseLayer) -> sp.csr_matrix:
+    """Convert to a SciPy CSR matrix (interop / verification helper)."""
+    dense = decode_sparse(layer)
+    return sp.csr_matrix(dense)

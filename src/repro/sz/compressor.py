@@ -1,0 +1,214 @@
+"""The SZ compressor pipeline for 1-D floating point arrays.
+
+Compression stages (Section 2.2 / 3.3 of the paper):
+
+1. resolve the error constraint to an absolute bound,
+2. error-controlled linear-scaling quantization (:class:`LinearQuantizer`),
+3. 1-D Lorenzo prediction of the quantization codes (:func:`lorenzo_encode`),
+4. canonical Huffman coding of the residual codes (:class:`HuffmanCodec`),
+5. a lossless back end over the whole payload (:mod:`repro.sz.lossless`).
+
+The decompressor inverts the stages and reconstructs a float32 array whose
+element-wise error is bounded by the absolute error bound (outliers are
+reconstructed exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sz.config import ErrorMode, PredictorKind, SZConfig
+from repro.sz.huffman import HuffmanCodec
+from repro.sz.lossless import best_fit_backend, get_backend
+from repro.sz.predictor import lorenzo_decode, lorenzo_encode
+from repro.sz.quantizer import LinearQuantizer
+from repro.sz.regression import AdaptivePrediction, adaptive_decode, adaptive_encode
+from repro.utils.bytesio import read_named_sections, write_named_sections
+from repro.utils.errors import DecompressionError
+from repro.utils.validation import as_float32_1d
+
+__all__ = ["SZCompressionResult", "SZCompressor", "compress", "decompress"]
+
+_MAGIC = "repro-sz-v1"
+
+
+@dataclass(frozen=True)
+class SZCompressionResult:
+    """Outcome of one SZ compression call.
+
+    Attributes
+    ----------
+    payload:
+        The self-describing compressed byte string.
+    original_bytes / compressed_bytes:
+        Sizes before and after compression.
+    absolute_bound:
+        The absolute error bound that was actually enforced (after resolving
+        REL / PSNR modes).
+    lossless_backend:
+        Name of the lossless codec used for the final stage.
+    outlier_count:
+        Number of values stored verbatim through the unpredictable path.
+    """
+
+    payload: bytes
+    original_bytes: int
+    compressed_bytes: int
+    absolute_bound: float
+    lossless_backend: str
+    outlier_count: int
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (original size / compressed size)."""
+        if self.compressed_bytes == 0:
+            return float("inf")
+        return self.original_bytes / self.compressed_bytes
+
+    @property
+    def bits_per_value(self) -> float:
+        """Average encoded bits per original value."""
+        count = self.original_bytes // 4
+        if count == 0:
+            return 0.0
+        return 8.0 * self.compressed_bytes / count
+
+
+class SZCompressor:
+    """Error-bounded lossy compressor for 1-D float arrays (SZ reimplementation)."""
+
+    def __init__(self, config: SZConfig | None = None) -> None:
+        self.config = config or SZConfig()
+        self._huffman = HuffmanCodec()
+
+    # -- compression ------------------------------------------------------
+    def compress(self, data: np.ndarray) -> SZCompressionResult:
+        """Compress ``data`` under the configured error constraint."""
+        data = as_float32_1d(data)
+        cfg = self.config
+        abs_bound = cfg.absolute_bound(data)
+
+        quantizer = LinearQuantizer(abs_bound, capacity=cfg.capacity)
+        qr = quantizer.quantize(data)
+
+        extra_sections: dict[str, bytes] = {}
+        extra_meta: dict[str, object] = {}
+        if cfg.predictor is PredictorKind.LORENZO:
+            residuals = lorenzo_encode(qr.codes)
+        elif cfg.predictor is PredictorKind.ADAPTIVE:
+            prediction = adaptive_encode(qr.codes)
+            residuals = prediction.residuals
+            extra_sections["block_modes"] = prediction.modes.astype(np.uint8).tobytes()
+            extra_sections["block_coeffs"] = prediction.coefficients.astype("<f4").tobytes()
+            extra_meta["block_size"] = int(prediction.block_size)
+            extra_meta["num_blocks"] = int(prediction.num_blocks)
+        else:
+            residuals = qr.codes
+
+        encoded = self._huffman.encode(residuals)
+        sections = {
+            "huffman": encoded,
+            "outlier_mask": np.packbits(qr.outlier_mask).tobytes() if qr.outlier_count else b"",
+            "outliers": qr.outliers.astype("<f4").tobytes(),
+            **extra_sections,
+        }
+        meta = {
+            "magic": _MAGIC,
+            "count": int(data.size),
+            "abs_bound": float(abs_bound),
+            "predictor": cfg.predictor.value,
+            "capacity": int(cfg.capacity),
+            "outlier_count": int(qr.outlier_count),
+            **extra_meta,
+        }
+        raw_payload = write_named_sections(sections, meta=meta)
+
+        if cfg.lossless == "best":
+            backend, compressed = best_fit_backend(raw_payload)
+            backend_name = backend.name
+        else:
+            backend = get_backend(cfg.lossless)
+            compressed = backend.compress(raw_payload)
+            backend_name = backend.name
+
+        final = write_named_sections(
+            {"body": compressed}, meta={"magic": _MAGIC, "lossless": backend_name}
+        )
+        return SZCompressionResult(
+            payload=final,
+            original_bytes=int(data.size) * 4,
+            compressed_bytes=len(final),
+            absolute_bound=float(abs_bound),
+            lossless_backend=backend_name,
+            outlier_count=int(qr.outlier_count),
+        )
+
+    # -- decompression ----------------------------------------------------
+    def decompress(self, payload: bytes) -> np.ndarray:
+        """Reconstruct the float32 array from a compressed payload."""
+        outer_meta, outer_sections = read_named_sections(payload)
+        if outer_meta.get("magic") != _MAGIC:
+            raise DecompressionError("not an SZ payload (bad magic)")
+        backend = get_backend(outer_meta["lossless"])
+        raw_payload = backend.decompress(outer_sections["body"])
+
+        meta, sections = read_named_sections(raw_payload)
+        if meta.get("magic") != _MAGIC:
+            raise DecompressionError("corrupt SZ payload (inner magic mismatch)")
+        count = int(meta["count"])
+        abs_bound = float(meta["abs_bound"])
+        predictor = PredictorKind(meta["predictor"])
+        capacity = int(meta["capacity"])
+        outlier_count = int(meta["outlier_count"])
+
+        residuals = self._huffman.decode(sections["huffman"])
+        if residuals.size != count:
+            raise DecompressionError(
+                f"decoded {residuals.size} codes, expected {count}"
+            )
+        if predictor is PredictorKind.LORENZO:
+            codes = lorenzo_decode(residuals)
+        elif predictor is PredictorKind.ADAPTIVE:
+            num_blocks = int(meta["num_blocks"])
+            modes = np.frombuffer(sections["block_modes"], dtype=np.uint8)
+            if modes.size != num_blocks:
+                raise DecompressionError("adaptive block mode table is corrupt")
+            coeffs = np.frombuffer(sections["block_coeffs"], dtype="<f4").reshape(-1, 2)
+            codes = adaptive_decode(
+                AdaptivePrediction(
+                    residuals=residuals,
+                    modes=modes,
+                    coefficients=coeffs.astype(np.float32),
+                    block_size=int(meta["block_size"]),
+                    count=count,
+                )
+            )
+        else:
+            codes = residuals
+
+        if outlier_count:
+            mask_bits = np.unpackbits(
+                np.frombuffer(sections["outlier_mask"], dtype=np.uint8), count=count
+            ).astype(bool)
+            outliers = np.frombuffer(sections["outliers"], dtype="<f4").astype(np.float32)
+            if int(mask_bits.sum()) != outlier_count or outliers.size != outlier_count:
+                raise DecompressionError("outlier bookkeeping mismatch in SZ payload")
+        else:
+            mask_bits = None
+            outliers = None
+
+        quantizer = LinearQuantizer(abs_bound, capacity=capacity)
+        return quantizer.dequantize(codes, mask_bits, outliers)
+
+
+def compress(data: np.ndarray, error_bound: float = 1e-3, **kwargs) -> SZCompressionResult:
+    """Convenience wrapper: compress with an absolute error bound."""
+    cfg = SZConfig(error_bound=error_bound, **kwargs)
+    return SZCompressor(cfg).compress(data)
+
+
+def decompress(payload: bytes) -> np.ndarray:
+    """Convenience wrapper: decompress an SZ payload."""
+    return SZCompressor().decompress(payload)

@@ -1,0 +1,111 @@
+"""Configuration objects for the SZ compressor.
+
+The paper exercises SZ in absolute-error-bound mode (the error bounds that
+Algorithm 1 sweeps are absolute), but SZ itself also supports value-range
+relative bounds and PSNR targets ("our SZ compressor can control errors in
+more sophisticated ways, such as relative error bound and peak signal-to-noise
+ratio"), so all three modes are implemented.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+__all__ = ["ErrorMode", "PredictorKind", "SZConfig"]
+
+
+class ErrorMode(str, enum.Enum):
+    """How the user expresses the error constraint."""
+
+    ABS = "abs"  #: absolute error bound (paper default)
+    REL = "rel"  #: value-range relative error bound
+    PSNR = "psnr"  #: peak signal-to-noise ratio target in dB
+
+
+class PredictorKind(str, enum.Enum):
+    """Prediction scheme applied before quantization."""
+
+    LORENZO = "lorenzo"  #: 1-D Lorenzo predictor on decompressed values
+    ADAPTIVE = "adaptive"  #: per-block best fit of Lorenzo vs linear regression (SZ 2.x)
+    NONE = "none"  #: direct quantization of values (ablation baseline)
+
+
+@dataclass(frozen=True)
+class SZConfig:
+    """Immutable configuration for one SZ compression invocation.
+
+    Parameters
+    ----------
+    error_bound:
+        Meaning depends on :attr:`mode`: absolute bound (ABS), fraction of the
+        value range (REL), or target PSNR in dB (PSNR).
+    mode:
+        Error-control mode.
+    predictor:
+        Prediction scheme.  The default is the SZ 2.x adaptive best-fit
+        predictor (per-block choice between Lorenzo and linear regression),
+        which is the configuration the paper's SZ library uses; plain Lorenzo
+        and no-prediction are available for ablation.
+    capacity:
+        Number of quantization bins.  Codes outside ``[-capacity/2,
+        capacity/2)`` are stored as unpredictable literals, exactly as SZ's
+        "unpredictable data" path.
+    lossless:
+        Name of the lossless back end applied to the encoded payload; one of
+        :func:`repro.sz.lossless.available_backends`, or ``"best"`` to try all
+        of them and keep the smallest output (per-stream best-fit selection).
+    """
+
+    error_bound: float = 1e-3
+    mode: ErrorMode = ErrorMode.ABS
+    predictor: PredictorKind = PredictorKind.ADAPTIVE
+    capacity: int = 65536
+    lossless: str = "zlib"
+
+    def __post_init__(self) -> None:
+        check_positive(self.error_bound, "error_bound")
+        if not isinstance(self.mode, ErrorMode):
+            object.__setattr__(self, "mode", ErrorMode(self.mode))
+        if not isinstance(self.predictor, PredictorKind):
+            object.__setattr__(self, "predictor", PredictorKind(self.predictor))
+        if int(self.capacity) < 4:
+            raise ConfigurationError("capacity must be at least 4 bins")
+        if int(self.capacity) & 1:
+            raise ConfigurationError("capacity must be even")
+        object.__setattr__(self, "capacity", int(self.capacity))
+
+    def with_error_bound(self, error_bound: float) -> "SZConfig":
+        """Return a copy of this config with a different error bound."""
+        return replace(self, error_bound=error_bound)
+
+    def absolute_bound(self, data: np.ndarray) -> float:
+        """Resolve the configured error target to an absolute bound for ``data``.
+
+        * ABS  -- the bound itself.
+        * REL  -- ``error_bound * (max(data) - min(data))``.
+        * PSNR -- the absolute bound whose uniform quantization noise yields
+          the requested PSNR: with error uniform in ``[-eb, eb]`` the RMSE is
+          ``eb / sqrt(3)``, so ``eb = range * sqrt(3) * 10**(-psnr / 20)``.
+        """
+        if self.mode is ErrorMode.ABS:
+            return float(self.error_bound)
+        if data.size == 0:
+            raise ConfigurationError(
+                f"{self.mode.value} mode needs a non-empty array to resolve the bound"
+            )
+        value_range = float(np.max(data) - np.min(data))
+        if value_range == 0.0:
+            # Constant data: any positive bound preserves it exactly.
+            return float(self.error_bound) if self.mode is ErrorMode.ABS else 1e-12
+        if self.mode is ErrorMode.REL:
+            return float(self.error_bound) * value_range
+        # PSNR mode
+        psnr = float(self.error_bound)
+        return value_range * math.sqrt(3.0) * 10.0 ** (-psnr / 20.0)

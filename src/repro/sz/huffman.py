@@ -1,0 +1,233 @@
+"""Canonical Huffman codec for SZ quantization codes.
+
+SZ applies a "customised Huffman encoding" to the stream of quantization
+codes.  This module implements a canonical Huffman codec whose encoded form
+carries only the (symbol, code-length) table — the actual codes are
+reconstructed canonically on both sides, which keeps the header small and the
+decoder deterministic.
+
+Encoding is fully vectorised (the per-symbol bit expansion happens inside
+NumPy); decoding walks the bitstream with a compact two-level lookup table so
+that the common short codes are resolved in a single table probe.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.bitstream import pack_bits, unpack_bits
+from repro.utils.bytesio import read_named_sections, write_named_sections
+from repro.utils.errors import CompressionError, DecompressionError, ValidationError
+
+__all__ = ["HuffmanCodec", "HuffmanTable"]
+
+_FAST_BITS = 12  # size of the first-level decode table (4096 entries)
+
+
+@dataclass(frozen=True)
+class HuffmanTable:
+    """Canonical Huffman table: symbols and their code lengths.
+
+    ``symbols`` are the distinct source symbols in canonical order (sorted by
+    (length, symbol)); ``lengths`` are the corresponding code lengths.
+    """
+
+    symbols: np.ndarray  # int64, canonical order
+    lengths: np.ndarray  # uint8, same order
+
+    def __post_init__(self) -> None:
+        if self.symbols.shape != self.lengths.shape:
+            raise ValidationError("symbols and lengths must have equal length")
+
+    @property
+    def max_length(self) -> int:
+        return int(self.lengths.max()) if self.lengths.size else 0
+
+    def codes(self) -> np.ndarray:
+        """Canonical code values (uint64), aligned with :attr:`symbols`."""
+        if self.symbols.size == 0:
+            return np.zeros(0, dtype=np.uint64)
+        codes = np.zeros(self.symbols.size, dtype=np.uint64)
+        code = 0
+        prev_len = int(self.lengths[0])
+        for i in range(self.symbols.size):
+            length = int(self.lengths[i])
+            code <<= length - prev_len
+            codes[i] = code
+            code += 1
+            prev_len = length
+        return codes
+
+
+def _code_lengths(symbols: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Huffman code lengths for ``symbols`` with frequencies ``counts``."""
+    n = symbols.size
+    if n == 1:
+        return np.array([1], dtype=np.uint8)
+    # Standard heap-based Huffman; the alphabet is at most `capacity` symbols
+    # (a few thousand in practice), so a Python heap is not a hot path.
+    heap: list[tuple[int, int, list[int]]] = [
+        (int(c), i, [i]) for i, c in enumerate(counts)
+    ]
+    heapq.heapify(heap)
+    lengths = np.zeros(n, dtype=np.int64)
+    tie = n
+    while len(heap) > 1:
+        c1, _, leaves1 = heapq.heappop(heap)
+        c2, _, leaves2 = heapq.heappop(heap)
+        merged = leaves1 + leaves2
+        lengths[merged] += 1
+        heapq.heappush(heap, (c1 + c2, tie, merged))
+        tie += 1
+    if np.any(lengths > 64):
+        raise CompressionError("Huffman code length exceeds 64 bits")
+    return lengths.astype(np.uint8)
+
+
+class HuffmanCodec:
+    """Encode / decode an integer symbol stream with canonical Huffman codes."""
+
+    # -- encoding --------------------------------------------------------
+    def encode(self, data: np.ndarray) -> bytes:
+        """Encode a 1-D integer array into a self-describing byte string."""
+        data = np.asarray(data)
+        if data.ndim != 1:
+            raise ValidationError(f"data must be 1-D, got shape {data.shape}")
+        data = data.astype(np.int64, copy=False)
+        n = int(data.size)
+        if n == 0:
+            return write_named_sections(
+                {"table_symbols": b"", "table_lengths": b"", "payload": b""},
+                meta={"count": 0, "nbits": 0},
+            )
+
+        symbols, inverse, counts = np.unique(
+            data, return_inverse=True, return_counts=True
+        )
+        lengths = _code_lengths(symbols, counts)
+        # Canonical ordering: by (length, symbol value).
+        order = np.lexsort((symbols, lengths))
+        table = HuffmanTable(symbols=symbols[order], lengths=lengths[order])
+        codes = table.codes()
+
+        # Map each input position to its canonical table slot.
+        slot_of_unique = np.empty(symbols.size, dtype=np.int64)
+        slot_of_unique[order] = np.arange(symbols.size)
+        slots = slot_of_unique[inverse]
+
+        code_vals = codes[slots]
+        code_lens = table.lengths[slots].astype(np.int64)
+
+        # Vectorised variable-length bit packing: expand every code to
+        # `max_length` right-aligned bits, then keep only the valid ones.
+        # Chunked so the intermediate (chunk x max_length) matrix stays small.
+        maxw = table.max_length
+        shifts = np.arange(maxw - 1, -1, -1, dtype=np.uint64)
+        col = np.arange(maxw)
+        chunk = 1 << 18
+        pieces: list[np.ndarray] = []
+        for start in range(0, n, chunk):
+            vals = code_vals[start : start + chunk]
+            lens = code_lens[start : start + chunk]
+            bits_matrix = (vals[:, None] >> shifts[None, :]) & np.uint64(1)
+            valid = col[None, :] >= (maxw - lens[:, None])
+            pieces.append(bits_matrix.astype(bool)[valid])
+        bits = np.concatenate(pieces) if pieces else np.zeros(0, dtype=bool)
+        payload = pack_bits(bits)
+
+        return write_named_sections(
+            {
+                "table_symbols": table.symbols.astype("<i8").tobytes(),
+                "table_lengths": table.lengths.astype(np.uint8).tobytes(),
+                "payload": payload,
+            },
+            meta={"count": n, "nbits": int(bits.size)},
+        )
+
+    # -- decoding --------------------------------------------------------
+    def decode(self, blob: bytes) -> np.ndarray:
+        """Decode a byte string produced by :meth:`encode`."""
+        meta, sections = read_named_sections(blob)
+        count = int(meta.get("count", 0))
+        nbits = int(meta.get("nbits", 0))
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        symbols = np.frombuffer(sections["table_symbols"], dtype="<i8").astype(np.int64)
+        lengths = np.frombuffer(sections["table_lengths"], dtype=np.uint8)
+        if symbols.size != lengths.size or symbols.size == 0:
+            raise DecompressionError("corrupt Huffman table")
+        table = HuffmanTable(symbols=symbols, lengths=lengths)
+        bits = unpack_bits(sections["payload"], nbits)
+        return self._decode_bits(bits, table, count)
+
+    @staticmethod
+    def _decode_bits(bits: np.ndarray, table: HuffmanTable, count: int) -> np.ndarray:
+        codes = table.codes()
+        lengths = table.lengths.astype(np.int64)
+        symbols = table.symbols
+        max_len = table.max_length
+
+        if symbols.size == 1:
+            # Degenerate single-symbol alphabet: every element is that symbol.
+            return np.full(count, symbols[0], dtype=np.int64)
+
+        # Two-level decode table: fast table indexed by the next _FAST_BITS
+        # bits for codes short enough, a (length, code) dict fallback for the
+        # long tail.
+        fast_bits = min(_FAST_BITS, max_len)
+        fast_symbol = np.full(1 << fast_bits, -1, dtype=np.int64)
+        fast_length = np.zeros(1 << fast_bits, dtype=np.int64)
+        slow: dict[tuple[int, int], int] = {}
+        for i in range(symbols.size):
+            length = int(lengths[i])
+            code = int(codes[i])
+            if length <= fast_bits:
+                start = code << (fast_bits - length)
+                span = 1 << (fast_bits - length)
+                fast_symbol[start : start + span] = symbols[i]
+                fast_length[start : start + span] = length
+            else:
+                slow[(length, code)] = int(symbols[i])
+
+        out = np.empty(count, dtype=np.int64)
+        nbits = int(bits.size)
+        # Precompute, for every bit offset, the integer value of the next
+        # `fast_bits` bits (zero padded past the end).  This turns the decode
+        # loop into one table probe per symbol instead of a per-bit inner loop.
+        padded = np.concatenate([bits.astype(np.uint8), np.zeros(fast_bits, dtype=np.uint8)])
+        windows_view = np.lib.stride_tricks.sliding_window_view(padded, fast_bits)[:nbits]
+        weights = (1 << np.arange(fast_bits - 1, -1, -1)).astype(np.int64)
+        windows = (windows_view.astype(np.int64) @ weights).tolist()
+
+        bit_list = bits.astype(np.uint8).tolist()
+        pos = 0
+        fast_symbol_l = fast_symbol.tolist()
+        fast_length_l = fast_length.tolist()
+        for i in range(count):
+            if pos >= nbits:
+                raise DecompressionError("Huffman bitstream exhausted")
+            window = windows[pos]
+            length = fast_length_l[window]
+            if length:
+                out[i] = fast_symbol_l[window]
+                pos += length
+                continue
+            # Slow path: extend one bit at a time beyond the fast-table width.
+            prefix = window
+            length = fast_bits
+            while True:
+                length += 1
+                if length > 64 or pos + length > nbits:
+                    raise DecompressionError("invalid Huffman code in stream")
+                prefix = (prefix << 1) | bit_list[pos + length - 1]
+                sym = slow.get((length, prefix))
+                if sym is not None:
+                    out[i] = sym
+                    pos += length
+                    break
+        if pos > nbits:
+            raise DecompressionError("Huffman bitstream overrun")
+        return out

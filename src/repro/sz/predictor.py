@@ -1,0 +1,52 @@
+"""Prediction stage of the SZ pipeline.
+
+SZ predicts each data point from its (already decompressed) neighbours and
+entropy-codes the *prediction residual* rather than the value itself.  For
+1-D data — which is what DeepSZ feeds SZ, because pruned fc-layer weights are
+stored as 1-D ``data arrays`` — the best-fit predictor is the order-1 Lorenzo
+predictor: "the previous decompressed value".
+
+A key implementation observation (documented in DESIGN.md and ablated in the
+benchmark suite): when the quantizer snaps every value to the midpoint of a
+``2 * eb`` grid, the decompressed previous value is exactly the grid value of
+the previous point, so *Lorenzo prediction followed by residual quantization*
+is identical to *value quantization followed by first differences of the
+integer codes*.  The latter formulation is a single ``np.diff`` and therefore
+fully vectorised, with no sequential dependency on the decompressed stream.
+
+These functions operate on integer quantization codes (``int64``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+__all__ = ["lorenzo_encode", "lorenzo_decode"]
+
+
+def lorenzo_encode(codes: np.ndarray) -> np.ndarray:
+    """First-difference transform of quantization codes.
+
+    ``residual[0] = codes[0]`` (prediction of the first element is 0, SZ's
+    convention) and ``residual[i] = codes[i] - codes[i-1]`` for ``i > 0``.
+    """
+    codes = np.asarray(codes)
+    if codes.ndim != 1:
+        raise ValidationError(f"codes must be 1-D, got shape {codes.shape}")
+    if codes.size == 0:
+        return codes.astype(np.int64, copy=True)
+    codes = codes.astype(np.int64, copy=False)
+    out = np.empty_like(codes)
+    out[0] = codes[0]
+    np.subtract(codes[1:], codes[:-1], out=out[1:])
+    return out
+
+
+def lorenzo_decode(residuals: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`lorenzo_encode` (a prefix sum)."""
+    residuals = np.asarray(residuals)
+    if residuals.ndim != 1:
+        raise ValidationError(f"residuals must be 1-D, got shape {residuals.shape}")
+    return np.cumsum(residuals.astype(np.int64, copy=False), dtype=np.int64)

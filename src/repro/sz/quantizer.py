@@ -1,0 +1,121 @@
+"""Error-controlled linear-scaling quantization.
+
+The quantizer maps every floating point value ``x`` to the integer code
+``round(x / (2 * eb))``; reconstructing ``code * 2 * eb`` guarantees
+``|x - x'| <= eb`` in double precision (the float32 cast of the output can add
+at most half a ULP of the reconstructed value on top of that, which only
+matters for values quantized exactly at a bin boundary).  Codes whose magnitude exceeds the quantizer capacity are
+flagged "unpredictable" and their original float32 value is stored verbatim
+(so the error bound is trivially respected for them as well) — this mirrors
+SZ's unpredictable-data handling and keeps the Huffman alphabet bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.errors import CompressionError, ValidationError
+from repro.utils.validation import check_positive
+
+__all__ = ["QuantizationResult", "LinearQuantizer"]
+
+
+@dataclass(frozen=True)
+class QuantizationResult:
+    """Output of :meth:`LinearQuantizer.quantize`.
+
+    Attributes
+    ----------
+    codes:
+        ``int64`` quantization codes, one per input element.  At positions
+        where :attr:`outlier_mask` is true the code still holds the value's
+        grid index (used by the Lorenzo prediction chain) but the decoder
+        reconstructs those positions from :attr:`outliers` instead.
+    outlier_mask:
+        Boolean array marking unpredictable values.
+    outliers:
+        float32 array of the unpredictable values, in positional order.
+    """
+
+    codes: np.ndarray
+    outlier_mask: np.ndarray
+    outliers: np.ndarray
+
+    @property
+    def outlier_count(self) -> int:
+        return int(self.outliers.size)
+
+
+class LinearQuantizer:
+    """Linear-scaling quantizer with a fixed absolute error bound.
+
+    Parameters
+    ----------
+    error_bound:
+        Absolute error bound ``eb``; reconstruction error of every
+        non-outlier element is at most ``eb`` (outliers are exact).
+    capacity:
+        Number of representable codes.  Values whose grid index lies outside
+        ``[-capacity // 2, capacity // 2)`` are treated as outliers.
+    """
+
+    def __init__(self, error_bound: float, capacity: int = 65536) -> None:
+        self.error_bound = check_positive(error_bound, "error_bound")
+        if capacity < 4 or capacity % 2:
+            raise ValidationError("capacity must be an even integer >= 4")
+        self.capacity = int(capacity)
+        self._step = 2.0 * self.error_bound
+
+    # -- encode ----------------------------------------------------------
+    def quantize(self, data: np.ndarray) -> QuantizationResult:
+        """Quantize a 1-D float array."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 1:
+            raise ValidationError(f"data must be 1-D, got shape {data.shape}")
+        if data.size == 0:
+            return QuantizationResult(
+                codes=np.zeros(0, dtype=np.int64),
+                outlier_mask=np.zeros(0, dtype=bool),
+                outliers=np.zeros(0, dtype=np.float32),
+            )
+        codes = np.rint(data / self._step)
+        if np.any(np.abs(codes) > 2**62):
+            raise CompressionError(
+                "quantization codes overflow int64; error bound too small for the data range"
+            )
+        codes = codes.astype(np.int64)
+        half = self.capacity // 2
+        outlier_mask = (codes < -half) | (codes >= half)
+        outliers = data[outlier_mask].astype(np.float32)
+        return QuantizationResult(codes=codes, outlier_mask=outlier_mask, outliers=outliers)
+
+    # -- decode ----------------------------------------------------------
+    def dequantize(
+        self,
+        codes: np.ndarray,
+        outlier_mask: np.ndarray | None = None,
+        outliers: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Reconstruct float32 values from codes (+ optional outlier literals)."""
+        codes = np.asarray(codes, dtype=np.int64)
+        values = codes.astype(np.float64) * self._step
+        if outlier_mask is not None and outliers is not None and outliers.size:
+            outlier_mask = np.asarray(outlier_mask, dtype=bool)
+            if int(outlier_mask.sum()) != int(np.asarray(outliers).size):
+                raise ValidationError(
+                    "outlier mask population does not match outlier literal count"
+                )
+            values[outlier_mask] = np.asarray(outliers, dtype=np.float64)
+        return values.astype(np.float32)
+
+    def reconstruction_error(self, original: np.ndarray, reconstructed: np.ndarray) -> float:
+        """Maximum absolute reconstruction error (for verification)."""
+        original = np.asarray(original, dtype=np.float64)
+        reconstructed = np.asarray(reconstructed, dtype=np.float64)
+        if original.shape != reconstructed.shape:
+            raise ValidationError("original and reconstructed shapes differ")
+        if original.size == 0:
+            return 0.0
+        return float(np.max(np.abs(original - reconstructed)))

@@ -1,0 +1,203 @@
+"""Vectorised bit-level I/O.
+
+The SZ Huffman codec and the ZFP-style bit-plane coder both need to write and
+read variable-length bit fields efficiently.  The writer keeps everything in
+NumPy until the final ``tobytes`` call (per the vectorisation idiom of the
+hpc-parallel guides: never touch individual bits from Python in a hot loop).
+
+Two layers are provided:
+
+* :func:`pack_bits` / :func:`unpack_bits` -- bulk conversion between a boolean
+  bit array (MSB-first within each byte) and a ``bytes`` object.
+* :class:`BitWriter` / :class:`BitReader` -- incremental interfaces used when
+  a codec interleaves fields of different widths.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.errors import DecompressionError, ValidationError
+
+__all__ = ["pack_bits", "unpack_bits", "BitWriter", "BitReader"]
+
+
+def pack_bits(bits: np.ndarray) -> bytes:
+    """Pack a 1-D boolean/0-1 array into bytes (MSB-first), zero padded.
+
+    Parameters
+    ----------
+    bits:
+        1-D array of booleans or 0/1 integers.
+
+    Returns
+    -------
+    bytes
+        ``ceil(len(bits) / 8)`` bytes.  The number of valid bits must be
+        carried out-of-band by the caller (every framed format in this repo
+        stores the bit count in its header).
+    """
+    arr = np.asarray(bits)
+    if arr.ndim != 1:
+        raise ValidationError(f"pack_bits expects a 1-D array, got shape {arr.shape}")
+    return np.packbits(arr.astype(np.uint8, copy=False)).tobytes()
+
+
+def unpack_bits(data: bytes, nbits: int) -> np.ndarray:
+    """Unpack bytes produced by :func:`pack_bits` back to a boolean array.
+
+    Parameters
+    ----------
+    data:
+        The packed byte string.
+    nbits:
+        Number of valid bits to return; must not exceed ``8 * len(data)``.
+    """
+    if nbits < 0:
+        raise ValidationError("nbits must be non-negative")
+    if nbits > 8 * len(data):
+        raise DecompressionError(
+            f"bitstream truncated: need {nbits} bits, have {8 * len(data)}"
+        )
+    raw = np.frombuffer(data, dtype=np.uint8)
+    return np.unpackbits(raw, count=nbits).astype(bool)
+
+
+class BitWriter:
+    """Accumulates bit fields and renders them to bytes.
+
+    Fields are appended most-significant-bit first, matching the canonical
+    Huffman convention.  Appending is buffered as (value, width) pairs and the
+    expensive bit expansion happens once in :meth:`getvalue`, fully
+    vectorised.
+    """
+
+    def __init__(self) -> None:
+        self._values: list[int] = []
+        self._widths: list[int] = []
+        self._nbits = 0
+
+    def __len__(self) -> int:
+        return self._nbits
+
+    @property
+    def nbits(self) -> int:
+        """Number of bits written so far."""
+        return self._nbits
+
+    def write(self, value: int, width: int) -> None:
+        """Append ``width`` bits holding ``value`` (MSB first)."""
+        if width < 0:
+            raise ValidationError("bit field width must be non-negative")
+        if width == 0:
+            return
+        if value < 0 or value >= (1 << width):
+            raise ValidationError(
+                f"value {value} does not fit in {width} bits"
+            )
+        self._values.append(int(value))
+        self._widths.append(int(width))
+        self._nbits += width
+
+    def write_array(self, values: np.ndarray, widths: np.ndarray | int) -> None:
+        """Append many fields at once.
+
+        ``widths`` may be a scalar (fixed-width fields) or an array of the
+        same length as ``values``.
+        """
+        values = np.asarray(values, dtype=np.uint64).ravel()
+        if np.isscalar(widths) or np.ndim(widths) == 0:
+            widths_arr = np.full(values.shape, int(widths), dtype=np.int64)
+        else:
+            widths_arr = np.asarray(widths, dtype=np.int64).ravel()
+            if widths_arr.shape != values.shape:
+                raise ValidationError("values and widths must have equal length")
+        if np.any(widths_arr < 0):
+            raise ValidationError("bit field width must be non-negative")
+        mask = widths_arr > 0
+        if not np.all(
+            values[mask] < (np.uint64(1) << widths_arr[mask].astype(np.uint64))
+        ):
+            raise ValidationError("a value does not fit in its declared width")
+        self._values.extend(int(v) for v in values[mask])
+        self._widths.extend(int(w) for w in widths_arr[mask])
+        self._nbits += int(widths_arr[mask].sum())
+
+    def bits(self) -> np.ndarray:
+        """Return the accumulated bits as a boolean array (no padding)."""
+        if not self._values:
+            return np.zeros(0, dtype=bool)
+        values = np.asarray(self._values, dtype=np.uint64)
+        widths = np.asarray(self._widths, dtype=np.int64)
+        maxw = int(widths.max())
+        # Matrix of candidate bits, row i holds value i expanded MSB-first to
+        # `maxw` columns but *right aligned*; selecting the last widths[i]
+        # columns of each row yields the field bits in order.  Chunked so the
+        # intermediate matrix never exceeds a few tens of megabytes.
+        shifts = np.arange(maxw - 1, -1, -1, dtype=np.uint64)
+        col = np.arange(maxw)
+        chunk = max(1, (1 << 24) // max(1, maxw))
+        pieces: list[np.ndarray] = []
+        for start in range(0, values.size, chunk):
+            vals = values[start : start + chunk]
+            wids = widths[start : start + chunk]
+            expanded = (vals[:, None] >> shifts[None, :]) & np.uint64(1)
+            valid = col[None, :] >= (maxw - wids[:, None])
+            pieces.append(expanded.astype(bool)[valid])
+        return np.concatenate(pieces)
+
+    def getvalue(self) -> bytes:
+        """Return the packed byte string (zero padded to a byte boundary)."""
+        return pack_bits(self.bits())
+
+
+class BitReader:
+    """Reads bit fields from a byte string produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes, nbits: int | None = None) -> None:
+        if nbits is None:
+            nbits = 8 * len(data)
+        self._bits = unpack_bits(data, nbits)
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        """Number of unread bits."""
+        return self._bits.size - self._pos
+
+    def read(self, width: int) -> int:
+        """Read ``width`` bits and return them as an unsigned integer."""
+        if width < 0:
+            raise ValidationError("bit field width must be non-negative")
+        if width == 0:
+            return 0
+        if self._pos + width > self._bits.size:
+            raise DecompressionError("bitstream exhausted")
+        chunk = self._bits[self._pos : self._pos + width]
+        self._pos += width
+        value = 0
+        for b in chunk:
+            value = (value << 1) | int(b)
+        return value
+
+    def read_array(self, count: int, width: int) -> np.ndarray:
+        """Read ``count`` fixed-width fields as a uint64 array (vectorised)."""
+        if count < 0 or width < 0:
+            raise ValidationError("count and width must be non-negative")
+        if width == 0:
+            return np.zeros(count, dtype=np.uint64)
+        total = count * width
+        if self._pos + total > self._bits.size:
+            raise DecompressionError("bitstream exhausted")
+        chunk = self._bits[self._pos : self._pos + total].reshape(count, width)
+        self._pos += total
+        weights = (np.uint64(1) << np.arange(width - 1, -1, -1, dtype=np.uint64))
+        return (chunk.astype(np.uint64) * weights[None, :]).sum(axis=1, dtype=np.uint64)
+
+    def read_remaining_bits(self) -> np.ndarray:
+        """Return all unread bits as a boolean array and advance to the end."""
+        out = self._bits[self._pos :].copy()
+        self._pos = self._bits.size
+        return out

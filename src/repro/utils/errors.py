@@ -1,0 +1,37 @@
+"""Exception hierarchy used across the DeepSZ reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so downstream
+users can catch a single base class.  Subsystems raise the most specific
+subclass that applies; plain ``ValueError``/``TypeError`` are reserved for
+outright programmer errors detected by the validation helpers.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad shape, dtype, range, ...)."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration object is internally inconsistent or unsupported."""
+
+
+class CompressionError(ReproError, RuntimeError):
+    """Compression failed (e.g. unencodable data, overflow in a codec stage)."""
+
+
+class DecompressionError(ReproError, RuntimeError):
+    """Decompression failed (corrupt stream, bad magic, truncated frame)."""
+
+
+class TrainingError(ReproError, RuntimeError):
+    """Neural-network training diverged or was mis-configured."""
+
+
+class OptimizationError(ReproError, RuntimeError):
+    """The error-bound configuration optimizer could not find a feasible plan."""

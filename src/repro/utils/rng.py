@@ -1,0 +1,37 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the repository (dataset synthesis, weight
+initialisation, SGD shuffling, Bloomier filter hashing fallbacks) accepts
+either an integer seed or an existing :class:`numpy.random.Generator`.  These
+helpers normalise that convention in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rngs"]
+
+DEFAULT_SEED = 20190622  # HPDC'19 opened on June 22, 2019.
+
+
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` maps to the library-wide default seed so that, absent explicit
+    seeding, all experiments are still reproducible run-to-run.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = DEFAULT_SEED
+    return np.random.default_rng(int(seed))
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from one seed (for workers)."""
+    root = make_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,78 @@
+"""Wall-clock timing helpers used for the Figure 7 encode/decode breakdowns."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["Timer", "TimingBreakdown"]
+
+
+class Timer:
+    """A simple start/stop wall-clock timer.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class TimingBreakdown:
+    """Accumulates named timing phases (e.g. ``lossless``, ``sz``, ``csr``).
+
+    Mirrors the decoding-time breakdown the paper reports in Figure 7b.
+    """
+
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phases[name] = self.phases.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def add(self, name: str, seconds: float) -> None:
+        self.phases[name] = self.phases.get(name, 0.0) + float(seconds)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.phases.values()))
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.phases)
+
+    def merge(self, other: "TimingBreakdown") -> "TimingBreakdown":
+        merged = TimingBreakdown(dict(self.phases))
+        for name, seconds in other.phases.items():
+            merged.add(name, seconds)
+        return merged

@@ -1,0 +1,65 @@
+"""Argument validation helpers shared by the public API surfaces."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+__all__ = [
+    "require",
+    "check_positive",
+    "check_in_range",
+    "check_array_1d",
+    "check_finite",
+    "as_float32_1d",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Ensure ``value`` is strictly positive and return it as a float."""
+    value = float(value)
+    if not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_in_range(value: float, name: str, low: float, high: float) -> float:
+    """Ensure ``low <= value <= high`` and return ``value`` as a float."""
+    value = float(value)
+    if not (low <= value <= high):
+        raise ValidationError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def check_array_1d(array: Any, name: str) -> np.ndarray:
+    """Coerce ``array`` to a 1-D ndarray, raising if it is not 1-D."""
+    arr = np.asarray(array)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def check_finite(array: np.ndarray, name: str) -> np.ndarray:
+    """Ensure all elements are finite (compressors do not handle NaN/inf)."""
+    if not np.all(np.isfinite(array)):
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return array
+
+
+def as_float32_1d(array: Any, name: str = "data") -> np.ndarray:
+    """Return ``array`` flattened to a contiguous float32 1-D array.
+
+    The paper compresses fc-layer weights as 1-D float32 arrays; this is the
+    single normalisation point for that convention.
+    """
+    arr = np.ascontiguousarray(np.asarray(array, dtype=np.float32).ravel())
+    return check_finite(arr, name)

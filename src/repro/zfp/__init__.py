@@ -1,0 +1,18 @@
+"""ZFP-style block transform compressor (baseline for Figure 2).
+
+The paper compares SZ against ZFP (Lindstrom 2014) on the 1-D pruned weight
+arrays and shows SZ winning consistently (Figure 2).  ZFP itself is a C
+library and is not available offline, so :mod:`repro.zfp` provides a
+from-scratch block codec with the same four stages the paper describes for
+ZFP: *alignment of exponent*, *orthogonal (lifting) transform*, *fixed-point
+integer conversion*, and *bit-plane style truncation coding*.
+
+Two rate-control modes are provided, mirroring ZFP's:
+
+* fixed-accuracy (absolute tolerance), used for the Figure 2 comparison;
+* fixed-rate (bits per value), used by ablation benchmarks.
+"""
+
+from repro.zfp.codec import ZFPConfig, ZFPCompressor, ZFPResult, compress, decompress
+
+__all__ = ["ZFPConfig", "ZFPCompressor", "ZFPResult", "compress", "decompress"]

@@ -1,0 +1,268 @@
+"""A ZFP-style block floating-point transform codec for 1-D arrays.
+
+Pipeline (per block of ``block_size`` values):
+
+1. **Exponent alignment** -- the block's common exponent is the exponent of
+   its largest magnitude; all values share one scale factor.
+2. **Fixed-point conversion** -- values are scaled by ``2**(precision-1)`` /
+   ``2**exponent`` and rounded to integers.
+3. **Orthogonal decorrelating transform** (optional) -- an exactly invertible
+   integer S-transform (two-level Haar lifting) applied within the block.
+4. **Truncation coding** -- each integer keeps only its most significant
+   ``kept_bits`` bits (sign + magnitude); ``kept_bits`` is chosen per block so
+   that the discarded low-order bits stay within the accuracy target
+   (fixed-accuracy mode) or matches the requested bit budget (fixed-rate
+   mode).
+
+The result is written through the shared :class:`repro.utils.BitWriter`.
+Unlike real ZFP there is no group-tested embedded bit-plane stream; for the
+noise-like 1-D weight arrays DeepSZ deals with, the rate of this codec tracks
+real ZFP's fixed-accuracy rate (≈ ``log2(range / tolerance)`` bits/value),
+which is the property Figure 2 exercises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.bitstream import BitReader, BitWriter
+from repro.utils.bytesio import read_named_sections, write_named_sections
+from repro.utils.errors import ConfigurationError, DecompressionError
+from repro.utils.validation import as_float32_1d, check_positive
+
+__all__ = ["ZFPConfig", "ZFPResult", "ZFPCompressor", "compress", "decompress"]
+
+_MAGIC = "repro-zfp-v1"
+_MAX_PRECISION = 30  # bits of fixed-point magnitude kept before truncation
+
+
+@dataclass(frozen=True)
+class ZFPConfig:
+    """Configuration for the ZFP-style codec.
+
+    Exactly one of ``tolerance`` (fixed-accuracy) or ``rate_bits`` (fixed-rate,
+    bits per value including the sign bit) must be set.
+    """
+
+    tolerance: float | None = 1e-3
+    rate_bits: int | None = None
+    block_size: int = 32
+    use_transform: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.tolerance is None) == (self.rate_bits is None):
+            raise ConfigurationError(
+                "exactly one of tolerance (fixed-accuracy) or rate_bits (fixed-rate) must be set"
+            )
+        if self.tolerance is not None:
+            check_positive(self.tolerance, "tolerance")
+        if self.rate_bits is not None and not (1 <= int(self.rate_bits) <= _MAX_PRECISION):
+            raise ConfigurationError(f"rate_bits must be in [1, {_MAX_PRECISION}]")
+        if self.block_size < 4 or self.block_size % 4:
+            raise ConfigurationError("block_size must be a positive multiple of 4")
+        if self.use_transform and self.block_size % 4:
+            raise ConfigurationError("the lifting transform requires block_size % 4 == 0")
+
+
+@dataclass(frozen=True)
+class ZFPResult:
+    """Outcome of one ZFP-style compression call."""
+
+    payload: bytes
+    original_bytes: int
+    compressed_bytes: int
+
+    @property
+    def ratio(self) -> float:
+        if self.compressed_bytes == 0:
+            return float("inf")
+        return self.original_bytes / self.compressed_bytes
+
+    @property
+    def bits_per_value(self) -> float:
+        count = self.original_bytes // 4
+        if count == 0:
+            return 0.0
+        return 8.0 * self.compressed_bytes / count
+
+
+def _forward_lift(block: np.ndarray) -> np.ndarray:
+    """Exactly invertible two-level S-transform over groups of 4 columns.
+
+    ``block`` has shape (nblocks, block_size) with int64 entries; the
+    transform is applied independently to every consecutive group of 4
+    columns.
+    """
+    out = block.copy()
+    for g in range(0, block.shape[1], 4):
+        a, b, c, d = (out[:, g + i].copy() for i in range(4))
+        # level 1: pairs (a,b) and (c,d)
+        d0 = a - b
+        s0 = b + (d0 >> 1)
+        d1 = c - d
+        s1 = d + (d1 >> 1)
+        # level 2: pair (s0, s1)
+        ds = s0 - s1
+        ss = s1 + (ds >> 1)
+        out[:, g + 0] = ss
+        out[:, g + 1] = ds
+        out[:, g + 2] = d0
+        out[:, g + 3] = d1
+    return out
+
+
+def _inverse_lift(block: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_forward_lift`."""
+    out = block.copy()
+    for g in range(0, block.shape[1], 4):
+        ss = out[:, g + 0].copy()
+        ds = out[:, g + 1].copy()
+        d0 = out[:, g + 2].copy()
+        d1 = out[:, g + 3].copy()
+        s1 = ss - (ds >> 1)
+        s0 = s1 + ds
+        b = s0 - (d0 >> 1)
+        a = b + d0
+        d = s1 - (d1 >> 1)
+        c = d + d1
+        out[:, g + 0] = a
+        out[:, g + 1] = b
+        out[:, g + 2] = c
+        out[:, g + 3] = d
+    return out
+
+
+class ZFPCompressor:
+    """Fixed-accuracy / fixed-rate block codec for 1-D float arrays."""
+
+    def __init__(self, config: ZFPConfig | None = None) -> None:
+        self.config = config or ZFPConfig()
+
+    # -- helpers ----------------------------------------------------------
+    def _blocks(self, data: np.ndarray) -> tuple[np.ndarray, int]:
+        bs = self.config.block_size
+        n = data.size
+        nblocks = (n + bs - 1) // bs
+        padded = np.zeros(nblocks * bs, dtype=np.float64)
+        padded[:n] = data
+        return padded.reshape(nblocks, bs), n
+
+    # -- compression ------------------------------------------------------
+    def compress(self, data: np.ndarray) -> ZFPResult:
+        data = as_float32_1d(data)
+        cfg = self.config
+        blocks, n = self._blocks(data.astype(np.float64))
+        nblocks, bs = blocks.shape
+
+        max_mag = np.max(np.abs(blocks), axis=1)
+        # Block exponent e such that |x| < 2**e for every value in the block.
+        exponents = np.where(
+            max_mag > 0.0, np.ceil(np.log2(np.maximum(max_mag, 1e-300))).astype(np.int64) + 1, 0
+        )
+        # Fixed-point conversion: x * 2**(precision - exponent)
+        scale = np.exp2(_MAX_PRECISION - exponents.astype(np.float64))
+        ints = np.rint(blocks * scale[:, None]).astype(np.int64)
+        transform_guard = 0
+        if cfg.use_transform:
+            ints = _forward_lift(ints)
+            transform_guard = 2  # inverse lifting can amplify truncation error ~4x
+
+        # Bits kept per block.
+        if cfg.rate_bits is not None:
+            kept = np.full(nblocks, int(cfg.rate_bits) - 1, dtype=np.int64)  # magnitude bits
+            kept = np.clip(kept, 0, _MAX_PRECISION)
+        else:
+            tol = float(cfg.tolerance)
+            # Discarding `drop` low-order fixed-point bits introduces an error
+            # of at most 2**drop / scale = 2**(drop - precision + exponent).
+            # Choose the largest drop with that error <= tol (minus guard bits
+            # when the lifting transform is enabled).
+            drop = np.floor(
+                np.log2(tol) + _MAX_PRECISION - exponents.astype(np.float64)
+            ).astype(np.int64) - transform_guard
+            drop = np.clip(drop, 0, _MAX_PRECISION + 2)
+            kept = np.maximum(_MAX_PRECISION + 2 - drop, 0)
+
+        # Truncate magnitudes: value -> sign, magnitude >> drop.
+        drop_bits = (_MAX_PRECISION + 2 - kept).astype(np.int64)
+        signs = (ints < 0).astype(np.uint64)
+        mags = np.abs(ints).astype(np.uint64) >> drop_bits[:, None].astype(np.uint64)
+
+        widths = (kept[:, None] + 1).repeat(bs, axis=1)  # +1 sign bit
+        payload_values = (mags << np.uint64(1)) | signs
+
+        writer = BitWriter()
+        writer.write_array(payload_values.ravel(), widths.ravel())
+        bitstream = writer.getvalue()
+
+        sections = {
+            "exponents": exponents.astype("<i2").tobytes(),
+            "kept": kept.astype("<i1").tobytes(),
+            "bits": bitstream,
+        }
+        meta = {
+            "magic": _MAGIC,
+            "count": int(n),
+            "block_size": int(bs),
+            "nbits": int(writer.nbits),
+            "use_transform": bool(cfg.use_transform),
+        }
+        payload = write_named_sections(sections, meta=meta)
+        return ZFPResult(
+            payload=payload,
+            original_bytes=int(n) * 4,
+            compressed_bytes=len(payload),
+        )
+
+    # -- decompression ----------------------------------------------------
+    def decompress(self, payload: bytes) -> np.ndarray:
+        meta, sections = read_named_sections(payload)
+        if meta.get("magic") != _MAGIC:
+            raise DecompressionError("not a ZFP-style payload (bad magic)")
+        n = int(meta["count"])
+        bs = int(meta["block_size"])
+        use_transform = bool(meta["use_transform"])
+        nblocks = (n + bs - 1) // bs if n else 0
+
+        exponents = np.frombuffer(sections["exponents"], dtype="<i2").astype(np.int64)
+        kept = np.frombuffer(sections["kept"], dtype="<i1").astype(np.int64)
+        if exponents.size != nblocks or kept.size != nblocks:
+            raise DecompressionError("corrupt ZFP block tables")
+        if n == 0:
+            return np.zeros(0, dtype=np.float32)
+
+        reader = BitReader(sections["bits"], int(meta["nbits"]))
+        out_blocks = np.empty((nblocks, bs), dtype=np.int64)
+        for b in range(nblocks):
+            width = int(kept[b]) + 1
+            vals = reader.read_array(bs, width).astype(np.int64)
+            signs = vals & 1
+            mags = vals >> 1
+            drop = _MAX_PRECISION + 2 - int(kept[b])
+            ints = mags << drop
+            # Reconstruct at the centre of the truncation interval to halve
+            # the worst-case error (mirrors ZFP's rounding behaviour).
+            if drop > 0:
+                ints = ints + (1 << (drop - 1))
+                ints[mags == 0] -= 1 << (drop - 1)
+            ints = np.where(signs == 1, -ints, ints)
+            out_blocks[b] = ints
+
+        if use_transform:
+            out_blocks = _inverse_lift(out_blocks)
+        scale = np.exp2(_MAX_PRECISION - exponents.astype(np.float64))
+        values = out_blocks.astype(np.float64) / scale[:, None]
+        return values.ravel()[:n].astype(np.float32)
+
+
+def compress(data: np.ndarray, tolerance: float = 1e-3, **kwargs) -> ZFPResult:
+    """Convenience wrapper: fixed-accuracy compression."""
+    return ZFPCompressor(ZFPConfig(tolerance=tolerance, **kwargs)).compress(data)
+
+
+def decompress(payload: bytes) -> np.ndarray:
+    """Convenience wrapper: decompress a ZFP-style payload."""
+    return ZFPCompressor().decompress(payload)

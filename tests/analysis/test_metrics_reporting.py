@@ -1,0 +1,116 @@
+"""Tests for analysis metrics and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    accuracy_table,
+    architecture_table,
+    ascii_series,
+    bits_per_weight,
+    comparison_table,
+    compression_ratio,
+    compression_stats_table,
+    format_bytes,
+    max_abs_error,
+    psnr,
+    render_table,
+)
+from repro.nn.specs import all_specs
+from repro.utils.errors import ValidationError
+
+
+class TestMetrics:
+    def test_compression_ratio(self):
+        assert compression_ratio(100, 10) == 10.0
+        assert compression_ratio(100, 0) == float("inf")
+        with pytest.raises(ValidationError):
+            compression_ratio(-1, 10)
+
+    def test_bits_per_weight(self):
+        assert bits_per_weight(10, 20) == pytest.approx(4.0)
+        with pytest.raises(ValidationError):
+            bits_per_weight(10, 0)
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.00 KB"
+        assert format_bytes(5 * 1024**2) == "5.00 MB"
+        assert format_bytes(3 * 1024**3).endswith("GB")
+
+    def test_max_abs_error(self, fresh_rng):
+        a = fresh_rng.normal(size=100)
+        b = a + 0.5
+        assert max_abs_error(a, b) == pytest.approx(0.5)
+        assert max_abs_error(np.zeros(0), np.zeros(0)) == 0.0
+        with pytest.raises(ValidationError):
+            max_abs_error(a, b[:-1])
+
+    def test_psnr(self, fresh_rng):
+        a = fresh_rng.uniform(-1, 1, 10_000)
+        assert psnr(a, a) == float("inf")
+        noisy = a + fresh_rng.uniform(-1e-3, 1e-3, a.shape)
+        value = psnr(a, noisy)
+        assert 55 < value < 80
+        # Less noise -> higher PSNR.
+        assert psnr(a, a + 1e-5) > value
+
+
+class TestRenderers:
+    def test_render_table_alignment_and_content(self):
+        text = render_table(["a", "bb"], [[1, 2], [33, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_table_row_width_mismatch(self):
+        with pytest.raises(ValidationError):
+            render_table(["a"], [[1, 2]])
+
+    def test_architecture_table_contains_all_networks(self):
+        text = architecture_table(all_specs())
+        for name in ("LeNet-300-100", "LeNet-5", "AlexNet", "VGG-16"):
+            assert name in text
+        assert "fc6 4096x25088" in text
+
+    def test_compression_stats_table(self):
+        text = compression_stats_table(
+            "AlexNet",
+            {
+                "fc6": {
+                    "original_bytes": 151_000_000,
+                    "pruning_ratio": 0.09,
+                    "csr_bytes": 17_000_000,
+                    "compressed_bytes": 2_770_000,
+                    "error_bound": 7e-3,
+                }
+            },
+        )
+        assert "fc6" in text and "9.0%" in text and "7e-03" in text
+
+    def test_accuracy_table_handles_missing_top5(self):
+        text = accuracy_table(
+            [
+                {"network": "LeNet-5", "top1": 0.9913, "top5": None, "fc_bytes": 1_620_000, "ratio": 57.3},
+                {"network": "AlexNet", "top1": 0.5741, "top5": 0.804, "fc_bytes": 234_500_000, "ratio": 45.5},
+            ]
+        )
+        assert "99.13%" in text and "80.40%" in text and "57.3x" in text
+
+    def test_comparison_table_improvement_column(self):
+        text = comparison_table(
+            "VGG-16",
+            {
+                "fc6": {"deep_compression": 119.0, "weightless": 157.0, "deepsz": 152.1},
+                "fc8": {"deep_compression": 19.1, "weightless": None, "deepsz": 19.8},
+            },
+        )
+        assert "0.97x" in text or "1.0" in text  # improvement vs best other
+        assert "157.0x" in text
+        assert "-" in text  # missing weightless entry renders as dash
+
+    def test_ascii_series(self):
+        text = ascii_series("Fig X", {"SZ": {1e-3: 5.0, 1e-2: 9.0}, "ZFP": {1e-3: 3.0}})
+        assert text.splitlines()[0] == "Fig X"
+        assert "SZ" in text and "ZFP" in text and "0.001" in text

@@ -1,0 +1,113 @@
+"""Tests for the Deep Compression baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DeepCompressionConfig, DeepCompressionEncoder, kmeans_1d
+from repro.pruning import encode_sparse, prune_weights
+from repro.utils.errors import DecompressionError, ValidationError
+
+
+@pytest.fixture()
+def pruned_layer(rng):
+    w = rng.normal(0, 0.03, (128, 256)).astype(np.float32)
+    pruned, _ = prune_weights(w, 0.1)
+    return encode_sparse(pruned)
+
+
+class TestKMeans1D:
+    def test_centroids_sorted_and_assignments_consistent(self, rng):
+        values = rng.normal(0, 1, 5000)
+        centroids, assignments = kmeans_1d(values, 16)
+        assert np.all(np.diff(centroids) >= 0)
+        assert assignments.min() >= 0 and assignments.max() < 16
+        # Each value is assigned to its nearest centroid.
+        dists = np.abs(values[:, None] - centroids[None, :])
+        assert np.array_equal(dists.argmin(axis=1), assignments)
+
+    def test_reconstruction_error_decreases_with_k(self, rng):
+        values = rng.normal(0, 1, 3000)
+        errors = []
+        for k in (2, 8, 32):
+            centroids, assignments = kmeans_1d(values, k)
+            errors.append(np.abs(centroids[assignments] - values).max())
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_constant_input(self):
+        centroids, assignments = kmeans_1d(np.full(100, 3.0), 4)
+        assert np.allclose(centroids, 3.0)
+        assert not assignments.any()
+
+    def test_empty_input(self):
+        centroids, assignments = kmeans_1d(np.zeros(0), 4)
+        assert centroids.shape == (4,)
+        assert assignments.size == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValidationError):
+            kmeans_1d(np.ones(5), 0)
+
+    def test_bimodal_data_separated(self):
+        values = np.concatenate([np.full(100, -1.0), np.full(100, 1.0)])
+        centroids, assignments = kmeans_1d(values, 2)
+        assert centroids[0] == pytest.approx(-1.0, abs=1e-6)
+        assert centroids[1] == pytest.approx(1.0, abs=1e-6)
+
+
+class TestDeepCompression:
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            DeepCompressionConfig(bits=0)
+        with pytest.raises(ValidationError):
+            DeepCompressionConfig(bits=20)
+
+    def test_roundtrip_positions_and_codebook_values(self, pruned_layer):
+        enc = DeepCompressionEncoder(DeepCompressionConfig(bits=5))
+        result = enc.encode_layer("fc6", pruned_layer)
+        name, dense = enc.decode_layer(result.payload)
+        assert name == "fc6"
+        assert dense.shape == pruned_layer.shape
+        # Non-zero structure preserved; values within the quantization error.
+        from repro.pruning import decode_sparse
+
+        original = decode_sparse(pruned_layer)
+        assert np.array_equal(dense != 0, original != 0) or (
+            # padding entries may decode to a centroid very close to zero
+            np.abs(dense[original == 0]).max() <= result.max_quantization_error
+        )
+        nz = original != 0
+        assert np.abs(dense[nz] - original[nz]).max() <= result.max_quantization_error * (1 + 1e-6)
+
+    def test_ratio_close_to_paper_range(self, pruned_layer):
+        """5-bit Deep Compression lands near the paper's ~40x for 10% density."""
+        result = DeepCompressionEncoder(DeepCompressionConfig(bits=5)).encode_layer(
+            "fc6", pruned_layer
+        )
+        assert 25 < result.ratio < 60
+
+    def test_lower_bits_give_higher_ratio_but_more_error(self, pruned_layer):
+        r3 = DeepCompressionEncoder(DeepCompressionConfig(bits=3)).encode_layer("x", pruned_layer)
+        r7 = DeepCompressionEncoder(DeepCompressionConfig(bits=7)).encode_layer("x", pruned_layer)
+        assert r3.ratio > r7.ratio
+        assert r3.max_quantization_error > r7.max_quantization_error
+
+    def test_encode_network_covers_all_layers(self, pruned_layer):
+        enc = DeepCompressionEncoder()
+        results = enc.encode_network({"fc6": pruned_layer, "fc7": pruned_layer})
+        assert set(results) == {"fc6", "fc7"}
+        weights, timing = enc.decode_network(results)
+        assert set(weights) == {"fc6", "fc7"}
+        assert timing.total > 0
+        assert "codebook quantization" in timing.phases
+        assert "csr" in timing.phases
+
+    def test_decode_rejects_foreign_payload(self):
+        with pytest.raises(DecompressionError):
+            DeepCompressionEncoder().decode_layer(b"not a deep compression payload")
+
+    def test_empty_layer(self):
+        empty = encode_sparse(np.zeros((4, 4), dtype=np.float32))
+        enc = DeepCompressionEncoder()
+        result = enc.encode_layer("empty", empty)
+        _, dense = enc.decode_layer(result.payload)
+        assert not dense.any()

@@ -1,0 +1,136 @@
+"""Tests for the Weightless baseline and its Bloomier filter."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BloomierFilter, WeightlessConfig, WeightlessEncoder
+from repro.pruning import decode_sparse, encode_sparse, prune_weights
+from repro.utils.errors import DecompressionError, ValidationError
+
+
+@pytest.fixture()
+def pruned_layer(rng):
+    w = rng.normal(0, 0.03, (96, 200)).astype(np.float32)
+    pruned, _ = prune_weights(w, 0.08)
+    return encode_sparse(pruned)
+
+
+class TestBloomierFilter:
+    def test_stored_keys_exact(self, rng):
+        keys = rng.choice(50_000, size=4000, replace=False)
+        values = rng.integers(0, 16, size=4000)
+        bf = BloomierFilter(keys, values, value_bits=4, slot_bits=12, seed=3)
+        out, found = bf.query(keys)
+        assert found.all()
+        assert np.array_equal(out, values)
+
+    def test_non_keys_mostly_rejected(self, rng):
+        keys = np.arange(0, 20_000, 2, dtype=np.uint64)  # even numbers
+        values = rng.integers(0, 8, size=keys.size)
+        bf = BloomierFilter(keys, values, value_bits=3, slot_bits=11, seed=4)
+        non_keys = np.arange(1, 20_000, 2, dtype=np.uint64)  # odd numbers
+        _, found = bf.query(non_keys)
+        fp_rate = found.mean()
+        expected = 2.0 ** -(11 - 3)
+        assert fp_rate == pytest.approx(expected, abs=4 * expected)
+
+    def test_empty_filter(self):
+        bf = BloomierFilter(np.zeros(0), np.zeros(0), value_bits=4, slot_bits=8)
+        _, found = bf.query(np.arange(10))
+        assert found.shape == (10,)
+
+    def test_single_key(self):
+        bf = BloomierFilter(np.array([42]), np.array([7]), value_bits=4, slot_bits=10, seed=1)
+        out, found = bf.query(np.array([42]))
+        assert found[0] and out[0] == 7
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValidationError):
+            BloomierFilter(np.array([1, 1]), np.array([2, 3]), value_bits=4, slot_bits=8)
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ValidationError):
+            BloomierFilter(np.array([1]), np.array([16]), value_bits=4, slot_bits=8)
+
+    def test_invalid_bit_widths(self):
+        with pytest.raises(ValidationError):
+            BloomierFilter(np.array([1]), np.array([0]), value_bits=8, slot_bits=4)
+
+    def test_state_roundtrip(self, rng):
+        keys = rng.choice(10_000, size=500, replace=False)
+        values = rng.integers(0, 4, size=500)
+        bf = BloomierFilter(keys, values, value_bits=2, slot_bits=10, seed=5)
+        clone = BloomierFilter.from_state(bf.state())
+        out, found = clone.query(keys)
+        assert found.all()
+        assert np.array_equal(out, values)
+
+    def test_size_scales_with_expansion(self, rng):
+        keys = rng.choice(10_000, size=1000, replace=False)
+        values = rng.integers(0, 4, size=1000)
+        small = BloomierFilter(keys, values, value_bits=2, slot_bits=8, expansion=1.4, seed=6)
+        large = BloomierFilter(keys, values, value_bits=2, slot_bits=8, expansion=2.0, seed=6)
+        assert small.size_bytes < large.size_bytes
+
+    def test_expansion_below_peeling_threshold_fails(self, rng):
+        from repro.utils.errors import CompressionError
+
+        keys = rng.choice(50_000, size=5000, replace=False)
+        values = rng.integers(0, 4, size=5000)
+        with pytest.raises(CompressionError):
+            BloomierFilter(
+                keys, values, value_bits=2, slot_bits=8, expansion=1.05, seed=6, max_attempts=4
+            )
+
+
+class TestWeightlessEncoder:
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            WeightlessConfig(value_bits=8, slot_bits=8)
+        with pytest.raises(ValidationError):
+            WeightlessConfig(expansion=1.2)
+
+    def test_roundtrip_kept_weights_close(self, pruned_layer):
+        enc = WeightlessEncoder(WeightlessConfig(value_bits=4, slot_bits=10, seed=7))
+        result = enc.encode_layer("fc6", pruned_layer)
+        name, dense = enc.decode_layer(result.payload)
+        assert name == "fc6"
+        original = decode_sparse(pruned_layer)
+        nz = original != 0
+        # Kept weights reconstruct to their codebook centroid (bounded error).
+        assert np.abs(dense[nz] - original[nz]).max() < 0.05
+
+    def test_false_positive_rate_matches_config(self, pruned_layer):
+        cfg = WeightlessConfig(value_bits=4, slot_bits=9, seed=8)
+        enc = WeightlessEncoder(cfg)
+        result = enc.encode_layer("fc6", pruned_layer)
+        _, dense = enc.decode_layer(result.payload)
+        original = decode_sparse(pruned_layer)
+        zeros = original == 0
+        observed = (dense[zeros] != 0).mean()
+        assert observed == pytest.approx(result.false_positive_rate, rel=0.5)
+
+    def test_ratio_beats_csr(self, pruned_layer):
+        result = WeightlessEncoder(WeightlessConfig(seed=9)).encode_layer("fc6", pruned_layer)
+        assert result.ratio > pruned_layer.compression_ratio
+
+    def test_pick_target_layer_is_largest(self, rng):
+        small = encode_sparse(prune_weights(rng.normal(0, 1, (10, 10)).astype(np.float32), 0.2)[0])
+        big = encode_sparse(prune_weights(rng.normal(0, 1, (50, 50)).astype(np.float32), 0.2)[0])
+        enc = WeightlessEncoder()
+        assert enc.pick_target_layer({"small": small, "big": big}) == "big"
+        with pytest.raises(ValidationError):
+            enc.pick_target_layer({})
+
+    def test_decode_rejects_foreign_payload(self):
+        with pytest.raises(DecompressionError):
+            WeightlessEncoder().decode_layer(b"garbage")
+
+    def test_timing_breakdown_recorded(self, pruned_layer):
+        from repro.utils.timing import TimingBreakdown
+
+        enc = WeightlessEncoder(WeightlessConfig(seed=10))
+        result = enc.encode_layer("fc6", pruned_layer)
+        timing = TimingBreakdown()
+        enc.decode_layer(result.payload, timing)
+        assert "bloomier filter" in timing.phases

@@ -1,0 +1,89 @@
+"""Tests for the additive accuracy-loss model (Equation 1 / Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy_model import linearity_probe, predict_total_loss
+from repro.core.assessment import AssessmentPoint, AssessmentResult, LayerAssessment
+from repro.utils.errors import ValidationError
+
+
+def make_assessment():
+    layers = {}
+    for name, deltas in [("ip1", [0.0, 0.002, 0.01]), ("ip2", [0.0, 0.001, 0.004])]:
+        la = LayerAssessment(layer=name, baseline_accuracy=0.95)
+        la.points = [
+            AssessmentPoint(name, eb, 0.95 - d, d, 100)
+            for eb, d in zip((1e-3, 1e-2, 3e-2), deltas)
+        ]
+        layers[name] = la
+    return AssessmentResult(network="x", baseline_accuracy=0.95, layers=layers)
+
+
+class TestPredictTotalLoss:
+    def test_sums_per_layer_degradations(self):
+        assessment = make_assessment()
+        total = predict_total_loss(assessment, {"ip1": 1e-2, "ip2": 3e-2})
+        assert total == pytest.approx(0.002 + 0.004)
+
+    def test_subset_of_layers_allowed(self):
+        assessment = make_assessment()
+        assert predict_total_loss(assessment, {"ip1": 3e-2}) == pytest.approx(0.01)
+
+    def test_unknown_layer_raises(self):
+        with pytest.raises(ValidationError):
+            predict_total_loss(make_assessment(), {"nope": 1e-3})
+
+    def test_unknown_bound_raises(self):
+        with pytest.raises(KeyError):
+            predict_total_loss(make_assessment(), {"ip1": 5e-2})
+
+
+class TestLinearityProbe:
+    def test_probe_on_pruned_lenet(self, pruned_lenet300, small_dataset):
+        """The Figure 6 property: summed per-layer losses track the joint loss."""
+        _, test = small_dataset
+        result = linearity_probe(
+            pruned_lenet300.network,
+            pruned_lenet300.sparse_layers,
+            test.images,
+            test.labels,
+            error_bound_grid=(5e-3, 2e-2),
+            samples=4,
+            seed=3,
+        )
+        assert result.expected_losses.shape == (4,)
+        assert result.actual_losses.shape == (4,)
+        # Below the 2% regime the deviation between predicted and measured
+        # loss stays small (a couple of test-set quanta).
+        assert result.max_deviation <= 0.03
+        assert result.mean_absolute_deviation <= 0.02
+
+    def test_probe_restores_weights(self, pruned_lenet300, small_dataset):
+        _, test = small_dataset
+        before = {
+            name: pruned_lenet300.network.get_weights(name).copy()
+            for name in pruned_lenet300.sparse_layers
+        }
+        linearity_probe(
+            pruned_lenet300.network,
+            pruned_lenet300.sparse_layers,
+            test.images,
+            test.labels,
+            error_bound_grid=(1e-2,),
+            samples=1,
+            seed=4,
+        )
+        for name, weights in before.items():
+            assert np.array_equal(pruned_lenet300.network.get_weights(name), weights)
+
+    def test_invalid_samples(self, pruned_lenet300, small_dataset):
+        _, test = small_dataset
+        with pytest.raises(ValidationError):
+            linearity_probe(
+                pruned_lenet300.network,
+                pruned_lenet300.sparse_layers,
+                test.images,
+                test.labels,
+                samples=0,
+            )

@@ -1,0 +1,192 @@
+"""Tests for the error bound assessment (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.assessment import (
+    AssessmentConfig,
+    AssessmentPoint,
+    LayerAssessment,
+    _fine_bounds,
+    assess_layer,
+    assess_network,
+    evaluate_candidate,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = AssessmentConfig()
+        assert cfg.distortion_criterion == pytest.approx(0.001)
+        assert list(cfg.coarse_bounds) == [1e-3, 1e-2, 1e-1]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            AssessmentConfig(expected_accuracy_loss=0)
+        with pytest.raises(ValidationError):
+            AssessmentConfig(coarse_bounds=())
+        with pytest.raises(ValidationError):
+            AssessmentConfig(coarse_bounds=(1e-2, 1e-3))
+        with pytest.raises(ValidationError):
+            AssessmentConfig(max_fine_tests=0)
+
+
+class TestFineBounds:
+    def test_schedule_follows_algorithm1(self):
+        bounds = _fine_bounds(1e-3, 14)
+        expected = [1e-3, 2e-3, 3e-3, 4e-3, 5e-3, 6e-3, 7e-3, 8e-3, 9e-3, 1e-2, 2e-2, 3e-2, 4e-2, 5e-2]
+        assert np.allclose(bounds, expected)
+
+    def test_schedule_length_capped(self):
+        assert len(_fine_bounds(1e-4, 5)) == 5
+
+    def test_decade_rollover(self):
+        bounds = _fine_bounds(1e-2, 12)
+        assert bounds[9] == pytest.approx(1e-1)
+        assert bounds[10] == pytest.approx(2e-1)
+
+
+def synthetic_evaluator(threshold_per_layer, baseline=0.9, size_fn=None):
+    """Build a fake evaluator: accuracy degrades linearly past a per-layer knee."""
+
+    def evaluator(network, layer_name, sparse_layer, eb, x, y, config=None):
+        knee = threshold_per_layer[layer_name]
+        degradation = 0.0 if eb <= knee else min(0.5, (eb - knee) * 2.0)
+        size = int(1e6 / (1 + 100 * eb)) if size_fn is None else size_fn(layer_name, eb)
+        return baseline - degradation, size
+
+    return evaluator
+
+
+class TestAssessLayerWithSyntheticEvaluator:
+    """Exercise the Algorithm 1 control flow without any real forward passes."""
+
+    def _sparse_stub(self):
+        from repro.pruning import encode_sparse
+
+        w = np.zeros((4, 4), dtype=np.float32)
+        w[0, 0] = 1.0
+        return encode_sparse(w)
+
+    def test_coarse_then_fine_scan(self, trained_lenet300):
+        evaluator = synthetic_evaluator({"ip1": 5e-3})
+        cfg = AssessmentConfig(expected_accuracy_loss=0.01)
+        assessment, tests = assess_layer(
+            trained_lenet300,
+            "ip1",
+            self._sparse_stub(),
+            np.zeros((1, 1, 28, 28), dtype=np.float32),
+            np.zeros(1, dtype=int),
+            baseline_accuracy=0.9,
+            config=cfg,
+            evaluator=evaluator,
+        )
+        bounds = assessment.tested_bounds
+        # Distortion appears at 1e-2 in the coarse scan, so the fine scan
+        # starts at 1e-3 and stops once degradation > 1%.
+        assert pytest.approx(min(bounds)) == 1e-3
+        assert tests == len(bounds)
+        over = [p for p in assessment.points if p.degradation > 0.01]
+        assert len(over) >= 1
+
+    def test_insensitive_layer_keeps_coarse_points(self, trained_lenet300):
+        evaluator = synthetic_evaluator({"ip1": 10.0})  # never degrades
+        assessment, tests = assess_layer(
+            trained_lenet300,
+            "ip1",
+            self._sparse_stub(),
+            np.zeros((1, 1, 28, 28), dtype=np.float32),
+            np.zeros(1, dtype=int),
+            baseline_accuracy=0.9,
+            config=AssessmentConfig(),
+            evaluator=evaluator,
+        )
+        assert tests == 3  # only the coarse scan ran
+        assert assessment.tested_bounds == pytest.approx([1e-3, 1e-2, 1e-1])
+
+    def test_feasible_range_endpoints(self, trained_lenet300):
+        evaluator = synthetic_evaluator({"ip1": 5e-3})
+        cfg = AssessmentConfig(expected_accuracy_loss=0.01)
+        assessment, _ = assess_layer(
+            trained_lenet300,
+            "ip1",
+            self._sparse_stub(),
+            np.zeros((1, 1, 28, 28), dtype=np.float32),
+            np.zeros(1, dtype=int),
+            baseline_accuracy=0.9,
+            config=cfg,
+            evaluator=evaluator,
+        )
+        lo, hi = assessment.feasible_range
+        assert lo == pytest.approx(1e-3)
+        # The knee is 5e-3 and eps* = 1%, so bounds up to 5e-3 + 0.005 stay ok.
+        assert 5e-3 <= hi <= 2e-2
+
+    def test_point_lookup(self):
+        assessment = LayerAssessment(layer="x", baseline_accuracy=0.9)
+        assessment.points = [AssessmentPoint("x", 1e-3, 0.9, 0.0, 100)]
+        assert assessment.point_for(1e-3).compressed_bytes == 100
+        with pytest.raises(KeyError):
+            assessment.point_for(5e-3)
+
+    def test_empty_layer_feasible_range_raises(self):
+        assessment = LayerAssessment(layer="x", baseline_accuracy=0.9)
+        with pytest.raises(ValidationError):
+            assessment.feasible_range
+
+
+class TestEvaluateCandidateReal:
+    """A few real (forward pass) evaluations on the trained LeNet."""
+
+    def test_small_bound_preserves_accuracy(self, pruned_lenet300, small_dataset):
+        _, test = small_dataset
+        net = pruned_lenet300.network
+        baseline = net.accuracy(test.images, test.labels)
+        acc, size = evaluate_candidate(
+            net,
+            "ip1",
+            pruned_lenet300.sparse_layers["ip1"],
+            1e-4,
+            test.images,
+            test.labels,
+        )
+        assert abs(acc - baseline) <= 0.005
+        assert 0 < size < pruned_lenet300.sparse_layers["ip1"].dense_bytes
+
+    def test_weights_restored_after_evaluation(self, pruned_lenet300, small_dataset):
+        _, test = small_dataset
+        net = pruned_lenet300.network
+        before = net.get_weights("ip1").copy()
+        evaluate_candidate(
+            net, "ip1", pruned_lenet300.sparse_layers["ip1"], 1e-2, test.images, test.labels
+        )
+        assert np.array_equal(net.get_weights("ip1"), before)
+
+    def test_larger_bound_gives_smaller_size(self, pruned_lenet300, small_dataset):
+        _, test = small_dataset
+        net = pruned_lenet300.network
+        sparse = pruned_lenet300.sparse_layers["ip1"]
+        _, size_small_eb = evaluate_candidate(net, "ip1", sparse, 1e-4, test.images, test.labels)
+        _, size_large_eb = evaluate_candidate(net, "ip1", sparse, 1e-2, test.images, test.labels)
+        assert size_large_eb < size_small_eb
+
+
+class TestAssessNetworkReal:
+    def test_assesses_every_layer(self, pruned_lenet300, small_dataset):
+        _, test = small_dataset
+        result = assess_network(
+            pruned_lenet300.network,
+            pruned_lenet300.sparse_layers,
+            test.images,
+            test.labels,
+            config=AssessmentConfig(expected_accuracy_loss=0.02, max_fine_tests=6),
+        )
+        assert set(result.layers) == set(pruned_lenet300.sparse_layers)
+        assert result.tests_performed >= 3 * len(result.layers)
+        for assessment in result.layers.values():
+            assert len(assessment.points) >= 3
+            for point in assessment.points:
+                assert point.compressed_bytes > 0
+        candidates = result.candidates()
+        assert set(candidates) == set(result.layers)

@@ -1,0 +1,116 @@
+"""Tests for the compressed-model encoder/decoder (Step 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import DeepSZDecoder
+from repro.core.encoder import CompressedModel, DeepSZEncoder
+from repro.pruning import decode_sparse, encode_sparse, prune_weights
+from repro.utils.errors import DecompressionError, ValidationError
+
+
+@pytest.fixture()
+def sparse_layers(rng):
+    layers = {}
+    for name, shape, density in [("fc6", (128, 256), 0.09), ("fc7", (64, 128), 0.09), ("fc8", (16, 64), 0.25)]:
+        w = rng.normal(0, 0.03, shape).astype(np.float32)
+        pruned, _ = prune_weights(w, density)
+        layers[name] = encode_sparse(pruned)
+    return layers
+
+
+@pytest.fixture()
+def error_bounds():
+    return {"fc6": 7e-3, "fc7": 7e-3, "fc8": 5e-3}
+
+
+class TestEncoder:
+    def test_encode_all_layers(self, sparse_layers, error_bounds):
+        model = DeepSZEncoder().encode("test-net", sparse_layers, error_bounds)
+        assert set(model.layers) == set(sparse_layers)
+        assert model.network == "test-net"
+        assert model.compressed_bytes == sum(l.compressed_bytes for l in model.layers.values())
+        assert model.compression_ratio > 1.0
+        assert model.error_bounds() == error_bounds
+
+    def test_missing_error_bound_raises(self, sparse_layers):
+        with pytest.raises(ValidationError):
+            DeepSZEncoder().encode("x", sparse_layers, {"fc6": 1e-3})
+
+    def test_layer_metadata(self, sparse_layers, error_bounds):
+        model = DeepSZEncoder().encode("x", sparse_layers, error_bounds)
+        layer = model.layers["fc6"]
+        assert layer.shape == (128, 256)
+        assert layer.nnz == sparse_layers["fc6"].nnz
+        assert layer.dense_bytes == 128 * 256 * 4
+        assert layer.bits_per_nonzero > 0
+        assert layer.index_backend in ("zlib", "lzma", "bz2", "store")
+
+    def test_deepsz_beats_csr(self, sparse_layers, error_bounds):
+        """The whole point: SZ on the data array + lossless index beats 40-bit CSR."""
+        model = DeepSZEncoder().encode("x", sparse_layers, error_bounds)
+        for name, layer in model.layers.items():
+            assert layer.compressed_bytes < sparse_layers[name].packed_bytes
+
+    def test_encoding_time_recorded(self, sparse_layers, error_bounds):
+        model = DeepSZEncoder().encode("x", sparse_layers, error_bounds)
+        assert model.encoding_time.total > 0
+        assert set(model.encoding_time.phases) == {f"encode:{n}" for n in sparse_layers}
+
+
+class TestModelSerialization:
+    def test_to_from_bytes_roundtrip(self, sparse_layers, error_bounds):
+        model = DeepSZEncoder().encode("net", sparse_layers, error_bounds, expected_accuracy_loss=0.004)
+        blob = model.to_bytes()
+        restored = CompressedModel.from_bytes(blob)
+        assert restored.network == "net"
+        assert restored.expected_accuracy_loss == pytest.approx(0.004)
+        assert set(restored.layers) == set(model.layers)
+        for name in model.layers:
+            assert restored.layers[name].sz_payload == model.layers[name].sz_payload
+            assert restored.layers[name].error_bound == model.layers[name].error_bound
+
+    def test_from_bytes_rejects_garbage(self):
+        with pytest.raises(DecompressionError):
+            CompressedModel.from_bytes(b"not a model")
+
+    def test_decoded_weights_identical_after_serialization(self, sparse_layers, error_bounds):
+        model = DeepSZEncoder().encode("net", sparse_layers, error_bounds)
+        restored = CompressedModel.from_bytes(model.to_bytes())
+        d1 = DeepSZDecoder().decode(model)
+        d2 = DeepSZDecoder().decode(restored)
+        for name in d1.weights:
+            assert np.array_equal(d1.weights[name], d2.weights[name])
+
+
+class TestDecoder:
+    def test_error_bound_respected_per_layer(self, sparse_layers, error_bounds):
+        model = DeepSZEncoder().encode("net", sparse_layers, error_bounds)
+        decoded = DeepSZDecoder().decode(model)
+        for name, sparse in sparse_layers.items():
+            original = decode_sparse(sparse)
+            recon = decoded.weights[name]
+            assert recon.shape == original.shape
+            # Stored (non-zero) entries obey the layer's error bound.
+            nz = original != 0
+            assert np.max(np.abs(recon[nz] - original[nz])) <= error_bounds[name] * (1 + 1e-5)
+            # Pruned weights stay within the bound of zero.
+            assert np.max(np.abs(recon[~nz])) <= error_bounds[name] * (1 + 1e-5)
+
+    def test_timing_breakdown_has_three_phases(self, sparse_layers, error_bounds):
+        model = DeepSZEncoder().encode("net", sparse_layers, error_bounds)
+        decoded = DeepSZDecoder().decode(model)
+        assert set(decoded.timing.phases) == {"lossless", "sz", "csr"}
+        assert decoded.total_seconds > 0
+
+    def test_apply_loads_weights_into_network(self, pruned_lenet300):
+        pruned = pruned_lenet300
+        bounds = {name: 1e-3 for name in pruned.sparse_layers}
+        model = DeepSZEncoder().encode("LeNet-300-100", pruned.sparse_layers, bounds)
+        target = pruned.network.clone()
+        DeepSZDecoder().apply(model, target)
+        for name in pruned.sparse_layers:
+            original = pruned.network.get_weights(name)
+            loaded = target.get_weights(name)
+            assert np.max(np.abs(loaded - original)) <= 1e-3 * (1 + 1e-5)
+            assert not np.array_equal(loaded, original)  # lossy, not identical

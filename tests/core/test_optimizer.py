@@ -1,0 +1,156 @@
+"""Tests for the Algorithm 2 error-bound configuration optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.assessment import AssessmentPoint
+from repro.core.optimizer import (
+    OptimizerConfig,
+    optimize_error_bounds,
+    optimize_for_size_budget,
+)
+from repro.utils.errors import OptimizationError, ValidationError
+
+
+def points(layer, triples):
+    """Helper: build AssessmentPoints from (eb, degradation, size) triples."""
+    return [
+        AssessmentPoint(layer=layer, error_bound=eb, accuracy=0.9 - d, degradation=d, compressed_bytes=s)
+        for eb, d, s in triples
+    ]
+
+
+@pytest.fixture()
+def two_layer_candidates():
+    # Larger error bound -> smaller size but more degradation.
+    return {
+        "fc6": points(
+            "fc6",
+            [(1e-3, 0.000, 1000), (5e-3, 0.001, 600), (1e-2, 0.003, 400), (3e-2, 0.010, 250)],
+        ),
+        "fc7": points(
+            "fc7",
+            [(1e-3, 0.000, 500), (5e-3, 0.0005, 300), (1e-2, 0.002, 200), (3e-2, 0.008, 120)],
+        ),
+    }
+
+
+class TestExpectedAccuracyMode:
+    def test_budget_respected(self, two_layer_candidates):
+        plan = optimize_error_bounds(
+            two_layer_candidates, OptimizerConfig(expected_accuracy_loss=0.004)
+        )
+        assert plan.predicted_loss <= 0.004 + 1e-9
+        assert set(plan.error_bounds) == {"fc6", "fc7"}
+        assert plan.total_compressed_bytes == sum(plan.per_layer_bytes.values())
+
+    def test_minimises_size_within_budget(self, two_layer_candidates):
+        plan = optimize_error_bounds(
+            two_layer_candidates, OptimizerConfig(expected_accuracy_loss=0.004)
+        )
+        # Exhaustive search over the 4x4 grid for the true optimum.
+        best = None
+        for p6 in two_layer_candidates["fc6"]:
+            for p7 in two_layer_candidates["fc7"]:
+                if max(p6.degradation, 0) + max(p7.degradation, 0) <= 0.004:
+                    size = p6.compressed_bytes + p7.compressed_bytes
+                    if best is None or size < best:
+                        best = size
+        assert plan.total_compressed_bytes == best
+
+    def test_zero_budget_tendency(self, two_layer_candidates):
+        tiny = optimize_error_bounds(
+            two_layer_candidates, OptimizerConfig(expected_accuracy_loss=1e-6)
+        )
+        large = optimize_error_bounds(
+            two_layer_candidates, OptimizerConfig(expected_accuracy_loss=0.05)
+        )
+        # A tiny budget forces the lossless-ish bounds; a large budget allows
+        # the most aggressive ones.
+        assert tiny.total_compressed_bytes >= large.total_compressed_bytes
+        assert large.error_bounds["fc6"] >= tiny.error_bounds["fc6"]
+
+    def test_larger_budget_never_hurts(self, two_layer_candidates):
+        sizes = [
+            optimize_error_bounds(
+                two_layer_candidates, OptimizerConfig(expected_accuracy_loss=b)
+            ).total_compressed_bytes
+            for b in (0.001, 0.002, 0.005, 0.02)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_negative_degradation_is_free(self):
+        candidates = {
+            "fc6": points("fc6", [(1e-3, -0.002, 800), (1e-2, 0.0005, 300)]),
+        }
+        plan = optimize_error_bounds(candidates, OptimizerConfig(expected_accuracy_loss=0.001))
+        assert plan.error_bounds["fc6"] == 1e-2
+
+    def test_single_layer_single_candidate(self):
+        candidates = {"fc6": points("fc6", [(1e-3, 0.0001, 123)])}
+        plan = optimize_error_bounds(candidates, OptimizerConfig(expected_accuracy_loss=0.004))
+        assert plan.error_bounds == {"fc6": 1e-3}
+        assert plan.total_compressed_bytes == 123
+
+    def test_infeasible_layer_raises(self):
+        candidates = {"fc6": points("fc6", [(1e-1, 0.5, 10)])}
+        with pytest.raises(OptimizationError):
+            optimize_error_bounds(candidates, OptimizerConfig(expected_accuracy_loss=0.004))
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(ValidationError):
+            optimize_error_bounds({}, OptimizerConfig())
+        with pytest.raises(OptimizationError):
+            optimize_error_bounds({"fc6": []}, OptimizerConfig())
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            OptimizerConfig(expected_accuracy_loss=0)
+        with pytest.raises(ValidationError):
+            OptimizerConfig(resolution=0)
+
+    def test_many_layers_scales(self, rng):
+        candidates = {}
+        for i in range(10):
+            triples = [
+                (eb, float(max(0.0, (eb - 0.005) * (0.2 + 0.05 * i))), int(1000 / (1 + 200 * eb)))
+                for eb in (1e-3, 3e-3, 1e-2, 3e-2)
+            ]
+            candidates[f"layer{i}"] = points(f"layer{i}", triples)
+        plan = optimize_error_bounds(candidates, OptimizerConfig(expected_accuracy_loss=0.01))
+        assert len(plan.error_bounds) == 10
+        assert plan.predicted_loss <= 0.01 + 1e-9
+
+
+class TestExpectedRatioMode:
+    def test_size_budget_respected(self, two_layer_candidates):
+        plan = optimize_for_size_budget(two_layer_candidates, size_budget_bytes=700)
+        assert plan.total_compressed_bytes <= 700
+        assert set(plan.error_bounds) == {"fc6", "fc7"}
+
+    def test_minimises_loss_within_budget(self, two_layer_candidates):
+        plan = optimize_for_size_budget(two_layer_candidates, size_budget_bytes=800)
+        best = None
+        for p6 in two_layer_candidates["fc6"]:
+            for p7 in two_layer_candidates["fc7"]:
+                if p6.compressed_bytes + p7.compressed_bytes <= 800:
+                    loss = max(p6.degradation, 0) + max(p7.degradation, 0)
+                    if best is None or loss < best:
+                        best = loss
+        assert plan.predicted_loss == pytest.approx(best, abs=1e-9)
+
+    def test_tighter_budget_costs_more_accuracy(self, two_layer_candidates):
+        loose = optimize_for_size_budget(two_layer_candidates, size_budget_bytes=1500)
+        tight = optimize_for_size_budget(two_layer_candidates, size_budget_bytes=400)
+        assert tight.predicted_loss >= loose.predicted_loss
+        assert tight.total_compressed_bytes <= loose.total_compressed_bytes
+
+    def test_impossible_budget_raises(self, two_layer_candidates):
+        with pytest.raises(OptimizationError):
+            optimize_for_size_budget(two_layer_candidates, size_budget_bytes=100)
+
+    def test_invalid_arguments(self, two_layer_candidates):
+        with pytest.raises(ValidationError):
+            optimize_for_size_budget(two_layer_candidates, size_budget_bytes=0)
+        with pytest.raises(ValidationError):
+            optimize_for_size_budget({}, size_budget_bytes=100)

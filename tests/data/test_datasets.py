@@ -1,0 +1,136 @@
+"""Tests for the dataset container and synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Dataset,
+    SyntheticSpec,
+    imagenet_like,
+    iterate_batches,
+    make_classification_images,
+    mnist_like,
+    train_test_split,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestDataset:
+    def test_basic_properties(self, fresh_rng):
+        images = fresh_rng.normal(size=(10, 1, 4, 4)).astype(np.float32)
+        labels = np.arange(10) % 3
+        ds = Dataset(images, labels, name="x")
+        assert len(ds) == 10
+        assert ds.num_classes == 3
+        assert ds.image_shape == (1, 4, 4)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            Dataset(np.zeros((3, 4, 4)), np.zeros(3, dtype=int))
+        with pytest.raises(ValidationError):
+            Dataset(np.zeros((3, 1, 4, 4)), np.zeros(4, dtype=int))
+
+    def test_subset_and_take(self, fresh_rng):
+        images = fresh_rng.normal(size=(10, 1, 2, 2)).astype(np.float32)
+        ds = Dataset(images, np.arange(10), name="x")
+        sub = ds.subset(np.array([3, 1]))
+        assert np.array_equal(sub.labels, [3, 1])
+        assert len(ds.take(4)) == 4
+        assert len(ds.take(100)) == 10
+
+    def test_train_test_split_disjoint_and_complete(self):
+        ds = mnist_like(samples_per_class=20, seed=0)
+        train, test = train_test_split(ds, 0.25, seed=1)
+        assert len(train) + len(test) == len(ds)
+        assert len(test) == round(0.25 * len(ds))
+        # Determinism
+        train2, test2 = train_test_split(ds, 0.25, seed=1)
+        assert np.array_equal(test.labels, test2.labels)
+
+    def test_train_test_split_invalid_fraction(self):
+        ds = mnist_like(samples_per_class=5, seed=0)
+        with pytest.raises(ValidationError):
+            train_test_split(ds, 0.0)
+        with pytest.raises(ValidationError):
+            train_test_split(ds, 1.0)
+
+    def test_iterate_batches_covers_everything(self):
+        ds = mnist_like(samples_per_class=13, seed=0)
+        seen = 0
+        for xb, yb in iterate_batches(ds, 32):
+            assert len(xb) == len(yb) <= 32
+            seen += len(xb)
+        assert seen == len(ds)
+
+    def test_iterate_batches_shuffle_deterministic(self):
+        ds = mnist_like(samples_per_class=10, seed=0)
+        a = [yb for _, yb in iterate_batches(ds, 16, shuffle=True, seed=5)]
+        b = [yb for _, yb in iterate_batches(ds, 16, shuffle=True, seed=5)]
+        for ya, yb in zip(a, b):
+            assert np.array_equal(ya, yb)
+
+    def test_iterate_batches_invalid_batch_size(self):
+        ds = mnist_like(samples_per_class=5, seed=0)
+        with pytest.raises(ValidationError):
+            list(iterate_batches(ds, 0))
+
+
+class TestSyntheticGenerators:
+    def test_mnist_like_shapes(self):
+        ds = mnist_like(samples_per_class=15, seed=1)
+        assert ds.images.shape == (150, 1, 28, 28)
+        assert ds.images.dtype == np.float32
+        assert ds.num_classes == 10
+        assert np.bincount(ds.labels).tolist() == [15] * 10
+
+    def test_imagenet_like_shapes(self):
+        ds = imagenet_like(samples_per_class=8, num_classes=12, seed=2)
+        assert ds.images.shape == (96, 3, 32, 32)
+        assert ds.num_classes == 12
+
+    def test_deterministic_given_seed(self):
+        a = mnist_like(samples_per_class=10, seed=3)
+        b = mnist_like(samples_per_class=10, seed=3)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = mnist_like(samples_per_class=10, seed=3)
+        b = mnist_like(samples_per_class=10, seed=4)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_classes_are_distinguishable(self):
+        """Nearest-class-template classification must beat chance by a lot."""
+        spec = SyntheticSpec(num_classes=5, samples_per_class=40, ambiguity=0.3, seed=5)
+        ds = make_classification_images(spec)
+        flat = ds.images.reshape(len(ds), -1)
+        means = np.stack([flat[ds.labels == c].mean(axis=0) for c in range(5)])
+        dists = ((flat[:, None, :] - means[None, :, :]) ** 2).sum(axis=2)
+        acc = (dists.argmin(axis=1) == ds.labels).mean()
+        assert acc > 0.8
+
+    def test_spec_validation(self):
+        with pytest.raises(ValidationError):
+            SyntheticSpec(num_classes=1)
+        with pytest.raises(ValidationError):
+            SyntheticSpec(support=0.0)
+        with pytest.raises(ValidationError):
+            SyntheticSpec(ambiguity=1.5)
+        with pytest.raises(ValidationError):
+            SyntheticSpec(noise_std=-0.1)
+        with pytest.raises(ValidationError):
+            SyntheticSpec(basis_size=1)
+
+    def test_ambiguity_controls_difficulty(self):
+        """Higher ambiguity must reduce nearest-template accuracy."""
+        accs = []
+        for ambiguity in (0.2, 0.9):
+            spec = SyntheticSpec(
+                num_classes=5, samples_per_class=60, ambiguity=ambiguity, noise_std=0.1, seed=6
+            )
+            ds = make_classification_images(spec)
+            flat = ds.images.reshape(len(ds), -1)
+            means = np.stack([flat[ds.labels == c].mean(axis=0) for c in range(5)])
+            dists = ((flat[:, None, :] - means[None, :, :]) ** 2).sum(axis=2)
+            accs.append((dists.argmin(axis=1) == ds.labels).mean())
+        assert accs[1] < accs[0]

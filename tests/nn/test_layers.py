@@ -1,0 +1,193 @@
+"""Tests for the NN layers, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Softmax
+from repro.utils.errors import ValidationError
+
+
+def numerical_grad(f, x, eps=1e-4):
+    """Central-difference gradient of scalar function f at x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        old = x[idx]
+        x[idx] = old + eps
+        fp = f()
+        x[idx] = old - eps
+        fm = f()
+        x[idx] = old
+        grad[idx] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestDense:
+    def test_forward_shape_and_value(self):
+        layer = Dense("fc", 3, 2, rng=0)
+        layer.params["weight"] = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 1.0]], dtype=np.float32)
+        layer.params["bias"] = np.array([0.5, -0.5], dtype=np.float32)
+        x = np.array([[1.0, 2.0, 3.0]], dtype=np.float32)
+        out = layer.forward(x)
+        assert out.shape == (1, 2)
+        assert np.allclose(out, [[1.5, 4.5]])
+
+    def test_rejects_wrong_input_width(self):
+        layer = Dense("fc", 4, 2, rng=0)
+        with pytest.raises(ValidationError):
+            layer.forward(np.zeros((1, 5), dtype=np.float32))
+
+    def test_backward_before_forward_raises(self):
+        layer = Dense("fc", 4, 2, rng=0)
+        with pytest.raises(ValidationError):
+            layer.backward(np.zeros((1, 2), dtype=np.float32))
+
+    def test_gradient_check(self, fresh_rng):
+        layer = Dense("fc", 5, 3, rng=1)
+        x = fresh_rng.normal(size=(4, 5)).astype(np.float32)
+        target = fresh_rng.normal(size=(4, 3)).astype(np.float32)
+
+        def loss():
+            out = layer.forward(x.astype(np.float32), training=True)
+            return float(0.5 * np.sum((out - target) ** 2))
+
+        out = layer.forward(x, training=True)
+        grad_out = (out - target).astype(np.float32)
+        grad_in = layer.backward(grad_out)
+
+        num_w = numerical_grad(loss, layer.params["weight"])
+        assert np.allclose(layer.grads["weight"], num_w, atol=1e-2)
+        num_b = numerical_grad(loss, layer.params["bias"])
+        assert np.allclose(layer.grads["bias"], num_b, atol=1e-2)
+        num_x = numerical_grad(loss, x)
+        assert np.allclose(grad_in, num_x, atol=1e-2)
+
+    def test_parameter_counts(self):
+        layer = Dense("fc", 10, 7, rng=0)
+        assert layer.parameter_count() == 10 * 7 + 7
+        assert layer.parameter_bytes() == (10 * 7 + 7) * 4
+
+
+class TestConv2D:
+    def test_output_shape(self):
+        layer = Conv2D("c", 3, 8, 3, padding=1, rng=0)
+        out = layer.forward(np.zeros((2, 3, 16, 16), dtype=np.float32))
+        assert out.shape == (2, 8, 16, 16)
+
+    def test_output_shape_stride(self):
+        layer = Conv2D("c", 1, 4, 5, stride=2, rng=0)
+        out = layer.forward(np.zeros((1, 1, 28, 28), dtype=np.float32))
+        assert out.shape == (1, 4, 12, 12)
+
+    def test_known_convolution_value(self):
+        layer = Conv2D("c", 1, 1, 3, rng=0)
+        layer.params["weight"] = np.ones((1, 1, 3, 3), dtype=np.float32)
+        layer.params["bias"] = np.zeros(1, dtype=np.float32)
+        x = np.ones((1, 1, 5, 5), dtype=np.float32)
+        out = layer.forward(x)
+        assert out.shape == (1, 1, 3, 3)
+        assert np.allclose(out, 9.0)
+
+    def test_rejects_wrong_channels(self):
+        layer = Conv2D("c", 3, 4, 3, rng=0)
+        with pytest.raises(ValidationError):
+            layer.forward(np.zeros((1, 2, 8, 8), dtype=np.float32))
+
+    def test_gradient_check(self, fresh_rng):
+        layer = Conv2D("c", 2, 3, 3, padding=1, rng=2)
+        x = fresh_rng.normal(size=(2, 2, 5, 5)).astype(np.float32)
+        target = fresh_rng.normal(size=(2, 3, 5, 5)).astype(np.float32)
+
+        def loss():
+            out = layer.forward(x, training=True)
+            return float(0.5 * np.sum((out - target) ** 2))
+
+        out = layer.forward(x, training=True)
+        grad_in = layer.backward((out - target).astype(np.float32))
+        # The forward pass runs in float32, so the central-difference estimate
+        # carries a few percent of rounding noise on gradients of size ~30.
+        num_w = numerical_grad(loss, layer.params["weight"], eps=1e-3)
+        assert np.allclose(layer.grads["weight"], num_w, rtol=5e-2, atol=5e-2)
+        num_x = numerical_grad(loss, x, eps=1e-3)
+        assert np.allclose(grad_in, num_x, rtol=5e-2, atol=5e-2)
+
+
+class TestReLUAndPool:
+    def test_relu_forward(self):
+        layer = ReLU("r")
+        x = np.array([[-1.0, 0.0, 2.0]], dtype=np.float32)
+        assert np.array_equal(layer.forward(x), [[0.0, 0.0, 2.0]])
+
+    def test_relu_backward_masks_negatives(self):
+        layer = ReLU("r")
+        x = np.array([[-1.0, 3.0]], dtype=np.float32)
+        layer.forward(x, training=True)
+        grad = layer.backward(np.array([[5.0, 5.0]], dtype=np.float32))
+        assert np.array_equal(grad, [[0.0, 5.0]])
+
+    def test_maxpool_forward(self):
+        layer = MaxPool2D("p", 2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        assert out.shape == (1, 1, 2, 2)
+        assert np.array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        layer = MaxPool2D("p", 2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        layer.forward(x, training=True)
+        grad = layer.backward(np.ones((1, 1, 2, 2), dtype=np.float32))
+        assert grad.sum() == 4
+        assert grad[0, 0, 1, 1] == 1 and grad[0, 0, 3, 3] == 1
+        assert grad[0, 0, 0, 0] == 0
+
+    def test_maxpool_gradient_check(self, fresh_rng):
+        layer = MaxPool2D("p", 2)
+        x = fresh_rng.normal(size=(1, 2, 4, 4)).astype(np.float32)
+        target = fresh_rng.normal(size=(1, 2, 2, 2)).astype(np.float32)
+
+        def loss():
+            return float(0.5 * np.sum((layer.forward(x, training=True) - target) ** 2))
+
+        out = layer.forward(x, training=True)
+        grad_in = layer.backward((out - target).astype(np.float32))
+        assert np.allclose(grad_in, numerical_grad(loss, x), atol=1e-2)
+
+
+class TestDropoutFlattenSoftmax:
+    def test_dropout_identity_at_inference(self, fresh_rng):
+        layer = Dropout("d", 0.5, rng=3)
+        x = fresh_rng.normal(size=(8, 10)).astype(np.float32)
+        assert np.array_equal(layer.forward(x, training=False), x)
+
+    def test_dropout_scales_at_training(self):
+        layer = Dropout("d", 0.5, rng=3)
+        x = np.ones((1000, 4), dtype=np.float32)
+        out = layer.forward(x, training=True)
+        # Inverted dropout: surviving activations are scaled by 1/keep.
+        assert set(np.unique(out)).issubset({0.0, 2.0})
+        assert abs(out.mean() - 1.0) < 0.1
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValidationError):
+            Dropout("d", 1.0)
+
+    def test_flatten_roundtrip(self):
+        layer = Flatten("f")
+        x = np.arange(24, dtype=np.float32).reshape(2, 3, 2, 2)
+        out = layer.forward(x, training=True)
+        assert out.shape == (2, 12)
+        assert layer.backward(out).shape == x.shape
+
+    def test_softmax_rows_sum_to_one(self, fresh_rng):
+        layer = Softmax()
+        x = fresh_rng.normal(size=(5, 7)).astype(np.float32) * 20
+        out = layer.forward(x)
+        assert np.allclose(out.sum(axis=1), 1.0, atol=1e-6)
+        assert (out >= 0).all()
+
+    def test_softmax_is_stable_for_large_logits(self):
+        out = Softmax().forward(np.array([[1000.0, 1001.0]], dtype=np.float32))
+        assert np.isfinite(out).all()

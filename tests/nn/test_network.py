@@ -1,0 +1,195 @@
+"""Tests for the Network container."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, Flatten, Network, ReLU, Softmax, models
+from repro.utils.errors import ValidationError
+
+
+def tiny_net(seed=0):
+    return Network(
+        [
+            Flatten("flatten"),
+            Dense("fc1", 16, 8, rng=seed),
+            ReLU("r1"),
+            Dense("fc2", 8, 3, rng=seed + 1),
+            Softmax("prob"),
+        ],
+        name="tiny",
+    )
+
+
+class TestStructure:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            Network([ReLU("a"), ReLU("a")])
+
+    def test_getitem_by_name(self):
+        net = tiny_net()
+        assert net["fc1"].name == "fc1"
+        with pytest.raises(KeyError):
+            net["nope"]
+
+    def test_fc_layers_in_order(self):
+        net = tiny_net()
+        assert net.fc_layer_names() == ["fc1", "fc2"]
+
+    def test_parameter_counting(self):
+        net = tiny_net()
+        expected = (16 * 8 + 8) + (8 * 3 + 3)
+        assert net.parameter_count() == expected
+        assert net.parameter_bytes() == expected * 4
+        assert net.fc_parameter_bytes() == expected * 4
+
+
+class TestWeights:
+    def test_get_set_weights(self):
+        net = tiny_net()
+        w = net.get_weights("fc1")
+        new = np.zeros_like(w)
+        net.set_weights("fc1", new)
+        assert not net.get_weights("fc1").any()
+
+    def test_set_weights_shape_mismatch(self):
+        net = tiny_net()
+        with pytest.raises(ValidationError):
+            net.set_weights("fc1", np.zeros((2, 2), dtype=np.float32))
+
+    def test_set_weights_copies(self):
+        net = tiny_net()
+        new = np.ones((8, 16), dtype=np.float32)
+        net.set_weights("fc1", new)
+        new[:] = 5.0
+        assert net.get_weights("fc1").max() == 1.0
+
+    def test_state_dict_roundtrip(self):
+        net = tiny_net(seed=1)
+        other = tiny_net(seed=2)
+        assert not np.allclose(net.get_weights("fc1"), other.get_weights("fc1"))
+        other.load_state_dict(net.state_dict())
+        assert np.array_equal(net.get_weights("fc1"), other.get_weights("fc1"))
+        assert np.array_equal(net.get_weights("fc2"), other.get_weights("fc2"))
+
+    def test_load_state_dict_missing_key(self):
+        net = tiny_net()
+        state = net.state_dict()
+        del state["fc1.weight"]
+        with pytest.raises(ValidationError):
+            net.load_state_dict(state)
+
+    def test_clone_is_independent(self):
+        net = tiny_net()
+        clone = net.clone()
+        clone.set_weights("fc1", np.zeros((8, 16), dtype=np.float32))
+        assert net.get_weights("fc1").any()
+
+
+class TestExecution:
+    def test_forward_output_is_probability(self, fresh_rng):
+        net = tiny_net()
+        x = fresh_rng.normal(size=(4, 1, 4, 4)).astype(np.float32)
+        out = net.forward(x)
+        assert out.shape == (4, 3)
+        assert np.allclose(out.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_predict_labels_in_range(self, fresh_rng):
+        net = tiny_net()
+        x = fresh_rng.normal(size=(10, 1, 4, 4)).astype(np.float32)
+        preds = net.predict(x, batch_size=3)
+        assert preds.shape == (10,)
+        assert preds.min() >= 0 and preds.max() < 3
+
+    def test_evaluate_topk(self, fresh_rng):
+        net = tiny_net()
+        x = fresh_rng.normal(size=(30, 1, 4, 4)).astype(np.float32)
+        labels = fresh_rng.integers(0, 3, 30)
+        accs = net.evaluate(x, labels, topk=(1, 2, 3))
+        assert 0.0 <= accs[1] <= accs[2] <= accs[3] == 1.0
+
+    def test_evaluate_topk_exceeding_classes(self, fresh_rng):
+        net = tiny_net()
+        x = fresh_rng.normal(size=(6, 1, 4, 4)).astype(np.float32)
+        labels = fresh_rng.integers(0, 3, 6)
+        accs = net.evaluate(x, labels, topk=(5,))
+        assert accs[5] == 1.0  # k capped at the number of classes
+
+    def test_evaluate_mismatched_lengths(self, fresh_rng):
+        net = tiny_net()
+        with pytest.raises(ValidationError):
+            net.evaluate(np.zeros((3, 1, 4, 4), dtype=np.float32), np.zeros(2, dtype=int))
+
+    def test_evaluate_empty(self):
+        net = tiny_net()
+        accs = net.evaluate(np.zeros((0, 1, 4, 4), dtype=np.float32), np.zeros(0, dtype=int))
+        assert accs[1] == 0.0
+
+    def test_evaluate_invalid_topk(self, fresh_rng):
+        net = tiny_net()
+        x = fresh_rng.normal(size=(3, 1, 4, 4)).astype(np.float32)
+        with pytest.raises(ValidationError):
+            net.evaluate(x, np.zeros(3, dtype=int), topk=(0,))
+
+    def test_accuracy_against_known_labels(self, fresh_rng):
+        net = tiny_net()
+        x = fresh_rng.normal(size=(50, 1, 4, 4)).astype(np.float32)
+        labels = net.predict(x)  # use the net's own predictions as labels
+        assert net.accuracy(x, labels) == 1.0
+
+    def test_logits_skips_softmax(self, fresh_rng):
+        net = tiny_net()
+        x = fresh_rng.normal(size=(2, 1, 4, 4)).astype(np.float32)
+        logits = net.logits(x)
+        probs = net.forward(x)
+        assert not np.allclose(logits.sum(axis=1), 1.0)
+        manual = np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True)
+        assert np.allclose(manual, probs, atol=1e-5)
+
+
+class TestModelBuilders:
+    def test_available_models(self):
+        names = models.available_models()
+        assert {"lenet-300-100", "lenet-5", "alexnet-mini", "vgg-16-mini"} <= set(names)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ValidationError):
+            models.build_model("resnet-9000")
+
+    def test_lenet300_structure(self):
+        net = models.lenet_300_100(seed=0)
+        assert net.fc_layer_names() == ["ip1", "ip2", "ip3"]
+        assert net.get_weights("ip1").shape == (300, 784)
+
+    def test_lenet5_forward_shape(self, fresh_rng):
+        net = models.lenet5(seed=0)
+        x = fresh_rng.normal(size=(2, 1, 28, 28)).astype(np.float32)
+        assert net.forward(x).shape == (2, 10)
+
+    @pytest.mark.parametrize("builder", [models.alexnet_mini, models.vgg16_mini])
+    def test_imagenet_minis_forward_shape(self, builder, fresh_rng):
+        net = builder(num_classes=20, seed=0)
+        x = fresh_rng.normal(size=(2, 3, 32, 32)).astype(np.float32)
+        assert net.forward(x).shape == (2, 20)
+        assert net.fc_layer_names() == ["fc6", "fc7", "fc8"]
+
+    def test_fc6_dominates_fc_storage(self):
+        for builder in (models.alexnet_mini, models.vgg16_mini):
+            net = builder(seed=0)
+            sizes = {l.name: l.parameter_bytes() for l in net.fc_layers()}
+            assert sizes["fc6"] > sizes["fc7"] > sizes["fc8"]
+
+    def test_mini_spec_for(self):
+        net = models.alexnet_mini(seed=0)
+        spec = models.mini_spec_for(net)
+        assert spec.fc_layer_names == ["fc6", "fc7", "fc8"]
+        assert spec.fc_layer("fc6").shape == net.get_weights("fc6").shape
+
+    def test_synthesize_fc_weights_shape_and_range(self):
+        w = models.synthesize_fc_weights("AlexNet", "fc8", seed=1, scale=0.1)
+        assert w.shape == (100, 410)
+        assert w.dtype == np.float32
+        assert np.abs(w).max() <= 0.3
+
+    def test_synthesize_fc_weights_full_scale_dims(self):
+        w = models.synthesize_fc_weights("LeNet-300-100", "ip3", seed=1)
+        assert w.shape == (10, 100)

@@ -1,0 +1,118 @@
+"""Tests for the paper-scale architecture specs and parameter serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import models, network_from_bytes, network_to_bytes, save_network, load_network
+from repro.nn.serialize import state_dict_from_bytes, state_dict_to_bytes
+from repro.nn.specs import (
+    PAPER_EXPECTED_ACCURACY_LOSS,
+    PAPER_PRUNING_RATIOS,
+    all_specs,
+    alexnet_spec,
+    get_spec,
+    lenet5_spec,
+    lenet_300_100_spec,
+    vgg16_spec,
+)
+from repro.utils.errors import DecompressionError, ValidationError
+
+
+class TestSpecs:
+    def test_four_networks(self):
+        names = [s.name for s in all_specs()]
+        assert names == ["LeNet-300-100", "LeNet-5", "AlexNet", "VGG-16"]
+
+    def test_lookup_case_insensitive(self):
+        assert get_spec("alexnet").name == "AlexNet"
+        with pytest.raises(ValidationError):
+            get_spec("GoogLeNet")
+
+    def test_fc_shapes_match_table1(self):
+        assert lenet_300_100_spec().fc_layer("ip1").shape == (300, 784)
+        assert lenet5_spec().fc_layer("ip1").shape == (500, 800)
+        assert alexnet_spec().fc_layer("fc6").shape == (4096, 9216)
+        assert vgg16_spec().fc_layer("fc6").shape == (4096, 25088)
+
+    def test_fc_sizes_match_table2(self):
+        # Table 2 original sizes: AlexNet fc6 151 MB, fc7 67.1 MB, fc8 16.4 MB.
+        alex = alexnet_spec()
+        assert alex.fc_layer("fc6").weight_bytes == pytest.approx(151.0e6, rel=0.01)
+        assert alex.fc_layer("fc7").weight_bytes == pytest.approx(67.1e6, rel=0.01)
+        assert alex.fc_layer("fc8").weight_bytes == pytest.approx(16.4e6, rel=0.01)
+        vgg = vgg16_spec()
+        assert vgg.fc_layer("fc6").weight_bytes == pytest.approx(411.0e6, rel=0.01)
+        # LeNet-300-100 ip1 941 KB.
+        assert lenet_300_100_spec().fc_layer("ip1").weight_bytes == pytest.approx(941e3, rel=0.02)
+
+    def test_fc_fraction_matches_table1(self):
+        # Paper: 100%, ~95%, 96.1%, 89.4%.
+        assert lenet_300_100_spec().fc_fraction == 1.0
+        assert lenet5_spec().fc_fraction == pytest.approx(0.941, abs=0.02)
+        assert alexnet_spec().fc_fraction == pytest.approx(0.961, abs=0.01)
+        assert vgg16_spec().fc_fraction == pytest.approx(0.894, abs=0.01)
+
+    def test_total_sizes_match_table1(self):
+        # Paper totals: 1.1 MB, 1.7 MB, 243.9 MB, 553.4 MB.
+        assert lenet_300_100_spec().total_bytes == pytest.approx(1.07e6, rel=0.05)
+        assert alexnet_spec().total_bytes == pytest.approx(243.9e6, rel=0.02)
+        assert vgg16_spec().total_bytes == pytest.approx(553.4e6, rel=0.02)
+
+    def test_vgg16_has_13_convs(self):
+        assert len(vgg16_spec().conv_layers) == 13
+        assert len(alexnet_spec().conv_layers) == 5
+
+    def test_unknown_fc_layer_raises(self):
+        with pytest.raises(ValidationError):
+            alexnet_spec().fc_layer("fc99")
+
+    def test_paper_constants_cover_all_networks(self):
+        for spec in all_specs():
+            assert spec.name in PAPER_PRUNING_RATIOS
+            assert spec.name in PAPER_EXPECTED_ACCURACY_LOSS
+            for layer in PAPER_PRUNING_RATIOS[spec.name]:
+                assert layer in spec.fc_layer_names
+
+
+class TestSerialization:
+    def test_state_dict_roundtrip(self, fresh_rng):
+        state = {
+            "a.weight": fresh_rng.normal(size=(4, 5)).astype(np.float32),
+            "a.bias": fresh_rng.normal(size=5).astype(np.float32),
+            "counts": np.arange(7, dtype=np.int64),
+        }
+        out = state_dict_from_bytes(state_dict_to_bytes(state))
+        assert set(out) == set(state)
+        for key in state:
+            assert np.array_equal(out[key], state[key])
+            assert out[key].dtype == state[key].dtype
+
+    def test_network_bytes_roundtrip(self):
+        net = models.lenet_300_100(seed=1)
+        other = models.lenet_300_100(seed=2)
+        network_from_bytes(network_to_bytes(net), other)
+        assert np.array_equal(net.get_weights("ip2"), other.get_weights("ip2"))
+
+    def test_save_load_file(self, tmp_path):
+        net = models.lenet_300_100(seed=3)
+        path = tmp_path / "model.bin"
+        n = save_network(net, path)
+        assert path.stat().st_size == n
+        other = models.lenet_300_100(seed=4)
+        load_network(path, other)
+        assert np.array_equal(net.get_weights("ip1"), other.get_weights("ip1"))
+
+    def test_load_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with pytest.raises(ValidationError):
+            load_network(path, models.lenet_300_100(seed=0))
+
+    def test_corrupt_blob_raises(self):
+        with pytest.raises(DecompressionError):
+            state_dict_from_bytes(b"not a state dict")
+
+    def test_incompatible_architecture_raises(self):
+        blob = network_to_bytes(models.lenet_300_100(seed=1))
+        with pytest.raises(ValidationError):
+            network_from_bytes(blob, models.lenet5(seed=1))

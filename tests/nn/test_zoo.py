@@ -1,0 +1,79 @@
+"""Tests for the model zoo (recipes, caching)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import zoo
+from repro.utils.errors import ValidationError
+
+
+class TestRecipes:
+    def test_four_recipes_cover_paper_networks(self):
+        assert set(zoo.RECIPES) == {"lenet-300-100", "lenet-5", "alexnet-mini", "vgg-16-mini"}
+        assert set(zoo.PAPER_NAME) == set(zoo.RECIPES)
+
+    def test_fingerprint_is_stable_and_sensitive(self):
+        r = zoo.get_recipe("lenet-300-100")
+        assert r.fingerprint() == zoo.get_recipe("lenet-300-100").fingerprint()
+        import dataclasses
+
+        changed = dataclasses.replace(r, epochs=r.epochs + 1)
+        assert changed.fingerprint() != r.fingerprint()
+
+    def test_unknown_recipe_raises(self):
+        with pytest.raises(ValidationError):
+            zoo.get_recipe("resnet-152")
+
+    def test_load_dataset_shapes(self):
+        train, test = zoo.load_dataset(zoo.get_recipe("lenet-300-100"))
+        assert train.image_shape == (1, 28, 28)
+        assert len(train) > len(test) > 0
+
+    def test_pruning_ratios_reference_real_layers(self):
+        from repro.nn import models
+
+        for name, recipe in zoo.RECIPES.items():
+            net = models.build_model(recipe.model, num_classes=recipe.num_classes, seed=0)
+            for layer in recipe.pruning_ratios:
+                assert layer in net.fc_layer_names()
+
+
+class TestCaching:
+    def test_trained_model_cache_roundtrip(self, tmp_path, monkeypatch):
+        """Train once with a throwaway 1-epoch recipe, reload from cache."""
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        import dataclasses
+
+        fast = dataclasses.replace(
+            zoo.get_recipe("lenet-300-100"), epochs=1, samples_per_class=40
+        )
+        monkeypatch.setitem(zoo.RECIPES, "tiny-test-model", fast)
+
+        net1, _, test = zoo.trained_model("tiny-test-model")
+        cached_files = list(tmp_path.glob("tiny-test-model-*-trained.bin"))
+        assert len(cached_files) == 1
+
+        net2, _, _ = zoo.trained_model("tiny-test-model")
+        assert np.array_equal(net1.get_weights("ip1"), net2.get_weights("ip1"))
+
+    def test_pruned_model_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        import dataclasses
+
+        fast = dataclasses.replace(
+            zoo.get_recipe("lenet-300-100"),
+            epochs=1,
+            retrain_epochs=1,
+            samples_per_class=40,
+        )
+        monkeypatch.setitem(zoo.RECIPES, "tiny-test-model", fast)
+
+        pruned1, _, _ = zoo.pruned_model("tiny-test-model")
+        pruned2, _, _ = zoo.pruned_model("tiny-test-model")
+        for layer in pruned1.sparse_layers:
+            assert np.array_equal(
+                pruned1.network.get_weights(layer), pruned2.network.get_weights(layer)
+            )
+            assert pruned1.sparse_layers[layer].nnz == pruned2.sparse_layers[layer].nnz
+            # Masks reconstructed from the zero pattern match the originals.
+            assert np.array_equal(pruned1.masks[layer], pruned2.masks[layer])

@@ -1,0 +1,73 @@
+"""Tests for the parallel assessment harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.assessment import AssessmentConfig
+from repro.parallel import AssessmentTask, ParallelAssessment, run_tasks_serial
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def harness_inputs(pruned_lenet300, small_dataset):
+    _, test = small_dataset
+    # A small test subset keeps each task cheap.
+    images, labels = test.images[:200], test.labels[:200]
+    tasks = [
+        AssessmentTask(layer="ip1", error_bound=1e-3),
+        AssessmentTask(layer="ip1", error_bound=1e-2),
+        AssessmentTask(layer="ip2", error_bound=1e-2),
+        AssessmentTask(layer="ip3", error_bound=1e-2),
+    ]
+    return pruned_lenet300, images, labels, tasks
+
+
+class TestSerialRunner:
+    def test_results_in_task_order(self, harness_inputs):
+        pruned, images, labels, tasks = harness_inputs
+        results = run_tasks_serial(
+            pruned.network, pruned.sparse_layers, images, labels, tasks
+        )
+        assert [(r[0], r[1]) for r in results] == [(t.layer, t.error_bound) for t in tasks]
+        for _, _, accuracy, size in results:
+            assert 0.0 <= accuracy <= 1.0
+            assert size > 0
+
+
+class TestParallelRunner:
+    def test_worker_validation(self):
+        with pytest.raises(ValidationError):
+            ParallelAssessment(workers=0)
+
+    def test_single_worker_equals_serial(self, harness_inputs):
+        pruned, images, labels, tasks = harness_inputs
+        serial = run_tasks_serial(pruned.network, pruned.sparse_layers, images, labels, tasks)
+        single = ParallelAssessment(workers=1).run(
+            pruned.network, pruned.sparse_layers, images, labels, tasks
+        )
+        assert serial == single
+
+    def test_process_pool_matches_serial(self, harness_inputs):
+        pruned, images, labels, tasks = harness_inputs
+        serial = run_tasks_serial(pruned.network, pruned.sparse_layers, images, labels, tasks)
+        parallel = ParallelAssessment(workers=2).run(
+            pruned.network, pruned.sparse_layers, images, labels, tasks
+        )
+        assert len(parallel) == len(serial)
+        for (l1, e1, a1, s1), (l2, e2, a2, s2) in zip(serial, parallel):
+            assert (l1, e1) == (l2, e2)
+            assert a1 == pytest.approx(a2)
+            assert s1 == s2
+
+    def test_assessment_points_grouping(self, harness_inputs):
+        pruned, images, labels, tasks = harness_inputs
+        runner = ParallelAssessment(workers=1)
+        results = runner.run(pruned.network, pruned.sparse_layers, images, labels, tasks)
+        baseline = pruned.network.accuracy(images, labels)
+        grouped = runner.assessment_points(baseline, results)
+        assert set(grouped) == {"ip1", "ip2", "ip3"}
+        assert len(grouped["ip1"]) == 2
+        assert grouped["ip1"][0].error_bound < grouped["ip1"][1].error_bound
+        for points in grouped.values():
+            for p in points:
+                assert p.degradation == pytest.approx(baseline - p.accuracy)

@@ -1,0 +1,131 @@
+"""Property-based tests for the sparse format, Bloomier filter and optimizer."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines import BloomierFilter
+from repro.core.assessment import AssessmentPoint
+from repro.core.optimizer import OptimizerConfig, optimize_error_bounds
+from repro.pruning import decode_sparse, encode_sparse
+
+SETTINGS = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+sparse_matrices = st.tuples(
+    st.integers(1, 20),  # rows
+    st.integers(1, 600),  # cols
+    st.floats(0.0, 1.0),  # density
+    st.integers(0, 2**31 - 1),  # seed
+).map(
+    lambda t: (
+        np.random.default_rng(t[3]).normal(0, 0.05, (t[0], t[1])).astype(np.float32)
+        * (np.random.default_rng(t[3] + 1).random((t[0], t[1])) < t[2])
+    )
+)
+
+
+class TestSparseFormatProperties:
+    @SETTINGS
+    @given(matrix=sparse_matrices)
+    def test_roundtrip_is_exact(self, matrix):
+        layer = encode_sparse(matrix)
+        assert np.array_equal(decode_sparse(layer), matrix)
+
+    @SETTINGS
+    @given(matrix=sparse_matrices)
+    def test_invariants(self, matrix):
+        layer = encode_sparse(matrix)
+        # Entry count >= true non-zeros; padding entries are zero-valued 255s.
+        assert layer.entry_count >= layer.nnz
+        padding = layer.entry_count - layer.nnz
+        assert int((layer.data == 0).sum()) >= padding
+        assert layer.packed_bytes == 5 * layer.entry_count
+        if layer.entry_count:
+            # Deltas are in [1, 255] and positions stay inside the matrix.
+            assert layer.index.min() >= 1
+            assert int(layer.index.astype(np.int64).sum()) <= matrix.size
+
+
+class TestBloomierProperties:
+    @SETTINGS
+    @given(
+        n=st.integers(1, 400),
+        value_bits=st.integers(1, 6),
+        extra_bits=st.integers(1, 6),
+        seed=st.integers(0, 2**20),
+    )
+    def test_stored_keys_always_exact(self, n, value_bits, extra_bits, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.choice(10 * n + 10, size=n, replace=False)
+        values = rng.integers(0, 1 << value_bits, size=n)
+        bf = BloomierFilter(
+            keys, values, value_bits=value_bits, slot_bits=value_bits + extra_bits, seed=seed
+        )
+        out, found = bf.query(keys)
+        assert found.all()
+        assert np.array_equal(out, values)
+
+
+def _candidate_sets(draw):
+    layers = draw(st.integers(1, 4))
+    candidates = {}
+    for i in range(layers):
+        n_points = draw(st.integers(1, 5))
+        points = []
+        for j in range(n_points):
+            degradation = draw(st.floats(-0.002, 0.02))
+            size = draw(st.integers(10, 10_000))
+            points.append(
+                AssessmentPoint(
+                    layer=f"l{i}",
+                    error_bound=1e-3 * (j + 1),
+                    accuracy=0.9 - degradation,
+                    degradation=degradation,
+                    compressed_bytes=size,
+                )
+            )
+        candidates[f"l{i}"] = points
+    return candidates
+
+
+candidate_sets = st.composite(_candidate_sets)()
+
+
+class TestOptimizerProperties:
+    @SETTINGS
+    @given(candidates=candidate_sets, budget=st.floats(0.001, 0.05))
+    def test_plan_always_within_budget_and_valid(self, candidates, budget):
+        from repro.utils.errors import OptimizationError
+
+        try:
+            plan = optimize_error_bounds(
+                candidates, OptimizerConfig(expected_accuracy_loss=budget)
+            )
+        except OptimizationError:
+            # Legitimate whenever even the cheapest candidate of every layer,
+            # taken together, cannot fit inside the quantized budget.
+            step = budget / 100
+            min_total = sum(
+                min(int(np.ceil(max(p.degradation, 0.0) / step - 1e-12)) for p in points)
+                for points in candidates.values()
+            )
+            if min_total > 100:
+                return
+            pytest.fail("optimizer failed although a feasible combination exists")
+            return
+        # One bound per layer, all drawn from that layer's candidates.
+        assert set(plan.error_bounds) == set(candidates)
+        clipped_total = 0.0
+        for layer, eb in plan.error_bounds.items():
+            matching = [p for p in candidates[layer] if p.error_bound == eb]
+            assert matching
+            clipped_total += max(matching[0].degradation, 0.0)
+        # The quantized-cost budget admits at most `resolution` steps; allow
+        # one step of rounding slack per layer.
+        slack = budget / 100 * len(candidates)
+        assert clipped_total <= budget + slack + 1e-12

@@ -1,0 +1,108 @@
+"""Tests for magnitude pruning and masked retraining."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGDConfig, models
+from repro.pruning import PruningConfig, magnitude_threshold, prune_network, prune_weights
+from repro.utils.errors import ValidationError
+
+
+class TestThreshold:
+    def test_keep_ratio_respected(self, rng):
+        w = rng.normal(0, 1, (100, 100)).astype(np.float32)
+        for ratio in (0.05, 0.1, 0.5):
+            pruned, mask = prune_weights(w, ratio)
+            kept = mask.mean()
+            assert kept == pytest.approx(ratio, abs=0.01)
+            assert not pruned[~mask].any()
+
+    def test_keeps_largest_magnitudes(self, rng):
+        w = rng.normal(0, 1, (50, 50)).astype(np.float32)
+        _, mask = prune_weights(w, 0.1)
+        kept_min = np.abs(w[mask]).min()
+        dropped_max = np.abs(w[~mask]).max()
+        assert kept_min >= dropped_max
+
+    def test_keep_all_and_none(self, rng):
+        w = rng.normal(0, 1, (10, 10)).astype(np.float32)
+        assert magnitude_threshold(w, 1.0) == 0.0
+        assert np.isinf(magnitude_threshold(w, 0.0))
+
+    def test_invalid_ratio(self, rng):
+        w = rng.normal(0, 1, (4, 4)).astype(np.float32)
+        with pytest.raises(ValidationError):
+            prune_weights(w, 1.5)
+        with pytest.raises(ValidationError):
+            prune_weights(w, -0.1)
+
+
+class TestPruningConfig:
+    def test_ratio_validation(self):
+        with pytest.raises(ValidationError):
+            PruningConfig(ratios={"ip1": 2.0})
+
+    def test_default_retrain_config(self):
+        cfg = PruningConfig(ratios={"ip1": 0.1})
+        assert isinstance(cfg.retrain_config, SGDConfig)
+
+
+class TestPruneNetwork:
+    def test_unknown_layer_rejected(self):
+        net = models.lenet_300_100(seed=0)
+        with pytest.raises(ValidationError):
+            prune_network(net, PruningConfig(ratios={"nope": 0.1}, retrain=False))
+
+    def test_retrain_without_data_rejected(self):
+        net = models.lenet_300_100(seed=0)
+        with pytest.raises(ValidationError):
+            prune_network(net, PruningConfig(ratios={"ip1": 0.1}, retrain=True))
+
+    def test_prune_without_retrain(self):
+        net = models.lenet_300_100(seed=0)
+        result = prune_network(net, PruningConfig(ratios={"ip1": 0.1, "ip2": 0.2}, retrain=False))
+        assert set(result.sparse_layers) == {"ip1", "ip2"}
+        assert result.density("ip1") == pytest.approx(0.1, abs=0.01)
+        assert result.retrain_history is None
+        # Network weights were actually zeroed in place.
+        assert (net.get_weights("ip1") != 0).mean() == pytest.approx(0.1, abs=0.01)
+
+    def test_pruned_network_stats(self):
+        net = models.lenet_300_100(seed=0)
+        result = prune_network(
+            net, PruningConfig(ratios={"ip1": 0.08, "ip2": 0.09, "ip3": 0.26}, retrain=False)
+        )
+        assert result.dense_fc_bytes == net.fc_parameter_bytes() - sum(
+            l.params["bias"].nbytes for l in net.fc_layers()
+        )
+        assert 7 < result.pruning_compression_ratio < 13
+
+    def test_retraining_keeps_masks_and_recovers(self, small_dataset, trained_lenet300):
+        train, test = small_dataset
+        net = trained_lenet300.clone()
+        before = net.accuracy(test.images, test.labels)
+        result = prune_network(
+            net,
+            PruningConfig(
+                ratios={"ip1": 0.08, "ip2": 0.09, "ip3": 0.26},
+                retrain=True,
+                retrain_config=SGDConfig(epochs=3, learning_rate=0.02, weight_decay=1e-4, seed=1),
+            ),
+            train_images=train.images,
+            train_labels=train.labels,
+        )
+        after = net.accuracy(test.images, test.labels)
+        # Pruning + masked retraining must stay within a couple points of the
+        # dense model (the paper's pruning is lossless; ours is near-lossless).
+        assert after >= before - 0.03
+        for name, mask in result.masks.items():
+            w = net.get_weights(name)
+            assert not w[~mask].any()
+        assert result.retrain_history is not None
+
+    def test_refresh_sparse_layers(self, pruned_lenet300):
+        pruned = pruned_lenet300
+        stale = {name: layer.data.copy() for name, layer in pruned.sparse_layers.items()}
+        pruned.refresh_sparse_layers()
+        for name, layer in pruned.sparse_layers.items():
+            assert layer.data.shape == stale[name].shape

@@ -1,0 +1,141 @@
+"""Tests for the two-array sparse layer format."""
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.pruning import SparseLayer, decode_sparse, encode_sparse, sparse_to_scipy
+from repro.utils.errors import DecompressionError, ValidationError
+
+
+def random_pruned_matrix(rng, shape=(64, 100), density=0.08):
+    w = rng.normal(0, 0.05, shape).astype(np.float32)
+    mask = rng.random(shape) < density
+    return w * mask
+
+
+class TestEncodeDecode:
+    def test_roundtrip_exact(self, rng):
+        w = random_pruned_matrix(rng)
+        layer = encode_sparse(w)
+        assert np.array_equal(decode_sparse(layer), w)
+
+    def test_roundtrip_various_densities(self, rng):
+        for density in (0.01, 0.05, 0.2, 0.8):
+            w = random_pruned_matrix(rng, density=density)
+            assert np.array_equal(decode_sparse(encode_sparse(w)), w)
+
+    def test_nnz_counts_true_nonzeros(self, rng):
+        w = random_pruned_matrix(rng)
+        layer = encode_sparse(w)
+        assert layer.nnz == int((w != 0).sum())
+        assert layer.entry_count >= layer.nnz
+
+    def test_empty_matrix(self):
+        layer = encode_sparse(np.zeros((10, 20), dtype=np.float32))
+        assert layer.nnz == 0
+        assert layer.entry_count == 0
+        assert not decode_sparse(layer).any()
+
+    def test_dense_matrix(self, rng):
+        w = rng.normal(0, 1, (8, 8)).astype(np.float32)
+        w[w == 0] = 1.0
+        layer = encode_sparse(w)
+        assert layer.nnz == 64
+        assert np.array_equal(decode_sparse(layer), w)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            encode_sparse(np.zeros(10, dtype=np.float32))
+
+    def test_large_gaps_use_padding_entries(self):
+        w = np.zeros((1, 1000), dtype=np.float32)
+        w[0, 0] = 1.0
+        w[0, 999] = 2.0
+        layer = encode_sparse(w)
+        # Gap of 999 needs 3 padding entries of 255 plus the real delta.
+        assert layer.entry_count == 2 + 3
+        assert (layer.index == 255).sum() >= 3
+        assert np.array_equal(decode_sparse(layer), w)
+
+    def test_gap_exactly_255(self):
+        w = np.zeros((1, 600), dtype=np.float32)
+        w[0, 0] = 1.0
+        w[0, 255] = 2.0  # delta exactly 255: representable without padding
+        layer = encode_sparse(w)
+        assert layer.entry_count == 2
+        assert np.array_equal(decode_sparse(layer), w)
+
+    def test_gap_of_256_needs_padding(self):
+        w = np.zeros((1, 600), dtype=np.float32)
+        w[0, 0] = 1.0
+        w[0, 256] = 2.0
+        layer = encode_sparse(w)
+        assert layer.entry_count == 3
+        assert np.array_equal(decode_sparse(layer), w)
+
+    def test_leading_gap_handled(self):
+        w = np.zeros((1, 1000), dtype=np.float32)
+        w[0, 700] = 3.0
+        layer = encode_sparse(w)
+        assert np.array_equal(decode_sparse(layer), w)
+
+    def test_all_indices_fit_in_uint8(self, rng):
+        w = random_pruned_matrix(rng, shape=(32, 2048), density=0.002)
+        layer = encode_sparse(w)
+        assert layer.index.dtype == np.uint8
+        assert np.array_equal(decode_sparse(layer), w)
+
+
+class TestReplacementData:
+    def test_decode_with_replacement_values(self, rng):
+        w = random_pruned_matrix(rng)
+        layer = encode_sparse(w)
+        noisy = layer.data + rng.uniform(-1e-3, 1e-3, layer.data.shape).astype(np.float32)
+        dense = decode_sparse(layer, data=noisy)
+        # Reconstructed non-zero positions carry the replacement values.
+        positions = w != 0
+        assert np.max(np.abs(dense[positions] - w[positions])) <= 1e-3 * (1 + 1e-6)
+
+    def test_replacement_length_mismatch_raises(self, rng):
+        layer = encode_sparse(random_pruned_matrix(rng))
+        with pytest.raises(DecompressionError):
+            decode_sparse(layer, data=np.zeros(layer.entry_count + 1, dtype=np.float32))
+
+
+class TestSizeAccounting:
+    def test_packed_bytes_is_40_bits_per_entry(self, rng):
+        layer = encode_sparse(random_pruned_matrix(rng))
+        assert layer.packed_bytes == layer.entry_count * 5
+
+    def test_csr_ratio_below_nominal_pruning_ratio(self, rng):
+        """40 bits/entry means the CSR ratio is below 1/density (Section 3.2)."""
+        w = random_pruned_matrix(rng, shape=(128, 256), density=0.1)
+        layer = encode_sparse(w)
+        nominal = 1.0 / layer.density
+        assert layer.compression_ratio < nominal
+        assert layer.compression_ratio > nominal * 0.7
+
+    def test_density(self, rng):
+        w = random_pruned_matrix(rng, shape=(50, 50), density=0.1)
+        layer = encode_sparse(w)
+        assert layer.density == pytest.approx((w != 0).mean())
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValidationError):
+            SparseLayer(
+                data=np.zeros(3, dtype=np.float32),
+                index=np.zeros(2, dtype=np.uint8),
+                shape=(2, 2),
+                nnz=2,
+            )
+
+
+class TestScipyInterop:
+    def test_matches_scipy_csr(self, rng):
+        w = random_pruned_matrix(rng)
+        layer = encode_sparse(w)
+        csr = sparse_to_scipy(layer)
+        assert isinstance(csr, sp.csr_matrix)
+        assert np.array_equal(csr.toarray(), w)
+        assert csr.nnz == layer.nnz

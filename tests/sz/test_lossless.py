@@ -1,0 +1,83 @@
+"""Tests for the lossless back-end registry and best-fit selection."""
+
+import numpy as np
+import pytest
+
+from repro.sz.lossless import (
+    LosslessBackend,
+    available_backends,
+    best_fit_backend,
+    get_backend,
+    register_backend,
+)
+from repro.utils.errors import ConfigurationError, DecompressionError
+
+
+class TestRegistry:
+    def test_standard_backends_registered(self):
+        names = available_backends()
+        for expected in ("store", "zlib", "lzma", "bz2"):
+            assert expected in names
+
+    def test_aliases_resolve(self):
+        assert get_backend("gzip").name == "zlib"
+        assert get_backend("zstd-like").name == "lzma"
+        assert get_backend("blosc-like").name == "bz2"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_backend("nope")
+
+    def test_register_custom_backend(self):
+        register_backend(LosslessBackend("identity-test", lambda b: b, lambda b: b))
+        try:
+            assert get_backend("identity-test").compress(b"abc") == b"abc"
+        finally:
+            # Remove so other tests see the standard registry.
+            from repro.sz import lossless
+
+            lossless._REGISTRY.pop("identity-test", None)
+
+
+class TestBackends:
+    @pytest.mark.parametrize("name", ["store", "zlib", "lzma", "bz2"])
+    def test_roundtrip(self, name, rng):
+        backend = get_backend(name)
+        payload = rng.integers(0, 8, size=20_000, dtype=np.uint8).tobytes()
+        assert backend.decompress(backend.compress(payload)) == payload
+
+    @pytest.mark.parametrize("name", ["zlib", "lzma", "bz2"])
+    def test_compresses_redundant_data(self, name):
+        backend = get_backend(name)
+        payload = b"\x01\x02\x03\x04" * 10_000
+        assert len(backend.compress(payload)) < len(payload) / 10
+
+    @pytest.mark.parametrize("name", ["zlib", "lzma", "bz2"])
+    def test_corrupt_stream_raises(self, name):
+        backend = get_backend(name)
+        with pytest.raises(DecompressionError):
+            backend.decompress(b"this is not a valid stream")
+
+    def test_ratio_helper(self):
+        backend = get_backend("zlib")
+        assert backend.ratio(b"a" * 10_000) > 10
+        assert backend.ratio(b"") == 1.0
+
+
+class TestBestFit:
+    def test_best_fit_picks_smallest(self, rng):
+        # Low-entropy index-array-like payload: a real codec must beat store.
+        payload = rng.integers(1, 12, size=50_000, dtype=np.uint8).tobytes()
+        backend, blob = best_fit_backend(payload)
+        assert backend.name != "store"
+        assert len(blob) < len(payload)
+        assert get_backend(backend.name).decompress(blob) == payload
+
+    def test_best_fit_with_candidate_subset(self):
+        payload = b"\x00" * 1000
+        backend, _ = best_fit_backend(payload, candidates=["store", "zlib"])
+        assert backend.name == "zlib"
+
+    def test_best_fit_empty_candidates_raises(self):
+        with pytest.raises(ConfigurationError):
+            best_fit_backend(b"data", candidates=[])

@@ -1,0 +1,151 @@
+"""Tests for repro.utils.bitstream."""
+
+import numpy as np
+import pytest
+
+from repro.utils import BitReader, BitWriter, pack_bits, unpack_bits
+from repro.utils.errors import DecompressionError, ValidationError
+
+
+class TestPackUnpack:
+    def test_roundtrip_exact_multiple_of_eight(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=bool)
+        assert np.array_equal(unpack_bits(pack_bits(bits), 8), bits)
+
+    def test_roundtrip_with_padding(self):
+        bits = np.array([1, 1, 1, 0, 1], dtype=bool)
+        packed = pack_bits(bits)
+        assert len(packed) == 1
+        assert np.array_equal(unpack_bits(packed, 5), bits)
+
+    def test_empty(self):
+        assert pack_bits(np.zeros(0, dtype=bool)) == b""
+        assert unpack_bits(b"", 0).size == 0
+
+    def test_accepts_integer_bits(self):
+        bits = np.array([1, 0, 1], dtype=np.int64)
+        assert np.array_equal(unpack_bits(pack_bits(bits), 3), bits.astype(bool))
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValidationError):
+            pack_bits(np.zeros((2, 2), dtype=bool))
+
+    def test_unpack_too_many_bits_raises(self):
+        with pytest.raises(DecompressionError):
+            unpack_bits(b"\x00", 9)
+
+    def test_unpack_negative_bits_raises(self):
+        with pytest.raises(ValidationError):
+            unpack_bits(b"\x00", -1)
+
+    def test_msb_first_convention(self):
+        # 0b10000000 must decode to [1, 0, 0, 0, 0, 0, 0, 0].
+        bits = unpack_bits(b"\x80", 8)
+        assert bits[0] and not bits[1:].any()
+
+
+class TestBitWriter:
+    def test_single_field_roundtrip(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        r = BitReader(w.getvalue(), w.nbits)
+        assert r.read(3) == 0b101
+
+    def test_multiple_fields_roundtrip(self):
+        w = BitWriter()
+        fields = [(5, 3), (0, 1), (1023, 10), (1, 1), (77, 7)]
+        for value, width in fields:
+            w.write(value, width)
+        r = BitReader(w.getvalue(), w.nbits)
+        for value, width in fields:
+            assert r.read(width) == value
+
+    def test_write_zero_width_is_noop(self):
+        w = BitWriter()
+        w.write(0, 0)
+        assert w.nbits == 0
+
+    def test_value_too_large_raises(self):
+        w = BitWriter()
+        with pytest.raises(ValidationError):
+            w.write(8, 3)
+
+    def test_negative_width_raises(self):
+        w = BitWriter()
+        with pytest.raises(ValidationError):
+            w.write(1, -1)
+
+    def test_write_array_fixed_width(self):
+        w = BitWriter()
+        values = np.arange(16, dtype=np.uint64)
+        w.write_array(values, 4)
+        r = BitReader(w.getvalue(), w.nbits)
+        assert np.array_equal(r.read_array(16, 4), values)
+
+    def test_write_array_variable_width(self):
+        w = BitWriter()
+        values = np.array([1, 3, 7, 15], dtype=np.uint64)
+        widths = np.array([1, 2, 3, 4])
+        w.write_array(values, widths)
+        r = BitReader(w.getvalue(), w.nbits)
+        for v, wd in zip(values, widths):
+            assert r.read(int(wd)) == v
+
+    def test_write_array_mismatched_lengths(self):
+        w = BitWriter()
+        with pytest.raises(ValidationError):
+            w.write_array(np.array([1, 2]), np.array([1]))
+
+    def test_write_array_value_overflow(self):
+        w = BitWriter()
+        with pytest.raises(ValidationError):
+            w.write_array(np.array([4], dtype=np.uint64), np.array([2]))
+
+    def test_nbits_tracks_total(self):
+        w = BitWriter()
+        w.write(1, 5)
+        w.write_array(np.array([1, 2, 3], dtype=np.uint64), 3)
+        assert w.nbits == 5 + 9
+        assert len(w) == 14
+
+    def test_large_interleaved_roundtrip(self, rng):
+        w = BitWriter()
+        widths = rng.integers(1, 20, size=500)
+        values = np.array([int(rng.integers(0, 1 << wd)) for wd in widths], dtype=np.uint64)
+        w.write_array(values, widths)
+        r = BitReader(w.getvalue(), w.nbits)
+        for v, wd in zip(values, widths):
+            assert r.read(int(wd)) == v
+
+
+class TestBitReader:
+    def test_read_past_end_raises(self):
+        r = BitReader(b"\xff", 8)
+        r.read(8)
+        with pytest.raises(DecompressionError):
+            r.read(1)
+
+    def test_read_array_past_end_raises(self):
+        r = BitReader(b"\xff", 8)
+        with pytest.raises(DecompressionError):
+            r.read_array(3, 4)
+
+    def test_remaining(self):
+        r = BitReader(b"\xff\x00", 16)
+        assert r.remaining == 16
+        r.read(5)
+        assert r.remaining == 11
+
+    def test_read_zero_width(self):
+        r = BitReader(b"", 0)
+        assert r.read(0) == 0
+        assert np.array_equal(r.read_array(3, 0), np.zeros(3, dtype=np.uint64))
+
+    def test_read_remaining_bits(self):
+        w = BitWriter()
+        w.write(0b1011, 4)
+        r = BitReader(w.getvalue(), 4)
+        r.read(1)
+        rest = r.read_remaining_bits()
+        assert rest.tolist() == [False, True, True]
+        assert r.remaining == 0

@@ -1,0 +1,88 @@
+"""Tests for repro.utils.rng and repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    ValidationError,
+    as_float32_1d,
+    check_array_1d,
+    check_finite,
+    check_in_range,
+    check_positive,
+    make_rng,
+    require,
+    spawn_rngs,
+)
+
+
+class TestRng:
+    def test_default_seed_is_deterministic(self):
+        a = make_rng(None).integers(0, 1000, 10)
+        b = make_rng(None).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_explicit_seed(self):
+        assert np.array_equal(
+            make_rng(7).integers(0, 1000, 5), make_rng(7).integers(0, 1000, 5)
+        )
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            make_rng(1).integers(0, 10**9, 20), make_rng(2).integers(0, 10**9, 20)
+        )
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_spawn_rngs_independent_and_deterministic(self):
+        a = spawn_rngs(5, 3)
+        b = spawn_rngs(5, 3)
+        assert len(a) == 3
+        for ga, gb in zip(a, b):
+            assert np.array_equal(ga.integers(0, 10**9, 5), gb.integers(0, 10**9, 5))
+        assert not np.array_equal(a[0].integers(0, 10**9, 20), a[1].integers(0, 10**9, 20))
+
+
+class TestValidation:
+    def test_require_passes_and_fails(self):
+        require(True, "fine")
+        with pytest.raises(ValidationError, match="broken"):
+            require(False, "broken")
+
+    def test_check_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+        for bad in (0, -1):
+            with pytest.raises(ValidationError):
+                check_positive(bad, "x")
+
+    def test_check_in_range(self):
+        assert check_in_range(0.5, "x", 0, 1) == 0.5
+        assert check_in_range(0, "x", 0, 1) == 0
+        with pytest.raises(ValidationError):
+            check_in_range(1.5, "x", 0, 1)
+
+    def test_check_array_1d(self):
+        out = check_array_1d([1, 2, 3], "x")
+        assert out.shape == (3,)
+        with pytest.raises(ValidationError):
+            check_array_1d(np.zeros((2, 2)), "x")
+
+    def test_check_finite(self):
+        arr = np.array([1.0, 2.0])
+        assert check_finite(arr, "x") is arr
+        with pytest.raises(ValidationError):
+            check_finite(np.array([1.0, np.nan]), "x")
+        with pytest.raises(ValidationError):
+            check_finite(np.array([np.inf]), "x")
+
+    def test_as_float32_1d_flattens_and_casts(self):
+        out = as_float32_1d(np.ones((3, 4), dtype=np.float64))
+        assert out.dtype == np.float32
+        assert out.shape == (12,)
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_as_float32_1d_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            as_float32_1d(np.array([np.nan, 1.0]))

@@ -1,0 +1,69 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+import pytest
+
+from repro.utils import Timer, TimingBreakdown
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.005
+
+    def test_multiple_intervals_accumulate(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            pass
+        assert t.elapsed >= first
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+
+class TestTimingBreakdown:
+    def test_phase_records_named_time(self):
+        tb = TimingBreakdown()
+        with tb.phase("sz"):
+            time.sleep(0.005)
+        assert "sz" in tb.phases
+        assert tb.phases["sz"] > 0
+
+    def test_phases_accumulate_by_name(self):
+        tb = TimingBreakdown()
+        tb.add("lossless", 1.0)
+        tb.add("lossless", 0.5)
+        assert tb.phases["lossless"] == pytest.approx(1.5)
+
+    def test_total_sums_phases(self):
+        tb = TimingBreakdown()
+        tb.add("a", 1.0)
+        tb.add("b", 2.0)
+        assert tb.total == pytest.approx(3.0)
+
+    def test_merge_combines_without_mutating(self):
+        a = TimingBreakdown({"x": 1.0})
+        b = TimingBreakdown({"x": 2.0, "y": 3.0})
+        merged = a.merge(b)
+        assert merged.phases == {"x": 3.0, "y": 3.0}
+        assert a.phases == {"x": 1.0}
+
+    def test_as_dict_is_a_copy(self):
+        tb = TimingBreakdown({"a": 1.0})
+        d = tb.as_dict()
+        d["a"] = 99.0
+        assert tb.phases["a"] == 1.0
+
+    def test_phase_records_even_on_exception(self):
+        tb = TimingBreakdown()
+        with pytest.raises(ValueError):
+            with tb.phase("failing"):
+                raise ValueError("boom")
+        assert "failing" in tb.phases
