@@ -1,0 +1,123 @@
+"""Chunked parallel codec engine — serial v1 vs chunked v2 at various workers.
+
+The DeepSZ hot path is embarrassingly parallel (each layer / chunk is an
+independent SZ stream), and the chunked v2 container makes that parallelism
+available inside a single array.  This benchmark measures encode+decode
+wall-clock of a >= 4M-element float32 array:
+
+* **serial v1** — the monolithic container, one core (the historical path);
+* **chunked v2, workers=1** — same chunking, serial execution (isolates the
+  container overhead);
+* **chunked v2, workers=N** — the process-pool fan-out, N from
+  ``REPRO_WORKERS`` or all CPUs.
+
+On a machine with >= 4 cores the chunked parallel path must beat the serial
+v1 path by >= 2x while reconstructing within the error bound; v1 payloads
+keep decoding bit-exactly.  On smaller machines the speedup assertion is
+skipped (there is nothing to fan out to) but correctness is still enforced.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from common import write_result
+from repro.analysis import render_table
+from repro.codecs import get_codec
+from repro.parallel.pool import resolve_workers
+from repro.sz.compressor import SZCompressor
+from repro.sz.config import SZConfig
+
+ELEMENTS = int(os.environ.get("REPRO_PARALLEL_BENCH_ELEMENTS", 4_194_304))
+ERROR_BOUND = 1e-3
+CHUNK_SIZE = 1 << 19  # 512k elements/chunk: 8 chunks over the 4M default
+
+
+def _payload_array() -> np.ndarray:
+    rng = np.random.default_rng(2024)
+    data = (rng.standard_normal(ELEMENTS) * 0.05).astype(np.float32)
+    data[:: 1009] *= 40.0  # sprinkle outliers through the unpredictable path
+    return data
+
+
+def _timed_round_trip(data, *, chunk_size, workers):
+    cfg = SZConfig(error_bound=ERROR_BOUND, chunk_size=chunk_size)
+    compressor = SZCompressor(cfg)
+    start = time.perf_counter()
+    result = compressor.compress(data, workers=workers)
+    encode_s = time.perf_counter() - start
+    start = time.perf_counter()
+    out = compressor.decompress(result.payload, workers=workers)
+    decode_s = time.perf_counter() - start
+    # The bound holds in double precision; the float32 output cast can add
+    # half a ULP of the value itself (see repro/sz/quantizer.py).
+    tolerance = ERROR_BOUND * (1 + 1e-5) + np.finfo(np.float32).eps * float(
+        np.abs(data).max()
+    )
+    assert np.abs(out.astype(np.float64) - data.astype(np.float64)).max() <= (
+        tolerance
+    ), "round trip violated the error bound"
+    return result, out, encode_s, decode_s
+
+
+def bench_parallel_codec_speedup(benchmark):
+    data = _payload_array()
+    workers = max(resolve_workers(None), 2)
+    cpu = os.cpu_count() or 1
+
+    v1_res, v1_out, v1_enc, v1_dec = _timed_round_trip(
+        data, chunk_size=None, workers=1
+    )
+    c1_res, c1_out, c1_enc, c1_dec = _timed_round_trip(
+        data, chunk_size=CHUNK_SIZE, workers=1
+    )
+    cn_res, cn_out, cn_enc, cn_dec = _timed_round_trip(
+        data, chunk_size=CHUNK_SIZE, workers=workers
+    )
+
+    # Identical reconstructions across containers and worker counts, and the
+    # v1 payload produced by the serial path still decodes bit-exactly
+    # through the registry codec.
+    np.testing.assert_array_equal(c1_out, cn_out)
+    np.testing.assert_array_equal(
+        v1_out, get_codec("sz").decompress(v1_res.payload, workers=workers)
+    )
+    assert c1_res.payload == cn_res.payload, "worker count changed payload bytes"
+
+    v1_total = v1_enc + v1_dec
+    cn_total = cn_enc + cn_dec
+    speedup = v1_total / cn_total if cn_total else float("inf")
+    rows = [
+        ["serial v1 (monolithic)", f"{v1_enc:.2f} s", f"{v1_dec:.2f} s",
+         f"{v1_total:.2f} s", "1.00", f"{v1_res.ratio:.2f}x"],
+        ["chunked v2, workers=1", f"{c1_enc:.2f} s", f"{c1_dec:.2f} s",
+         f"{c1_enc + c1_dec:.2f} s",
+         f"{v1_total / max(c1_enc + c1_dec, 1e-9):.2f}", f"{c1_res.ratio:.2f}x"],
+        [f"chunked v2, workers={workers}", f"{cn_enc:.2f} s", f"{cn_dec:.2f} s",
+         f"{cn_total:.2f} s", f"{speedup:.2f}", f"{cn_res.ratio:.2f}x"],
+    ]
+    text = render_table(
+        ["configuration", "encode", "decode", "total", "speedup", "ratio"],
+        rows,
+        title=(
+            f"Chunked parallel codec — {ELEMENTS / 1e6:.1f}M float32, "
+            f"chunk={CHUNK_SIZE} elements, {cpu} CPU(s), eb={ERROR_BOUND}"
+        ),
+    )
+    write_result("parallel_codec_speedup", text)
+
+    # The acceptance bar: >= 2x on a 4+ core machine.  A single-core box has
+    # nothing to fan out to, so only the correctness half applies there.
+    if cpu >= 4 and workers >= 4:
+        assert speedup >= 2.0, (
+            f"chunked parallel path is only {speedup:.2f}x faster than serial v1"
+        )
+
+    benchmark(
+        lambda: SZCompressor(
+            SZConfig(error_bound=ERROR_BOUND, chunk_size=CHUNK_SIZE)
+        ).compress(data[: ELEMENTS // 8], workers=workers)
+    )

@@ -4,6 +4,8 @@ This library is a from-scratch reproduction of *DeepSZ: A Novel Framework to
 Compress Deep Neural Networks by Using Error-Bounded Lossy Compression*
 (Jin et al., HPDC 2019), including every substrate the paper depends on:
 
+* :mod:`repro.codecs` — the unified codec registry (name + capability based
+  lookup over every compression back end);
 * :mod:`repro.sz` — the SZ error-bounded lossy compressor (prediction,
   linear-scaling quantization, Huffman coding, lossless back ends);
 * :mod:`repro.zfp` — a ZFP-style block transform codec (the Figure 2 baseline);
@@ -26,14 +28,27 @@ Quickstart
 >>> # see examples/quickstart.py for the full pruning + compression flow
 """
 
-from repro import analysis, baselines, core, data, nn, parallel, pruning, sz, utils, zfp
+from repro import (
+    analysis,
+    baselines,
+    codecs,
+    core,
+    data,
+    nn,
+    parallel,
+    pruning,
+    sz,
+    utils,
+    zfp,
+)
 from repro.core import DeepSZ, DeepSZConfig, DeepSZResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
     "baselines",
+    "codecs",
     "core",
     "data",
     "nn",

@@ -1,0 +1,155 @@
+"""Name-based codec registry with capability filtering.
+
+The registry is the single lookup point for every compression back end in
+the repository.  Registration happens at import time of
+:mod:`repro.codecs.builtin` (the adapters for SZ, ZFP and the lossless
+backends); third-party code can register additional codecs at runtime with
+:func:`register_codec`.
+
+Lookups accept either a codec's canonical name or one of its declared
+aliases.  :func:`available_codecs` supports capability filters so callers
+can enumerate, say, every error-bounded array codec, and
+:func:`best_fit_lossless` implements the paper's best-fit lossless selection
+(Step 4 / Fig. 4) over the registered byte codecs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.codecs.base import Codec, CodecInfo
+from repro.utils.errors import ConfigurationError
+
+__all__ = [
+    "register_codec",
+    "unregister_codec",
+    "get_codec",
+    "codec_info",
+    "available_codecs",
+    "best_fit_lossless",
+    "resolve_error_bounded_codec",
+]
+
+_REGISTRY: Dict[str, Codec] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_codec(codec: Codec) -> Codec:
+    """Register a codec under its canonical name and aliases.
+
+    Re-registering a name overwrites the previous entry (mirroring the
+    lossless-backend registry's behaviour).  Returns the codec so the call
+    can be used as a decorator-style one-liner on instances.
+    """
+    info = codec.info
+    if not info.name:
+        raise ConfigurationError("codec must have a non-empty name")
+    _REGISTRY[info.name] = codec
+    for alias in info.aliases:
+        _ALIASES[alias] = info.name
+    return codec
+
+
+def unregister_codec(name: str) -> None:
+    """Remove a codec (and its aliases) from the registry."""
+    codec = _REGISTRY.pop(name, None)
+    if codec is not None:
+        for alias in codec.info.aliases:
+            _ALIASES.pop(alias, None)
+
+
+def get_codec(name: str) -> Codec:
+    """Look up a codec by canonical name or alias."""
+    key = _ALIASES.get(name, name)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown codec {name!r}; available: {available_codecs()}"
+        ) from None
+
+
+def codec_info(name: str) -> CodecInfo:
+    """Capability metadata of a registered codec."""
+    return get_codec(name).info
+
+
+def resolve_error_bounded_codec(name: str, *, chunk_size: int | None = None) -> Codec:
+    """Look up a data codec and validate it for error-bounded (and,
+    optionally, chunked) use.
+
+    The single validation point shared by :class:`repro.core.DeepSZEncoder`
+    and :class:`repro.core.DeepSZConfig`, so misconfiguration raises the
+    same :class:`ConfigurationError` everywhere.
+    """
+    codec = get_codec(name)
+    if not codec.info.error_bounded:
+        raise ConfigurationError(
+            f"data codec {name!r} is not error-bounded; pick one of "
+            f"{available_codecs(error_bounded=True)}"
+        )
+    if chunk_size is not None:
+        if not codec.info.chunked:
+            raise ConfigurationError(
+                f"data codec {name!r} does not support chunked containers"
+            )
+        if int(chunk_size) < 1:
+            raise ConfigurationError(
+                "chunk_size must be a positive element count"
+            )
+    return codec
+
+
+def available_codecs(
+    *,
+    error_bounded: bool | None = None,
+    lossless: bool | None = None,
+    chunked: bool | None = None,
+    input_kind: str | None = None,
+) -> list[str]:
+    """Names of registered codecs matching every given capability filter.
+
+    ``None`` filters are ignored; aliases are not listed.
+    """
+    names = []
+    for name, codec in _REGISTRY.items():
+        info = codec.info
+        if error_bounded is not None and info.error_bounded != error_bounded:
+            continue
+        if lossless is not None and info.lossless != lossless:
+            continue
+        if chunked is not None and info.chunked != chunked:
+            continue
+        if input_kind is not None and info.input_kind != input_kind:
+            continue
+        names.append(name)
+    return sorted(names)
+
+
+def best_fit_lossless(
+    data: bytes, candidates: Iterable[str | Codec] | None = None
+) -> tuple[str, bytes]:
+    """Compress ``data`` with every candidate byte codec, keep the smallest.
+
+    This is the paper's best-fit lossless selection (Step 4 / Fig. 4) routed
+    through the unified registry.  ``candidates`` defaults to every
+    registered lossless byte codec; entries may be registry names or codec
+    instances (the latter lets pool workers skip the name lookup, whose
+    registry only holds built-ins under spawn start methods).  Returns
+    ``(winner_name, payload)``.
+    """
+    entries: list[str | Codec] = (
+        list(candidates)
+        if candidates is not None
+        else list(available_codecs(lossless=True, input_kind="bytes"))
+    )
+    if not entries:
+        raise ConfigurationError("no lossless byte codecs to choose from")
+    best: tuple[str, bytes] | None = None
+    for entry in entries:
+        codec = entry if isinstance(entry, Codec) else get_codec(entry)
+        out = codec.compress(data)
+        if best is None or len(out) < len(best[1]):
+            best = (codec.info.name, out)
+    assert best is not None
+    return best

@@ -23,11 +23,9 @@ from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
+from repro.codecs import best_fit_lossless, get_codec
 from repro.nn.network import Network
 from repro.pruning.sparse_format import SparseLayer, decode_sparse
-from repro.sz.compressor import SZCompressor
-from repro.sz.config import SZConfig
-from repro.sz.lossless import best_fit_backend
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_positive
 
@@ -54,6 +52,9 @@ class AssessmentConfig:
     lossless: str = "zlib"
     index_lossless_candidates: Sequence[str] = ("zlib", "lzma", "bz2")
     eval_batch_size: int = 256
+    data_codec: str = "sz"  #: registry name of the error-bounded data codec
+    chunk_size: int | None = None  #: must match the encoder so Step 2's
+    #: measured sizes use the same container format Step 4 will emit
 
     def __post_init__(self) -> None:
         check_positive(self.expected_accuracy_loss, "expected_accuracy_loss")
@@ -150,17 +151,21 @@ def evaluate_candidate(
     into the network, run the forward pass, and restore the layer.
     """
     config = config or AssessmentConfig()
-    compressor = SZCompressor(
-        SZConfig(error_bound=error_bound, capacity=config.capacity, lossless=config.lossless)
+    codec = get_codec(config.data_codec)
+    payload = codec.compress(
+        sparse_layer.data,
+        error_bound=error_bound,
+        capacity=config.capacity,
+        lossless=config.lossless,
+        chunk_size=config.chunk_size,
     )
-    result = compressor.compress(sparse_layer.data)
-    decompressed = compressor.decompress(result.payload)
+    decompressed = codec.decompress(payload)
     dense = decode_sparse(sparse_layer, data=decompressed)
 
-    _, index_blob = best_fit_backend(
+    _, index_blob = best_fit_lossless(
         sparse_layer.index.tobytes(), config.index_lossless_candidates
     )
-    compressed_bytes = result.compressed_bytes + len(index_blob)
+    compressed_bytes = len(payload) + len(index_blob)
 
     original = network.get_weights(layer_name)
     try:

@@ -1,11 +1,20 @@
 """Generation of the compressed model (Step 4).
 
 The encoder takes the pruned sparse layers and the per-layer error bounds
-chosen by the optimizer, compresses every data array with SZ and every index
-array with the best-fit lossless codec, and packs the result into one
-self-describing container (the "bitstream" of Figure 1).  The container also
-carries everything the decoder needs to rebuild dense weight matrices: layer
-shapes, entry counts and the lossless back end that won the selection.
+chosen by the optimizer, compresses every data array with the selected
+error-bounded codec (SZ by default, resolved through the codec registry) and
+every index array with the best-fit lossless codec, and packs the result
+into one self-describing container (the "bitstream" of Figure 1).  The
+container also carries everything the decoder needs to rebuild dense weight
+matrices: layer shapes, entry counts, the data codec, and the lossless back
+end that won the selection.
+
+Layers are independent, so :meth:`DeepSZEncoder.encode` fans them out on a
+:class:`repro.parallel.pool.TaskPool` when ``workers > 1``; additionally the
+SZ codec's chunked v2 container parallelises *within* a layer when
+``chunk_size`` is set (nested pools degrade gracefully — a layer task that
+runs inside a pool worker encodes its chunks serially).  ``workers=1``
+produces byte-identical output.
 """
 
 from __future__ import annotations
@@ -15,10 +24,9 @@ from typing import Dict, Mapping, Sequence
 
 import numpy as np
 
+from repro.codecs import best_fit_lossless, get_codec, resolve_error_bounded_codec
+from repro.parallel.pool import TaskPool
 from repro.pruning.sparse_format import SparseLayer
-from repro.sz.compressor import SZCompressor
-from repro.sz.config import SZConfig
-from repro.sz.lossless import best_fit_backend
 from repro.utils.bytesio import read_named_sections, write_named_sections
 from repro.utils.errors import DecompressionError, ValidationError
 from repro.utils.timing import TimingBreakdown
@@ -26,6 +34,7 @@ from repro.utils.timing import TimingBreakdown
 __all__ = ["CompressedLayer", "CompressedModel", "DeepSZEncoder"]
 
 _MAGIC = "repro-deepsz-model-v1"
+_DEFAULT_DATA_CODEC = "sz"
 
 
 @dataclass(frozen=True)
@@ -40,6 +49,7 @@ class CompressedLayer:
     sz_payload: bytes
     index_payload: bytes
     index_backend: str
+    data_codec: str = _DEFAULT_DATA_CODEC
 
     @property
     def compressed_bytes(self) -> int:
@@ -99,6 +109,7 @@ class CompressedModel:
                 "nnz": layer.nnz,
                 "entry_count": layer.entry_count,
                 "index_backend": layer.index_backend,
+                "data_codec": layer.data_codec,
             }
         meta = {
             "magic": _MAGIC,
@@ -110,7 +121,12 @@ class CompressedModel:
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "CompressedModel":
-        """Rebuild a :class:`CompressedModel` from :meth:`to_bytes` output."""
+        """Rebuild a :class:`CompressedModel` from :meth:`to_bytes` output.
+
+        Model blobs written before the codec registry existed carry no
+        ``data_codec`` field; they default to ``"sz"``, the only data codec
+        of that era, so old containers stay decodable.
+        """
         meta, sections = read_named_sections(blob)
         if meta.get("magic") != _MAGIC:
             raise DecompressionError("not a DeepSZ compressed model (bad magic)")
@@ -125,6 +141,7 @@ class CompressedModel:
                 sz_payload=sections[f"{name}/sz"],
                 index_payload=sections[f"{name}/index"],
                 index_backend=str(info["index_backend"]),
+                data_codec=str(info.get("data_codec", _DEFAULT_DATA_CODEC)),
             )
         return cls(
             network=str(meta["network"]),
@@ -133,8 +150,65 @@ class CompressedModel:
         )
 
 
+def _encode_layer_task(
+    args: tuple[str, SparseLayer, float, dict],
+) -> tuple[CompressedLayer, float]:
+    """Pool task: compress one layer; returns (layer, encode seconds).
+
+    The task carries the codec *instance* (stateless, pickled by class
+    reference) rather than resolving the registry name in the worker:
+    under the spawn/forkserver start methods a worker's registry holds
+    only the built-ins, so runtime-registered codecs would not resolve.
+    """
+    import time
+
+    name, sparse_layer, error_bound, params = args
+    start = time.perf_counter()
+    codec = params["codec"]
+    payload = codec.compress(
+        sparse_layer.data,
+        error_bound=float(error_bound),
+        capacity=params["capacity"],
+        lossless=params["sz_lossless"],
+        chunk_size=params["chunk_size"],
+        workers=params["chunk_workers"],
+    )
+    backend_name, index_blob = best_fit_lossless(
+        sparse_layer.index.tobytes(), params["index_codecs"]
+    )
+    layer = CompressedLayer(
+        name=name,
+        error_bound=float(error_bound),
+        shape=sparse_layer.shape,
+        nnz=sparse_layer.nnz,
+        entry_count=sparse_layer.entry_count,
+        sz_payload=payload,
+        index_payload=index_blob,
+        index_backend=backend_name,
+        data_codec=params["data_codec"],
+    )
+    return layer, time.perf_counter() - start
+
+
 class DeepSZEncoder:
-    """Step 4: produce the compressed model from sparse layers + error bounds."""
+    """Step 4: produce the compressed model from sparse layers + error bounds.
+
+    Parameters
+    ----------
+    capacity / sz_lossless / index_lossless_candidates:
+        Forwarded to the data codec and the index best-fit selection.
+    data_codec:
+        Registry name of the error-bounded codec applied to the data arrays
+        (``"sz"`` by default; any codec with ``info.error_bounded`` works).
+    chunk_size:
+        When set (and the codec supports chunking), each data array is split
+        into independently compressed chunks of this many elements, enabling
+        intra-layer parallelism and the v2 container format.
+    workers:
+        Fan layers (and, via the chunked container, chunks) out on this many
+        pool workers.  ``1`` (the default) is fully serial and produces
+        byte-identical payloads.
+    """
 
     def __init__(
         self,
@@ -142,34 +216,47 @@ class DeepSZEncoder:
         capacity: int = 65536,
         sz_lossless: str = "zlib",
         index_lossless_candidates: Sequence[str] = ("zlib", "lzma", "bz2"),
+        data_codec: str = _DEFAULT_DATA_CODEC,
+        chunk_size: int | None = None,
+        workers: int = 1,
     ) -> None:
+        self._codec = resolve_error_bounded_codec(data_codec, chunk_size=chunk_size)
         self.capacity = int(capacity)
         self.sz_lossless = sz_lossless
         self.index_lossless_candidates = tuple(index_lossless_candidates)
+        # Resolve the candidate codecs now: unknown names fail fast, and the
+        # instances travel to pool workers (whose registries only hold
+        # built-ins under spawn start methods) instead of being re-resolved
+        # by name there.
+        self._index_codecs = tuple(
+            get_codec(name) for name in self.index_lossless_candidates
+        )
+        self.data_codec = data_codec
+        self.chunk_size = chunk_size
+        self.workers = int(workers)
+        if self.workers < 1:
+            raise ValidationError("workers must be >= 1")
+
+    def _codec_params(self) -> dict:
+        return {
+            "codec": self._codec,
+            "data_codec": self.data_codec,
+            "capacity": self.capacity,
+            "sz_lossless": self.sz_lossless,
+            "index_codecs": self._index_codecs,
+            "chunk_size": self.chunk_size,
+            "chunk_workers": self.workers,
+        }
 
     def encode_layer(
         self, name: str, sparse_layer: SparseLayer, error_bound: float
     ) -> CompressedLayer:
-        """Compress one layer: SZ on the data array, best-fit lossless on the index."""
-        compressor = SZCompressor(
-            SZConfig(
-                error_bound=error_bound, capacity=self.capacity, lossless=self.sz_lossless
-            )
+        """Compress one layer: the data codec on the data array, best-fit
+        lossless on the index."""
+        layer, _ = _encode_layer_task(
+            (name, sparse_layer, error_bound, self._codec_params())
         )
-        sz_result = compressor.compress(sparse_layer.data)
-        backend, index_blob = best_fit_backend(
-            sparse_layer.index.tobytes(), self.index_lossless_candidates
-        )
-        return CompressedLayer(
-            name=name,
-            error_bound=float(error_bound),
-            shape=sparse_layer.shape,
-            nnz=sparse_layer.nnz,
-            entry_count=sparse_layer.entry_count,
-            sz_payload=sz_result.payload,
-            index_payload=index_blob,
-            index_backend=backend.name,
-        )
+        return layer
 
     def encode(
         self,
@@ -179,15 +266,26 @@ class DeepSZEncoder:
         *,
         expected_accuracy_loss: float = 0.0,
     ) -> CompressedModel:
-        """Compress every layer with its chosen error bound."""
+        """Compress every layer with its chosen error bound.
+
+        With ``workers > 1`` the layers are encoded concurrently; the
+        recorded per-layer timings are then the workers' own encode times
+        (which overlap in wall-clock).
+        """
         missing = set(sparse_layers) - set(error_bounds)
         if missing:
             raise ValidationError(f"no error bound chosen for layers: {sorted(missing)}")
+        params = self._codec_params()
+        tasks = [
+            (name, sparse_layer, float(error_bounds[name]), params)
+            for name, sparse_layer in sparse_layers.items()
+        ]
+        results = TaskPool(self.workers).map(_encode_layer_task, tasks)
         timing = TimingBreakdown()
         layers: Dict[str, CompressedLayer] = {}
-        for name, sparse_layer in sparse_layers.items():
-            with timing.phase(f"encode:{name}"):
-                layers[name] = self.encode_layer(name, sparse_layer, error_bounds[name])
+        for layer, seconds in results:
+            layers[layer.name] = layer
+            timing.add(f"encode:{layer.name}", seconds)
         return CompressedModel(
             network=network_name,
             layers=layers,

@@ -57,6 +57,9 @@ class DeepSZConfig:
     eval_batch_size: int = 256
     topk: Sequence[int] = (1, 5)
     assessment_samples: int | None = None  #: cap on test samples used by Step 2
+    data_codec: str = "sz"  #: registry name of the error-bounded data codec
+    chunk_size: int | None = None  #: v2 chunked container chunk size (elements)
+    workers: int = 1  #: pool workers for the encode/decode fan-out
 
     def __post_init__(self) -> None:
         check_positive(self.expected_accuracy_loss, "expected_accuracy_loss")
@@ -67,6 +70,13 @@ class DeepSZConfig:
                 raise ValidationError("expected-ratio mode needs target_ratio > 1")
         if self.assessment_samples is not None and self.assessment_samples < 1:
             raise ValidationError("assessment_samples must be positive (or None)")
+        if int(self.workers) < 1:
+            raise ValidationError("workers must be >= 1")
+        # Validate the codec selection now: Step 4 would otherwise be the
+        # first to notice, after the expensive Step 2 assessment has run.
+        from repro.codecs import resolve_error_bounded_codec
+
+        resolve_error_bounded_codec(self.data_codec, chunk_size=self.chunk_size)
 
     def assessment_config(self) -> AssessmentConfig:
         return AssessmentConfig(
@@ -77,6 +87,8 @@ class DeepSZConfig:
             lossless=self.sz_lossless,
             index_lossless_candidates=tuple(self.index_lossless_candidates),
             eval_batch_size=self.eval_batch_size,
+            data_codec=self.data_codec,
+            chunk_size=self.chunk_size,
         )
 
 
@@ -234,6 +246,9 @@ class DeepSZ:
             capacity=cfg.capacity,
             sz_lossless=cfg.sz_lossless,
             index_lossless_candidates=cfg.index_lossless_candidates,
+            data_codec=cfg.data_codec,
+            chunk_size=cfg.chunk_size,
+            workers=cfg.workers,
         )
         model = encoder.encode(
             network.name,
@@ -245,7 +260,7 @@ class DeepSZ:
 
         # Decode once to measure the decode-path timing and the actual
         # accuracy of the compressed model.
-        decoder = DeepSZDecoder()
+        decoder = DeepSZDecoder(workers=cfg.workers)
         reconstructed = network.clone()
         decoded = decoder.apply(model, reconstructed)
 

@@ -7,14 +7,17 @@ read-only state (the network parameters, the test set, the sparse layers),
 which is shipped to every worker once through the pool initializer rather
 than per task.
 
+The default worker count comes from :func:`repro.parallel.pool.resolve_workers`:
+the ``REPRO_WORKERS`` environment variable when set, otherwise the machine's
+full ``os.cpu_count()`` (the historical ``min(4, cpu_count - 1)`` default
+silently capped big machines at four workers).
+
 On platforms or environments where spawning processes is undesirable (or when
 ``workers=1``), everything degrades to a serial loop with identical results.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -22,6 +25,7 @@ import numpy as np
 
 from repro.core.assessment import AssessmentConfig, AssessmentPoint, evaluate_candidate
 from repro.nn.network import Network
+from repro.parallel.pool import TaskPool
 from repro.pruning.sparse_format import SparseLayer
 from repro.utils.errors import ValidationError
 
@@ -90,11 +94,10 @@ class ParallelAssessment:
     """Evaluate a batch of (layer, error bound) candidates on a process pool."""
 
     def __init__(self, workers: int | None = None) -> None:
-        if workers is None:
-            workers = max(1, min(4, (os.cpu_count() or 2) - 1))
-        if workers < 1:
+        if workers is not None and int(workers) < 1:
             raise ValidationError("workers must be >= 1")
-        self.workers = int(workers)
+        self._pool = TaskPool(workers)
+        self.workers = self._pool.workers
 
     def run(
         self,
@@ -118,10 +121,14 @@ class ParallelAssessment:
             "test_labels": test_labels,
             "config": config,
         }
-        with ProcessPoolExecutor(
-            max_workers=self.workers, initializer=_init_worker, initargs=(state,)
-        ) as pool:
-            return list(pool.map(_run_task, tasks))
+        try:
+            return self._pool.map(
+                _run_task, tasks, initializer=_init_worker, initargs=(state,)
+            )
+        finally:
+            # The serial fallback runs the initializer in this process; clear
+            # the module global so the network and test set stay collectable.
+            _WORKER_STATE.clear()
 
     def assessment_points(
         self,

@@ -17,6 +17,12 @@ DeepSZ compresses:
 4. **Lossless back end** (zlib / lzma / bz2 / store) applied to the encoded
    payload (:mod:`repro.sz.lossless`).
 
+Two container formats are emitted: the monolithic v1 stream and, when
+``SZConfig.chunk_size`` is set, the chunked v2 container whose chunks are
+independently compressed (own Huffman table + outlier section) and therefore
+encode/decode in parallel through :class:`repro.parallel.TaskPool` — see the
+top-level DESIGN.md for byte layouts.
+
 The public entry points are :class:`repro.sz.SZCompressor` and the
 convenience functions :func:`repro.sz.compress` / :func:`repro.sz.decompress`.
 """

@@ -61,6 +61,15 @@ class SZConfig:
         Name of the lossless back end applied to the encoded payload; one of
         :func:`repro.sz.lossless.available_backends`, or ``"best"`` to try all
         of them and keep the smallest output (per-stream best-fit selection).
+        The name is resolved against the codec registry at construction time,
+        so a typo fails fast instead of at compression time.
+    chunk_size:
+        ``None`` (default) emits the monolithic v1 container.  An integer
+        splits the array into independently compressed chunks of that many
+        elements (the v2 container), each with its own Huffman table and
+        outlier section, enabling parallel encode/decode.  Chunks in the low
+        hundreds of thousands of elements amortise per-chunk headers while
+        still exposing enough parallelism (see DESIGN.md).
     """
 
     error_bound: float = 1e-3
@@ -68,6 +77,7 @@ class SZConfig:
     predictor: PredictorKind = PredictorKind.ADAPTIVE
     capacity: int = 65536
     lossless: str = "zlib"
+    chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         check_positive(self.error_bound, "error_bound")
@@ -80,6 +90,16 @@ class SZConfig:
         if int(self.capacity) & 1:
             raise ConfigurationError("capacity must be even")
         object.__setattr__(self, "capacity", int(self.capacity))
+        if self.chunk_size is not None:
+            if int(self.chunk_size) < 1:
+                raise ConfigurationError("chunk_size must be a positive element count")
+            object.__setattr__(self, "chunk_size", int(self.chunk_size))
+        # Resolve the lossless stage through the backend registry now rather
+        # than failing deep inside a compression call.
+        if self.lossless != "best":
+            from repro.sz.lossless import get_backend
+
+            get_backend(self.lossless)
 
     def with_error_bound(self, error_bound: float) -> "SZConfig":
         """Return a copy of this config with a different error bound."""

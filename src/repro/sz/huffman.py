@@ -163,8 +163,33 @@ class HuffmanCodec:
         bits = unpack_bits(sections["payload"], nbits)
         return self._decode_bits(bits, table, count)
 
+    #: Symbols decoded per anchor in the lockstep phase of :meth:`_decode_bits`.
+    _CHAIN_STRIDE = 32
+
     @staticmethod
     def _decode_bits(bits: np.ndarray, table: HuffmanTable, count: int) -> np.ndarray:
+        """Batched NumPy table-probe decode.
+
+        The decode problem is a chain walk — ``pos[i+1] = pos[i] +
+        code_length_at(pos[i])`` — whose per-symbol Python loop (plus the
+        ``.tolist()`` materialisation of the whole bitstream) used to dominate
+        decompression time.  The batched kernel instead:
+
+        1. computes the value of the next ``fast_bits`` bits at *every* bit
+           offset with ``fast_bits`` shifted vector adds,
+        2. probes the fast table for all offsets in one gather, decoding every
+           symbol whose fast-table probe hits in one vectorised round,
+        3. resolves the rare offsets whose code is longer than ``fast_bits``
+           with one vectorised canonical-range test per extra bit of length
+           (the only remaining loop is over code *lengths*, not symbols),
+        4. extracts the chain of actually-visited offsets from the jump table
+           ``jump[p] = p + length[p]``: five doublings build a 32-step jump
+           table, a scalar walk places one anchor per 32 symbols, and the 32
+           symbols after every anchor are gathered in vectorised lockstep,
+        5. gathers the output symbols at the visited offsets.
+
+        See DESIGN.md ("Vectorised Huffman decode") for the full derivation.
+        """
         codes = table.codes()
         lengths = table.lengths.astype(np.int64)
         symbols = table.symbols
@@ -173,57 +198,165 @@ class HuffmanCodec:
         if symbols.size == 1:
             # Degenerate single-symbol alphabet: every element is that symbol.
             return np.full(count, symbols[0], dtype=np.int64)
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
 
-        # Two-level decode table: fast table indexed by the next _FAST_BITS
-        # bits for codes short enough, a (length, code) dict fallback for the
-        # long tail.
+        nbits = int(bits.size)
+        if nbits == 0:
+            raise DecompressionError("Huffman bitstream exhausted")
+
+        # First level: fast table indexed by the next `fast_bits` bits,
+        # mapping to the canonical table slot and the code length.
         fast_bits = min(_FAST_BITS, max_len)
-        fast_symbol = np.full(1 << fast_bits, -1, dtype=np.int64)
-        fast_length = np.zeros(1 << fast_bits, dtype=np.int64)
-        slow: dict[tuple[int, int], int] = {}
+        fast_slot = np.full(1 << fast_bits, -1, dtype=np.int32)
+        fast_length = np.zeros(1 << fast_bits, dtype=np.int32)
         for i in range(symbols.size):
             length = int(lengths[i])
-            code = int(codes[i])
             if length <= fast_bits:
+                code = int(codes[i])
                 start = code << (fast_bits - length)
                 span = 1 << (fast_bits - length)
-                fast_symbol[start : start + span] = symbols[i]
+                fast_slot[start : start + span] = i
                 fast_length[start : start + span] = length
-            else:
-                slow[(length, code)] = int(symbols[i])
 
+        # Zero padding past the stream end; codes speculatively matched inside
+        # the padding are rejected by the final overrun check.
+        padded = np.zeros(nbits + max(fast_bits, max_len), dtype=np.int32)
+        padded[:nbits] = bits
+
+        # window[p] = integer value of the fast_bits bits starting at p.
+        window = np.zeros(nbits, dtype=np.int32)
+        for k in range(fast_bits):
+            window <<= 1
+            window += padded[k : k + nbits]
+
+        slot_at = fast_slot[window]
+        len_at = fast_length[window]
+
+        if max_len > fast_bits:
+            # Second level: canonical-range resolution for long codes, applied
+            # only at offsets whose fast probe missed.  Canonical codes of one
+            # length occupy a contiguous value range [first, first + count),
+            # and the l-bit prefix of any longer canonical code compares
+            # strictly greater, so the range test is exact.
+            miss = np.nonzero(len_at == 0)[0]
+            if miss.size:
+                first_code = np.zeros(max_len + 1, dtype=np.int64)
+                code_count = np.zeros(max_len + 1, dtype=np.int64)
+                slot_base = np.zeros(max_len + 1, dtype=np.int64)
+                for i in range(symbols.size):
+                    length = int(lengths[i])
+                    if length > fast_bits:
+                        if code_count[length] == 0:
+                            first_code[length] = int(codes[i])
+                            slot_base[length] = i
+                        code_count[length] += 1
+
+                value = window[miss].astype(np.int64)
+                unresolved = np.ones(miss.size, dtype=bool)
+                for length in range(fast_bits + 1, max_len + 1):
+                    value <<= 1
+                    value += padded[miss + (length - 1)]
+                    if code_count[length] == 0:
+                        continue
+                    hit = (
+                        unresolved
+                        & (value >= first_code[length])
+                        & (value < first_code[length] + code_count[length])
+                    )
+                    if np.any(hit):
+                        slot_at[miss[hit]] = slot_base[length] + (
+                            value[hit] - first_code[length]
+                        )
+                        len_at[miss[hit]] = length
+                        unresolved &= ~hit
+        del window
+
+        # Jump table: jump[p] = p + len_at[p]; offsets carrying no valid code
+        # jump straight to the absorbing `nbits` sentinel.  int32 positions
+        # halve gather traffic; fall back to int64 near the int32 limit.
+        pos_dtype = np.int32 if nbits < 2**31 - 128 else np.int64
+        jump = np.empty(nbits + 1, dtype=pos_dtype)
+        jump[nbits] = nbits
+        body = np.arange(nbits, dtype=pos_dtype)
+        body += len_at
+        np.minimum(body, nbits, out=body)
+        jump[:nbits] = np.where(len_at > 0, body, body.dtype.type(nbits))
+        del body
+
+        # Chain extraction: five doublings build a 32-step jump table, a
+        # scalar walk drops one anchor every 32 symbols, and the lockstep
+        # phase advances all anchors together one symbol per round.
+        stride = HuffmanCodec._CHAIN_STRIDE
+        n_anchor = (count + stride - 1) // stride
+        anchors = np.zeros(n_anchor, dtype=pos_dtype)
+        if n_anchor > 1:
+            doublings = max(1, (stride - 1).bit_length())
+            # Each doubling squares the step count, so anchors land exactly
+            # one lane row apart only when the stride is a power of two.
+            assert (1 << doublings) == stride, "_CHAIN_STRIDE must be a power of two"
+            hop = jump
+            for _ in range(doublings):
+                hop = hop[hop]
+            a = pos_dtype(0)
+            for i in range(1, n_anchor):
+                a = hop[a]
+                anchors[i] = a
+        lanes = np.empty((n_anchor, stride), dtype=pos_dtype)
+        p = anchors
+        for r in range(stride):
+            lanes[:, r] = p
+            p = jump[p]
+        positions = lanes.reshape(-1)[:count]
+
+        last = int(positions[-1])
+        if last >= nbits:
+            # The chain ran off the end: either the stream is short or it hit
+            # an offset with no valid code and stuck at the sentinel.
+            reached = positions[positions < nbits]
+            if reached.size and np.any(slot_at[reached] < 0):
+                raise DecompressionError("invalid Huffman code in stream")
+            raise DecompressionError("Huffman bitstream exhausted")
+        slots = slot_at[positions]
+        if np.any(slots < 0):
+            raise DecompressionError("invalid Huffman code in stream")
+        if last + int(len_at[last]) > nbits:
+            raise DecompressionError("Huffman bitstream overrun")
+        return symbols[slots]
+
+    @staticmethod
+    def _decode_bits_reference(
+        bits: np.ndarray, table: HuffmanTable, count: int
+    ) -> np.ndarray:
+        """Scalar reference decoder (the pre-vectorisation algorithm).
+
+        Kept for differential testing of :meth:`_decode_bits`; not used on the
+        decode hot path.
+        """
+        codes = table.codes()
+        lengths = table.lengths.astype(np.int64)
+        symbols = table.symbols
+        if symbols.size == 1:
+            return np.full(count, symbols[0], dtype=np.int64)
+        by_code: dict[tuple[int, int], int] = {
+            (int(lengths[i]), int(codes[i])): int(symbols[i])
+            for i in range(symbols.size)
+        }
         out = np.empty(count, dtype=np.int64)
-        nbits = int(bits.size)
-        # Precompute, for every bit offset, the integer value of the next
-        # `fast_bits` bits (zero padded past the end).  This turns the decode
-        # loop into one table probe per symbol instead of a per-bit inner loop.
-        padded = np.concatenate([bits.astype(np.uint8), np.zeros(fast_bits, dtype=np.uint8)])
-        windows_view = np.lib.stride_tricks.sliding_window_view(padded, fast_bits)[:nbits]
-        weights = (1 << np.arange(fast_bits - 1, -1, -1)).astype(np.int64)
-        windows = (windows_view.astype(np.int64) @ weights).tolist()
-
         bit_list = bits.astype(np.uint8).tolist()
+        nbits = len(bit_list)
         pos = 0
-        fast_symbol_l = fast_symbol.tolist()
-        fast_length_l = fast_length.tolist()
         for i in range(count):
             if pos >= nbits:
                 raise DecompressionError("Huffman bitstream exhausted")
-            window = windows[pos]
-            length = fast_length_l[window]
-            if length:
-                out[i] = fast_symbol_l[window]
-                pos += length
-                continue
-            # Slow path: extend one bit at a time beyond the fast-table width.
-            prefix = window
-            length = fast_bits
+            prefix = 0
+            length = 0
             while True:
                 length += 1
                 if length > 64 or pos + length > nbits:
                     raise DecompressionError("invalid Huffman code in stream")
                 prefix = (prefix << 1) | bit_list[pos + length - 1]
-                sym = slow.get((length, prefix))
+                sym = by_code.get((length, prefix))
                 if sym is not None:
                     out[i] = sym
                     pos += length

@@ -51,10 +51,26 @@ class LosslessBackend:
 _REGISTRY: Dict[str, LosslessBackend] = {}
 _ALIASES: Dict[str, str] = {"gzip": "zlib", "zstd-like": "lzma", "blosc-like": "bz2"}
 
+#: Callbacks invoked on every registration; the unified codec registry
+#: (:mod:`repro.codecs.builtin`) installs one so backends registered at
+#: runtime become visible there too.
+_REGISTRATION_HOOKS: list = []
+
+
+def add_registration_hook(hook, *, replay: bool = True) -> None:
+    """Call ``hook(backend)`` for every future (and, with ``replay``, every
+    already-registered) backend."""
+    _REGISTRATION_HOOKS.append(hook)
+    if replay:
+        for backend in list(_REGISTRY.values()):
+            hook(backend)
+
 
 def register_backend(backend: LosslessBackend) -> None:
     """Register a lossless codec under its name (overwrites an existing one)."""
     _REGISTRY[backend.name] = backend
+    for hook in _REGISTRATION_HOOKS:
+        hook(backend)
 
 
 def available_backends() -> list[str]:
@@ -125,7 +141,12 @@ def _bz2_decompress(data: bytes) -> bytes:
         raise DecompressionError(f"bz2 stream corrupt: {exc}") from exc
 
 
-register_backend(LosslessBackend("store", lambda b: b, lambda b: b))
+def _identity(data: bytes) -> bytes:
+    # Module-level (not a lambda) so store backends pickle into pool workers.
+    return data
+
+
+register_backend(LosslessBackend("store", _identity, _identity))
 register_backend(LosslessBackend("zlib", _zlib_compress, _zlib_decompress))
 register_backend(LosslessBackend("lzma", _lzma_compress, _lzma_decompress))
 register_backend(LosslessBackend("bz2", _bz2_compress, _bz2_decompress))

@@ -6,7 +6,8 @@ entropy-codes the *prediction residual* rather than the value itself.  For
 stored as 1-D ``data arrays`` — the best-fit predictor is the order-1 Lorenzo
 predictor: "the previous decompressed value".
 
-A key implementation observation (documented in DESIGN.md and ablated in the
+A key implementation observation (documented in the top-level DESIGN.md,
+"Lorenzo prediction as integer first differences", and ablated in the
 benchmark suite): when the quantizer snaps every value to the midpoint of a
 ``2 * eb`` grid, the decompressed previous value is exactly the grid value of
 the previous point, so *Lorenzo prediction followed by residual quantization*

@@ -1,0 +1,173 @@
+"""Tests for the unified codec registry and its built-in adapters."""
+
+import numpy as np
+import pytest
+
+from repro.codecs import (
+    Codec,
+    CodecInfo,
+    available_codecs,
+    best_fit_lossless,
+    codec_info,
+    get_codec,
+    register_codec,
+    unregister_codec,
+)
+from repro.sz.compressor import SZCompressor
+from repro.sz.config import SZConfig
+from repro.sz.lossless import best_fit_backend
+from repro.utils.errors import ConfigurationError
+from repro.zfp.codec import ZFPCompressor, ZFPConfig
+
+
+
+
+def _bound_tolerance(data, eb):
+    """Bound + half-ULP slack: the codecs guarantee the bound in double
+    precision; the float32 cast of the output can add half a ULP of the
+    value itself (same convention as tests/properties/test_codec_properties)."""
+    import numpy as _np
+
+    scale = float(_np.max(_np.abs(data))) if data.size else 0.0
+    return eb * (1 + 1e-5) + _np.finfo(_np.float32).eps * scale
+
+
+@pytest.fixture
+def small_array():
+    rng = np.random.default_rng(42)
+    return (rng.standard_normal(4096) * 0.1).astype(np.float32)
+
+
+class TestRegistryLookup:
+    def test_builtin_codecs_registered(self):
+        names = available_codecs()
+        for expected in ("sz", "zfp", "zlib", "lzma", "bz2", "store"):
+            assert expected in names
+
+    def test_unknown_codec_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown codec"):
+            get_codec("no-such-codec")
+
+    def test_aliases_resolve_to_canonical(self):
+        assert get_codec("gzip") is get_codec("zlib")
+        assert get_codec("zstd-like") is get_codec("lzma")
+
+    def test_capability_filters(self):
+        assert available_codecs(error_bounded=True) == ["sz", "zfp"]
+        lossless = available_codecs(lossless=True, input_kind="bytes")
+        assert "zlib" in lossless and "sz" not in lossless
+        assert available_codecs(chunked=True) == ["sz"]
+
+    def test_codec_info(self):
+        info = codec_info("sz")
+        assert info.error_bounded and info.chunked and not info.lossless
+        assert codec_info("zlib").input_kind == "bytes"
+
+    def test_register_and_unregister_custom_codec(self):
+        class EchoCodec(Codec):
+            info = CodecInfo(name="echo-test", lossless=True, input_kind="bytes",
+                             aliases=("echo-alias",))
+
+            def compress(self, data, **options):
+                return bytes(data)
+
+            def decompress(self, payload, **options):
+                return payload
+
+        register_codec(EchoCodec())
+        try:
+            assert get_codec("echo-test").compress(b"abc") == b"abc"
+            assert get_codec("echo-alias") is get_codec("echo-test")
+        finally:
+            unregister_codec("echo-test")
+        with pytest.raises(ConfigurationError):
+            get_codec("echo-test")
+        with pytest.raises(ConfigurationError):
+            get_codec("echo-alias")
+
+
+class TestSZAdapter:
+    def test_payload_matches_direct_compressor(self, small_array):
+        codec = get_codec("sz")
+        payload = codec.compress(small_array, error_bound=1e-3, lossless="zlib")
+        direct = SZCompressor(SZConfig(error_bound=1e-3, lossless="zlib"))
+        assert payload == direct.compress(small_array).payload
+
+    def test_round_trip_respects_bound(self, small_array):
+        codec = get_codec("sz")
+        payload = codec.compress(small_array, error_bound=5e-4)
+        out = codec.decompress(payload)
+        assert np.abs(out - small_array).max() <= _bound_tolerance(small_array, 5e-4)
+
+    def test_chunked_options_flow_through(self, small_array):
+        codec = get_codec("sz")
+        payload = codec.compress(
+            small_array, error_bound=1e-3, chunk_size=1000, workers=2
+        )
+        serial = codec.compress(small_array, error_bound=1e-3, chunk_size=1000)
+        assert payload == serial
+        assert np.abs(codec.decompress(payload, workers=2) - small_array).max() <= _bound_tolerance(small_array, 1e-3)
+
+    def test_ignores_unknown_options(self, small_array):
+        codec = get_codec("sz")
+        payload = codec.compress(small_array, error_bound=1e-3, rate_bits=None)
+        assert codec.decompress(payload).size == small_array.size
+
+
+class TestZFPAdapter:
+    def test_payload_matches_direct_compressor(self, small_array):
+        codec = get_codec("zfp")
+        payload = codec.compress(small_array, error_bound=1e-3)
+        direct = ZFPCompressor(ZFPConfig(tolerance=1e-3)).compress(small_array)
+        assert payload == direct.payload
+
+    def test_round_trip_respects_tolerance(self, small_array):
+        codec = get_codec("zfp")
+        out = codec.decompress(codec.compress(small_array, error_bound=1e-3))
+        assert np.abs(out - small_array).max() <= _bound_tolerance(small_array, 1e-3)
+
+    def test_fixed_rate_option(self, small_array):
+        codec = get_codec("zfp")
+        payload = codec.compress(small_array, rate_bits=12)
+        assert codec.decompress(payload).size == small_array.size
+
+
+class TestLosslessAdapters:
+    def test_round_trip(self):
+        data = b"the quick brown fox " * 100
+        for name in available_codecs(lossless=True, input_kind="bytes"):
+            codec = get_codec(name)
+            assert codec.decompress(codec.compress(data)) == data
+
+    def test_best_fit_matches_lossless_registry(self):
+        data = bytes(range(256)) * 64
+        name, payload = best_fit_lossless(data)
+        backend, expected = best_fit_backend(data)
+        assert name == backend.name
+        assert payload == expected
+
+    def test_best_fit_with_candidates(self):
+        data = b"\x00" * 4096
+        name, payload = best_fit_lossless(data, ["zlib", "store"])
+        assert name == "zlib"
+        assert len(payload) < len(data)
+
+    def test_best_fit_empty_candidates(self):
+        with pytest.raises(ConfigurationError):
+            best_fit_lossless(b"data", [])
+
+
+class TestRuntimeBackendBridge:
+    def test_runtime_lossless_backend_visible_in_codec_registry(self):
+        from repro.sz.lossless import LosslessBackend, register_backend, _REGISTRY
+
+        register_backend(LosslessBackend("toy-echo", lambda b: b, lambda b: b))
+        try:
+            codec = get_codec("toy-echo")
+            assert codec.info.lossless and codec.info.input_kind == "bytes"
+            assert codec.decompress(codec.compress(b"payload")) == b"payload"
+            name, _ = best_fit_lossless(b"x" * 100, ["zlib", "toy-echo"])
+            assert name in ("zlib", "toy-echo")
+        finally:
+            _REGISTRY.pop("toy-echo", None)
+            unregister_codec("toy-echo")

@@ -136,3 +136,27 @@ class TestRunFromDense:
         )
         assert result.compression_ratio > 10
         assert set(result.layer_reports) == {"ip1", "ip2", "ip3"}
+
+
+class TestCodecConfigValidation:
+    def test_unknown_data_codec_fails_fast(self):
+        from repro.utils.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            DeepSZConfig(data_codec="no-such-codec")
+
+    def test_non_error_bounded_data_codec_fails_fast(self):
+        from repro.utils.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            DeepSZConfig(data_codec="zlib")
+
+    def test_chunking_with_unchunked_codec_fails_fast(self):
+        from repro.utils.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            DeepSZConfig(data_codec="zfp", chunk_size=100)
+
+    def test_valid_chunked_config_accepted(self):
+        cfg = DeepSZConfig(data_codec="sz", chunk_size=4096, workers=2)
+        assert cfg.assessment_config().chunk_size == 4096

@@ -1,0 +1,111 @@
+"""Tests for the reusable task pool and worker-count resolution."""
+
+import os
+
+import pytest
+
+from repro.parallel.pool import WORKERS_ENV, TaskPool, in_pool_worker, resolve_workers
+from repro.utils.errors import ValidationError
+
+
+def _square(x):
+    return x * x
+
+
+_INIT_STATE = {}
+
+
+def _set_state(value):
+    _INIT_STATE["value"] = value
+
+
+def _read_state(_):
+    return _INIT_STATE.get("value")
+
+
+def _nested_map(x):
+    # A task that opens its own pool: must degrade to the serial loop.
+    inner = TaskPool(4).map(_square, [x, x + 1])
+    return (in_pool_worker(), inner)
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "6")
+        assert resolve_workers(None) == 6
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) == max(1, os.cpu_count() or 1)
+
+    def test_invalid_values(self, monkeypatch):
+        with pytest.raises(ValidationError):
+            resolve_workers(0)
+        monkeypatch.setenv(WORKERS_ENV, "zero")
+        with pytest.raises(ValidationError):
+            resolve_workers(None)
+        monkeypatch.setenv(WORKERS_ENV, "-2")
+        with pytest.raises(ValidationError):
+            resolve_workers(None)
+
+
+class TestTaskPool:
+    def test_serial_map_preserves_order(self):
+        assert TaskPool(1).map(_square, range(10)) == [x * x for x in range(10)]
+
+    def test_process_map_matches_serial(self):
+        items = list(range(8))
+        assert TaskPool(2).map(_square, items) == TaskPool(1).map(_square, items)
+
+    def test_thread_mode(self):
+        assert TaskPool(2, mode="thread").map(_square, range(8)) == [
+            x * x for x in range(8)
+        ]
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValidationError):
+            TaskPool(1, mode="fiber")
+
+    def test_single_task_runs_inline(self):
+        assert TaskPool(4).map(_square, [3]) == [9]
+
+    def test_initializer_serial(self):
+        _INIT_STATE.clear()
+        out = TaskPool(1).map(_read_state, [0], initializer=_set_state, initargs=(42,))
+        assert out == [42]
+
+    def test_initializer_process(self):
+        out = TaskPool(2).map(
+            _read_state, [0, 1], initializer=_set_state, initargs=(17,)
+        )
+        assert out == [17, 17]
+
+    def test_nested_pool_degrades_to_serial(self):
+        results = TaskPool(2).map(_nested_map, [1, 2, 3])
+        # Outer pool used processes, so each task saw the worker marker and
+        # ran its inner map serially — with correct results either way.
+        assert [r[1] for r in results] == [[1, 4], [4, 9], [9, 16]]
+        assert all(r[0] for r in results)
+
+    def test_not_in_worker_in_main_process(self):
+        assert not in_pool_worker()
+
+
+def _nested_from_thread(x):
+    inner = TaskPool(4).map(_square, [x])
+    return (in_pool_worker(), inner[0])
+
+
+class TestThreadModeNesting:
+    def test_thread_workers_are_marked(self):
+        results = TaskPool(2, mode="thread").map(_nested_from_thread, [2, 3, 4])
+        assert [r[1] for r in results] == [4, 9, 16]
+        assert all(r[0] for r in results)
+
+    def test_main_thread_unmarked_after_thread_map(self):
+        TaskPool(2, mode="thread").map(_square, range(4))
+        assert not in_pool_worker()
