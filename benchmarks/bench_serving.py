@@ -1,0 +1,96 @@
+"""Serving-runtime benchmark: cold vs warm decoded-layer access + throughput.
+
+The archive + runtime subsystem exists so an edge node never pays the
+monolithic-blob tax.  This benchmark quantifies that on a synthetic
+multi-layer model:
+
+* **cold full decode** — decode every layer up front (the v1 experience);
+* **cold first layer** — lazy time-to-first-layer through the runtime;
+* **warm layer access** — per-access latency against the hot LRU cache,
+  asserted to be >= 10x faster than the cold full decode (in practice it is
+  thousands of times faster: a dictionary hit vs a full codec pass);
+* **layer-access throughput** at 1/2/4/8 threads hammering the warm cache.
+
+Results are rendered to ``benchmarks/results/bench_serving.txt`` and the raw
+numbers to ``benchmarks/results/bench_serving.json``.  ``REPRO_SCALE=full``
+grows the synthetic layers to paper-ish sizes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from common import RESULTS_DIR, scale_factor, write_result
+from repro.analysis import format_bytes, render_table
+from repro.core.encoder import DeepSZEncoder
+from repro.pruning.magnitude import prune_weights
+from repro.pruning.sparse_format import encode_sparse
+from repro.serve.bench import serving_benchmark
+from repro.store import archive_bytes
+
+#: Paper-ish fc-layer shapes (AlexNet fc6/fc7/fc8), shrunk by REPRO_SCALE.
+_LAYER_SHAPES = {"fc6": (9216, 4096), "fc7": (4096, 4096), "fc8": (4096, 1000)}
+_DENSITY = 0.1
+_ERROR_BOUND = 1e-3
+
+
+def _synthetic_archive() -> bytes:
+    scale = scale_factor()
+    rng = np.random.default_rng(42)
+    sparse = {}
+    for name, (rows, cols) in _LAYER_SHAPES.items():
+        shape = (max(8, int(rows * scale)), max(8, int(cols * scale)))
+        weights = (rng.standard_normal(shape) * 0.04).astype(np.float32)
+        pruned, _ = prune_weights(weights, _DENSITY)
+        sparse[name] = encode_sparse(pruned)
+    model = DeepSZEncoder().encode(
+        "bench-serving", sparse, {name: _ERROR_BOUND for name in sparse}
+    )
+    return archive_bytes(model)
+
+
+def bench_serving_cold_vs_warm() -> None:
+    blob = _synthetic_archive()
+    results = serving_benchmark(
+        blob,
+        concurrency=(1, 2, 4, 8),
+        accesses_per_thread=500,
+        warm_repeats=50,
+    )
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "bench_serving.json").write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n"
+    )
+
+    rows = [
+        ["cold full decode", f"{results['cold_full_decode_s'] * 1e3:.2f} ms"],
+        ["cold first layer", f"{results['cold_first_layer_s'] * 1e3:.2f} ms"],
+        ["warm layer access", f"{results['warm_layer_access_s'] * 1e6:.2f} us"],
+        ["warm vs cold speedup", f"{results['warm_vs_cold_speedup']:.0f}x"],
+    ]
+    for workers, rate in results["throughput_accesses_per_s"].items():
+        rows.append([f"throughput @{workers} threads", f"{rate:,.0f} accesses/s"])
+    text = render_table(
+        ["metric", "value"],
+        rows,
+        title=(
+            f"serving runtime: {results['layers']} layers, "
+            f"archive {format_bytes(results['archive_bytes'])}, "
+            f"decoded {format_bytes(results['decoded_bytes'])}"
+        ),
+    )
+    print(text)
+    write_result("bench_serving", text)
+
+    # The acceptance bar: a warm cached access must beat re-decoding the
+    # whole model by >= 10x (it is a lock + dict hit vs a full codec pass).
+    assert results["warm_vs_cold_speedup"] >= 10.0, results
+    # Lazy first-layer access must not cost more than the full decode.
+    assert results["cold_first_layer_s"] <= results["cold_full_decode_s"] * 1.5, results
+
+
+if __name__ == "__main__":
+    bench_serving_cold_vs_warm()

@@ -6,11 +6,18 @@ and distributed to bandwidth-limited edge devices (2G links, ~1 Mbit/s), so a
 hundreds-of-megabytes VGG-16 is impractical to push.  This example plays that
 scenario out on the AlexNet-mini / synthetic-ImageNet stand-in:
 
-* the "cloud" trains, prunes, and DeepSZ-encodes the model;
-* the compressed container is "transmitted" (we report the transfer time at
-  2G and 4G rates for both the dense and the compressed model);
-* the "edge device" decodes the container and serves inference, and we verify
-  the accuracy it observes.
+* the "cloud" trains, prunes, DeepSZ-encodes the model, and writes the
+  random-access ``.dsz`` archive (what actually travels: per-layer segments
+  plus the footer-indexed manifest, so the reported transfer time includes
+  the manifest overhead);
+* the compressed archive is "transmitted" (we report transfer time at 2G
+  and 4G rates for both the dense model and the archive);
+* the "edge device" opens the archive through a lazy
+  :class:`repro.serve.ModelRuntime`: the first fc layer is usable after one
+  segment read + decode (time-to-first-layer), inference is possible as
+  soon as the fc layers it needs are decoded (time-to-first-inference), and
+  warm requests hit the decoded-layer cache — contrast with the v1
+  experience of decoding the whole monolithic blob up front.
 
 Run with::
 
@@ -19,11 +26,14 @@ Run with::
 
 from __future__ import annotations
 
+import time
+
 from repro.analysis import format_bytes
 from repro.core import DeepSZ, DeepSZConfig
 from repro.core.decoder import DeepSZDecoder
-from repro.core.encoder import CompressedModel
 from repro.nn import models, zoo
+from repro.serve import ModelRuntime, Server
+from repro.store import ModelArchive
 
 
 def transfer_seconds(num_bytes: int, bits_per_second: float) -> float:
@@ -38,36 +48,75 @@ def main() -> None:
         DeepSZConfig(expected_accuracy_loss=0.01, topk=(1, 5), assessment_samples=300)
     )
     result = deepsz.compress(pruned, test.images, test.labels)
-    blob = result.model.to_bytes()
+    archive_blob = result.model.to_archive_bytes()
 
     dense_bytes = result.original_fc_bytes
     print(f"fc-layer storage: dense {format_bytes(dense_bytes)} -> "
-          f"DeepSZ {format_bytes(len(blob))} ({result.compression_ratio:.1f}x)")
+          f".dsz archive {format_bytes(len(archive_blob))} "
+          f"({dense_bytes / len(archive_blob):.1f}x, manifest overhead included)")
     print(f"error bounds: { {k: f'{v:.0e}' for k, v in result.plan.error_bounds.items()} }")
 
     # ------------------------------------------------------------- the link
     print("\n== transfer over bandwidth-limited links ==")
     for link, rate in [("2G (1 Mbit/s)", 1e6), ("4G (20 Mbit/s)", 20e6)]:
         dense_t = transfer_seconds(dense_bytes, rate)
-        comp_t = transfer_seconds(len(blob), rate)
-        print(f"  {link:<16} dense {dense_t:8.1f} s   compressed {comp_t:6.1f} s   "
+        comp_t = transfer_seconds(len(archive_blob), rate)
+        print(f"  {link:<16} dense {dense_t:8.1f} s   archive {comp_t:6.1f} s   "
               f"({dense_t / comp_t:.0f}x faster)")
 
     # ------------------------------------------------------------ edge side
-    print("\n== edge device: decode and serve ==")
+    print("\n== edge device: lazy decode through the serving runtime ==")
     edge_net = models.alexnet_mini(num_classes=test.num_classes, seed=123)
     # Conv layers are small and ship uncompressed (they are ~4% of storage);
-    # copy them over, then decode the fc-layers from the DeepSZ container.
+    # copy them over, then serve the fc-layers from the archive.
     for layer in pruned.network.layers:
         if layer.params and layer.name not in result.model.layers:
             edge_net[layer.name].params = {k: v.copy() for k, v in layer.params.items()}
-    decoded = DeepSZDecoder().apply(CompressedModel.from_bytes(blob), edge_net)
+
+    # Baseline: the v1 experience — decode everything before anything runs.
+    start = time.perf_counter()
+    full = DeepSZDecoder().decode(ModelArchive.from_bytes(archive_blob))
+    full_decode_s = time.perf_counter() - start
+
+    # Lazy: decode layers on demand; the first layer is usable without
+    # reading (or checksumming) any sibling segment.
+    runtime = ModelRuntime(archive_blob)
+    fc_names = runtime.layer_names
+    start = time.perf_counter()
+    runtime.layer(fc_names[0])
+    first_layer_s = time.perf_counter() - start
+    runtime.load_into(edge_net)
+    first_inference = edge_net.forward(test.images[:1])
+    ttfi_s = time.perf_counter() - start
+    assert first_inference.shape[0] == 1
+
+    print(f"full decode before serving : {full_decode_s * 1e3:7.1f} ms "
+          f"({ {k: f'{v * 1e3:.0f} ms' for k, v in full.timing.phases.items()} })")
+    print(f"time to first layer (lazy) : {first_layer_s * 1e3:7.1f} ms "
+          f"({fc_names[0]!r} only)")
+    print(f"time to first inference    : {ttfi_s * 1e3:7.1f} ms")
+    stats = runtime.stats()
+    print(f"runtime: {stats.decodes} layer decodes, "
+          f"cache hit rate {stats.cache.hit_rate:.0%} "
+          f"({format_bytes(stats.cache.current_bytes)} cached)")
+
+    # -------------------------------------------------- serve some traffic
+    print("\n== edge device: batched serving ==")
+    with Server(edge_net, runtime, batch_size=64, max_batch_delay=0.002) as server:
+        futures = [server.submit(image) for image in test.images[:256]]
+        for future in futures:
+            future.result()
+        server_stats = server.stats()
+    print(f"served {server_stats.requests} requests in "
+          f"{server_stats.elapsed_seconds:.2f} s "
+          f"({server_stats.throughput_rps:.0f} req/s, "
+          f"mean batch {server_stats.mean_batch_size:.1f}, "
+          f"latency p50/p99 {server_stats.latencies_ms.get('p50', 0):.1f}/"
+          f"{server_stats.latencies_ms.get('p99', 0):.1f} ms)")
 
     evaluation = edge_net.evaluate(test.images, test.labels, topk=(1, 5))
     baseline = result.baseline_accuracy
-    print(f"decode time: {decoded.timing.total * 1e3:.0f} ms "
-          f"({ {k: f'{v * 1e3:.0f} ms' for k, v in decoded.timing.phases.items()} })")
-    print(f"accuracy on the edge: top-1 {evaluation[1]:.2%} (cloud baseline {baseline[1]:.2%}), "
+    print(f"\naccuracy on the edge: top-1 {evaluation[1]:.2%} (cloud baseline {baseline[1]:.2%}), "
           f"top-5 {evaluation[5]:.2%} (baseline {baseline.get(5, 0):.2%})")
 
 

@@ -18,6 +18,11 @@ Compress Deep Neural Networks by Using Error-Bounded Lossy Compression*
 * :mod:`repro.core` — the DeepSZ framework itself (error bound assessment,
   accuracy model, error-bound optimization, compressed model generation);
 * :mod:`repro.parallel` — the process-pool assessment harness;
+* :mod:`repro.store` — the random-access ``.dsz`` model archive and the
+  SHA-256 content-addressed :class:`~repro.store.ModelStore`;
+* :mod:`repro.serve` — the on-demand serving runtime (decoded-layer LRU
+  cache, lazy :class:`~repro.serve.ModelRuntime`, batching
+  :class:`~repro.serve.Server`);
 * :mod:`repro.analysis` — metrics and table/figure renderers.
 
 Quickstart
@@ -37,13 +42,15 @@ from repro import (
     nn,
     parallel,
     pruning,
+    serve,
+    store,
     sz,
     utils,
     zfp,
 )
 from repro.core import DeepSZ, DeepSZConfig, DeepSZResult
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analysis",
@@ -54,6 +61,8 @@ __all__ = [
     "nn",
     "parallel",
     "pruning",
+    "serve",
+    "store",
     "sz",
     "utils",
     "zfp",

@@ -1,0 +1,298 @@
+"""``python -m repro`` — command-line front end for the archive + serving stack.
+
+Subcommands
+-----------
+``compress``
+    Encode a model into a random-access ``.dsz`` archive.  Either a
+    synthetic layer spec (``--synthetic "fc6=256x512:0.1,..."`` — fast,
+    deterministic, used by CI) or a zoo model (``--model alexnet-mini`` —
+    trains/loads the cached mini network and runs the full DeepSZ
+    pipeline).  ``--store DIR`` additionally puts the archive into a
+    content-addressed :class:`~repro.store.ModelStore` and prints the
+    digest.
+``inspect``
+    Print the archive manifest: per-layer shapes, codecs, segment sizes
+    and compression ratios, without decoding anything.
+``verify``
+    CRC-check every segment and decode every layer; exit non-zero on the
+    first integrity or decode failure.
+``serve-bench``
+    Run the serving benchmark (cold full decode vs lazy first layer vs
+    warm cache access, plus concurrent layer-access throughput) and print
+    the numbers, optionally as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis import format_bytes, render_table
+from repro.core.encoder import DeepSZEncoder
+from repro.pruning.magnitude import prune_weights
+from repro.pruning.sparse_format import SparseLayer, encode_sparse
+from repro.store import ModelArchive, ModelStore
+from repro.utils.errors import ReproError, ValidationError
+
+__all__ = ["main", "build_parser", "parse_synthetic_spec", "synthetic_sparse_layers"]
+
+
+# ---------------------------------------------------------------------------
+# compress
+# ---------------------------------------------------------------------------
+
+_DEFAULT_SPEC = "fc6=256x512:0.1,fc7=128x256:0.1,fc8=64x128:0.25"
+
+
+def parse_synthetic_spec(spec: str) -> List[tuple[str, tuple[int, int], float]]:
+    """Parse ``name=ROWSxCOLS:density,...`` into (name, shape, density)."""
+    layers: List[tuple[str, tuple[int, int], float]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            name, rest = part.split("=", 1)
+            dims, density = rest.split(":", 1)
+            rows, cols = dims.lower().split("x", 1)
+            layers.append((name.strip(), (int(rows), int(cols)), float(density)))
+        except ValueError:
+            raise ValidationError(
+                f"bad synthetic layer spec {part!r}; expected name=ROWSxCOLS:density"
+            ) from None
+    if not layers:
+        raise ValidationError("synthetic spec contains no layers")
+    for name, shape, density in layers:
+        if shape[0] < 1 or shape[1] < 1 or not (0.0 < density <= 1.0):
+            raise ValidationError(f"bad synthetic layer {name!r}: {shape}, {density}")
+    return layers
+
+
+def synthetic_sparse_layers(
+    spec: str, *, seed: int = 0
+) -> Dict[str, SparseLayer]:
+    """Deterministic pruned layers matching a synthetic spec."""
+    rng = np.random.default_rng(seed)
+    layers: Dict[str, SparseLayer] = {}
+    for name, shape, density in parse_synthetic_spec(spec):
+        weights = (rng.standard_normal(shape) * 0.05).astype(np.float32)
+        pruned, _ = prune_weights(weights, density)
+        layers[name] = encode_sparse(pruned)
+    return layers
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    if args.model is not None:
+        from repro.core import DeepSZ, DeepSZConfig
+        from repro.nn import zoo
+
+        pruned, _, test = zoo.pruned_model(args.model)
+        config = DeepSZConfig(
+            expected_accuracy_loss=args.accuracy_loss,
+            chunk_size=args.chunk_size,
+            workers=args.workers,
+            assessment_samples=args.assessment_samples,
+        )
+        result = DeepSZ(config).compress(pruned, test.images, test.labels)
+        model = result.model
+    else:
+        sparse = synthetic_sparse_layers(args.synthetic, seed=args.seed)
+        encoder = DeepSZEncoder(chunk_size=args.chunk_size, workers=args.workers)
+        model = encoder.encode(
+            "synthetic", sparse, {name: args.error_bound for name in sparse}
+        )
+    written = model.save(args.out)
+    print(f"wrote {args.out}: {format_bytes(written)}, {len(model.layers)} layers")
+    if args.store is not None:
+        store = ModelStore(args.store)
+        digest = store.put_file(args.out)
+        print(f"stored as sha256:{digest}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# inspect / verify
+# ---------------------------------------------------------------------------
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    with ModelArchive.open(args.archive) as archive:
+        manifest = archive.manifest
+        if args.json:
+            from repro.store.archive import manifest_to_dict
+
+            payload = manifest_to_dict(manifest)
+            payload["archive_version"] = archive.version
+            payload["archive_bytes"] = archive.size
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        rows = []
+        for name, entry in manifest.layers.items():
+            dense = entry.shape[0] * entry.shape[1] * 4
+            rows.append(
+                [
+                    name,
+                    f"{entry.shape[0]}x{entry.shape[1]}",
+                    entry.nnz,
+                    f"{entry.error_bound:.0e}",
+                    entry.data_codec,
+                    entry.index_backend,
+                    format_bytes(entry.segments["sz"].length),
+                    format_bytes(entry.segments["index"].length),
+                    f"{dense / entry.compressed_bytes:.1f}x"
+                    if entry.compressed_bytes
+                    else "inf",
+                ]
+            )
+        title = (
+            f"{args.archive} — network {manifest.network!r}, "
+            f"format v{archive.version}, {format_bytes(archive.size)}"
+        )
+        print(
+            render_table(
+                ["layer", "shape", "nnz", "eb", "data", "index", "sz bytes",
+                 "idx bytes", "ratio"],
+                rows,
+                title=title,
+            )
+        )
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.decoder import decode_compressed_layer
+
+    with ModelArchive.open(args.archive) as archive:
+        failures = 0
+        for name in archive.layer_names:
+            entry = archive.manifest.layers[name]
+            try:
+                if args.checksums_only:
+                    # CRC-check this layer's segments only, so one corrupt
+                    # layer still lets the report cover every other layer.
+                    unverifiable = [
+                        kind
+                        for kind, seg in entry.segments.items()
+                        if seg.crc32 is None
+                    ]
+                    for kind in entry.segments:
+                        archive.segment(name, kind, verify=True)
+                    status = (
+                        f"no checksum (v1-era: {', '.join(unverifiable)})"
+                        if unverifiable
+                        else "crc ok"
+                    )
+                else:
+                    layer = archive.read_layer(name, verify=True)
+                    dense = decode_compressed_layer(layer)
+                    status = f"ok ({dense.shape[0]}x{dense.shape[1]} decoded)"
+            except ReproError as exc:
+                status = f"FAILED: {exc}"
+                failures += 1
+            print(f"  {name:<12} {status}")
+        if failures:
+            print(f"verification FAILED for {failures} layer(s)")
+            return 1
+        print(f"all {len(archive.layer_names)} layers verified")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# serve-bench
+# ---------------------------------------------------------------------------
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve.bench import serving_benchmark
+
+    concurrency = [int(c) for c in args.concurrency.split(",") if c.strip()]
+    results = serving_benchmark(
+        args.archive,
+        concurrency=concurrency,
+        accesses_per_thread=args.requests,
+        warm_repeats=args.warm_repeats,
+        cache_bytes=args.cache_mb * 1024 * 1024,
+    )
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+        return 0
+    print(f"archive: {format_bytes(results['archive_bytes'])}, "
+          f"{results['layers']} layers, decoded {format_bytes(results['decoded_bytes'])}")
+    print(f"cold full decode     : {results['cold_full_decode_s'] * 1e3:9.2f} ms")
+    print(f"cold first layer     : {results['cold_first_layer_s'] * 1e3:9.2f} ms")
+    print(f"warm layer access    : {results['warm_layer_access_s'] * 1e6:9.2f} us")
+    print(f"warm vs cold speedup : {results['warm_vs_cold_speedup']:9.0f}x")
+    for workers, rate in results["throughput_accesses_per_s"].items():
+        print(f"throughput @{workers:>2} threads: {rate:12.0f} accesses/s")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser / entry point
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="DeepSZ model archive + serving tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="encode a model into a .dsz archive")
+    p.add_argument("--out", required=True, help="output .dsz archive path")
+    p.add_argument("--model", default=None,
+                   help="zoo model name (runs the full DeepSZ pipeline)")
+    p.add_argument("--synthetic", default=_DEFAULT_SPEC,
+                   help="synthetic layer spec name=ROWSxCOLS:density,...")
+    p.add_argument("--error-bound", type=float, default=1e-3,
+                   help="absolute error bound for synthetic layers")
+    p.add_argument("--accuracy-loss", type=float, default=0.01,
+                   help="expected accuracy loss (zoo pipeline mode)")
+    p.add_argument("--assessment-samples", type=int, default=300,
+                   help="assessment sample cap (zoo pipeline mode)")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="chunked v2 SZ container chunk size (elements)")
+    p.add_argument("--workers", type=int, default=1, help="encode pool workers")
+    p.add_argument("--seed", type=int, default=0, help="synthetic weight seed")
+    p.add_argument("--store", default=None,
+                   help="also put the archive into this content-addressed store")
+    p.set_defaults(func=_cmd_compress)
+
+    p = sub.add_parser("inspect", help="print an archive's manifest")
+    p.add_argument("archive")
+    p.add_argument("--json", action="store_true", help="emit JSON")
+    p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser("verify", help="checksum + decode every layer")
+    p.add_argument("archive")
+    p.add_argument("--checksums-only", action="store_true",
+                   help="CRC-check segments without decoding")
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("serve-bench", help="benchmark the serving runtime")
+    p.add_argument("archive")
+    p.add_argument("--requests", type=int, default=200,
+                   help="layer accesses per thread in the throughput phase")
+    p.add_argument("--warm-repeats", type=int, default=50,
+                   help="warm passes over all layers")
+    p.add_argument("--concurrency", default="1,2,4,8",
+                   help="comma-separated thread counts")
+    p.add_argument("--cache-mb", type=int, default=256,
+                   help="decoded-layer cache budget (MiB)")
+    p.add_argument("--json", action="store_true", help="emit JSON")
+    p.set_defaults(func=_cmd_serve_bench)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -32,7 +32,7 @@ from repro.pruning.sparse_format import SparseLayer, decode_sparse
 from repro.utils.errors import ConfigurationError, DecompressionError, ValidationError
 from repro.utils.timing import TimingBreakdown
 
-__all__ = ["DecodedModel", "DeepSZDecoder"]
+__all__ = ["DecodedModel", "DeepSZDecoder", "decode_compressed_layer"]
 
 
 @dataclass
@@ -72,6 +72,40 @@ def _codec_for_layer(name: str, codec_name: str) -> Codec:
         ) from exc
 
 
+def decode_compressed_layer(layer) -> np.ndarray:
+    """Decode one :class:`~repro.core.encoder.CompressedLayer` into its dense
+    weight matrix: lossless index decode, data codec decode, CSR rebuild.
+
+    The single-layer primitive behind the lazy
+    :class:`repro.serve.ModelRuntime`.  :class:`DeepSZDecoder` below runs
+    the same steps but grouped into whole-model phases (for the Figure 7b
+    timing split and the pool fan-out), so the two implementations are
+    intentionally parallel; equality of their reconstructions is pinned by
+    ``tests/serve/test_runtime.py::test_layer_matches_full_decode``."""
+    raw = _codec_for_layer(layer.name, layer.index_backend).decompress(
+        layer.index_payload
+    )
+    index = np.frombuffer(raw, dtype=np.uint8)
+    if index.size != layer.entry_count:
+        raise DecompressionError(
+            f"index array for {layer.name!r} has {index.size} entries, "
+            f"expected {layer.entry_count}"
+        )
+    data = _codec_for_layer(layer.name, layer.data_codec).decompress(layer.sz_payload)
+    if data.size != layer.entry_count:
+        raise DecompressionError(
+            f"data array for {layer.name!r} has {data.size} entries, "
+            f"expected {layer.entry_count}"
+        )
+    skeleton = SparseLayer(
+        data=np.zeros(layer.entry_count, dtype=np.float32),
+        index=index,
+        shape=layer.shape,
+        nnz=layer.nnz,
+    )
+    return decode_sparse(skeleton, data=data)
+
+
 class DeepSZDecoder:
     """Decode a :class:`CompressedModel` back into dense fc-layer weights.
 
@@ -85,8 +119,31 @@ class DeepSZDecoder:
         if self.workers < 1:
             raise ValidationError("workers must be >= 1")
 
+    @staticmethod
+    def _materialise(model) -> CompressedModel:
+        """Accept a :class:`CompressedModel`, a ``.dsz``
+        :class:`~repro.store.archive.ModelArchive`, or an archive path —
+        the full-decode path reads every layer anyway, so an archive is
+        simply materialised (lazy per-layer serving lives in
+        :class:`repro.serve.ModelRuntime`)."""
+        if isinstance(model, CompressedModel):
+            return model
+        from pathlib import Path
+
+        from repro.store.archive import ModelArchive
+
+        if isinstance(model, ModelArchive):
+            return model.load_model()
+        if isinstance(model, (str, Path, bytes)):
+            return CompressedModel.load(model)
+        raise ValidationError(
+            f"cannot decode a {type(model).__name__}; expected a "
+            "CompressedModel, ModelArchive, archive path, or blob"
+        )
+
     def decode(self, model: CompressedModel) -> DecodedModel:
         """Reconstruct every layer; phases are timed separately (Figure 7b)."""
+        model = self._materialise(model)
         timing = TimingBreakdown()
         index_arrays: Dict[str, np.ndarray] = {}
 

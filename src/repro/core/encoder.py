@@ -19,8 +19,10 @@ produces byte-identical output.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Sequence
+from pathlib import Path
+from typing import Dict, Mapping, Sequence, Union
 
 import numpy as np
 
@@ -97,7 +99,10 @@ class CompressedModel:
 
     # -- serialization -----------------------------------------------------
     def to_bytes(self) -> bytes:
-        """Serialise the whole model to one byte string."""
+        """Serialise the whole model to one byte string (the v1 monolithic
+        container; prefer :meth:`save` / the ``.dsz`` archive for random
+        access).  Payload CRC32s ride in the layer metadata so
+        :meth:`from_bytes` detects corruption per layer."""
         sections: Dict[str, bytes] = {}
         layer_meta = {}
         for name, layer in self.layers.items():
@@ -110,6 +115,10 @@ class CompressedModel:
                 "entry_count": layer.entry_count,
                 "index_backend": layer.index_backend,
                 "data_codec": layer.data_codec,
+                "crc32": {
+                    "sz": zlib.crc32(layer.sz_payload),
+                    "index": zlib.crc32(layer.index_payload),
+                },
             }
         meta = {
             "magic": _MAGIC,
@@ -132,6 +141,16 @@ class CompressedModel:
             raise DecompressionError("not a DeepSZ compressed model (bad magic)")
         layers: Dict[str, CompressedLayer] = {}
         for name, info in meta["layers"].items():
+            # Payload integrity: blobs written after PR 2 carry per-payload
+            # CRC32s, so a flipped bit fails here with the layer named
+            # instead of as an opaque codec error deep in the decode.
+            for kind, crc in info.get("crc32", {}).items():
+                payload = sections.get(f"{name}/{kind}", b"")
+                if zlib.crc32(payload) != int(crc):
+                    raise DecompressionError(
+                        f"layer {name!r} {kind} payload failed CRC32 "
+                        "integrity verification (blob corrupted?)"
+                    )
             layers[name] = CompressedLayer(
                 name=name,
                 error_bound=float(info["error_bound"]),
@@ -148,6 +167,33 @@ class CompressedModel:
             layers=layers,
             expected_accuracy_loss=float(meta["expected_accuracy_loss"]),
         )
+
+    # -- archive path (the random-access .dsz v2 container) ----------------
+    def to_archive_bytes(self) -> bytes:
+        """Serialise as a random-access ``.dsz`` archive (footer-indexed
+        manifest, per-layer segments with CRC32s; see :mod:`repro.store`)."""
+        from repro.store.archive import archive_bytes
+
+        return archive_bytes(self)
+
+    def save(self, path: Union[str, Path]) -> int:
+        """Write a ``.dsz`` archive to ``path``; returns bytes written."""
+        from repro.store.archive import write_archive
+
+        return write_archive(self, path)
+
+    @classmethod
+    def load(cls, source: Union[str, Path, bytes]) -> "CompressedModel":
+        """Load a model from a ``.dsz`` archive path/bytes *or* a v1
+        monolithic blob (both routed through the archive compat reader, so
+        segment checksums are verified when present)."""
+        from repro.store.archive import ModelArchive
+
+        if isinstance(source, (str, Path)):
+            with ModelArchive.open(source) as archive:
+                return archive.load_model()
+        with ModelArchive.from_bytes(source) as archive:
+            return archive.load_model()
 
 
 def _encode_layer_task(

@@ -160,6 +160,12 @@ class DeepSZResult:
         compressed = self.compressed_fc_bytes
         return self.original_fc_bytes / compressed if compressed else float("inf")
 
+    def save_archive(self, path) -> int:
+        """Write the compressed model as a random-access ``.dsz`` archive
+        (the deployment artifact: per-layer random access + checksums);
+        returns the bytes written."""
+        return self.model.save(path)
+
     @property
     def top1_loss(self) -> float:
         return self.baseline_accuracy.get(1, 0.0) - self.compressed_accuracy.get(1, 0.0)

@@ -11,6 +11,7 @@ was created through :func:`repro.nn.models.build_model`.
 from __future__ import annotations
 
 import os
+import zlib
 from typing import Dict
 
 import numpy as np
@@ -32,29 +33,47 @@ _MAGIC = "repro-nn-state-v1"
 
 
 def state_dict_to_bytes(state: Dict[str, np.ndarray]) -> bytes:
-    """Serialise a ``{name: array}`` parameter mapping."""
+    """Serialise a ``{name: array}`` parameter mapping.
+
+    Per-parameter CRC32s ride in the metadata (same convention as the
+    compressed-model container and the ``.dsz`` archive), so a bit-rotted
+    cached-weights file fails loudly with the parameter named instead of
+    silently loading garbage weights."""
     sections = {}
     shapes = {}
     dtypes = {}
+    crcs = {}
     for name, array in state.items():
         arr = np.ascontiguousarray(array)
-        sections[name] = arr.tobytes()
+        payload = arr.tobytes()
+        sections[name] = payload
         shapes[name] = list(arr.shape)
         dtypes[name] = arr.dtype.str
+        crcs[name] = zlib.crc32(payload)
     return write_named_sections(
-        sections, meta={"magic": _MAGIC, "shapes": shapes, "dtypes": dtypes}
+        sections,
+        meta={"magic": _MAGIC, "shapes": shapes, "dtypes": dtypes, "crc32": crcs},
     )
 
 
 def state_dict_from_bytes(blob: bytes) -> Dict[str, np.ndarray]:
-    """Inverse of :func:`state_dict_to_bytes`."""
+    """Inverse of :func:`state_dict_to_bytes`.
+
+    Blobs written before the checksums existed carry no ``crc32`` metadata
+    and load without verification."""
     meta, sections = read_named_sections(blob)
     if meta.get("magic") != _MAGIC:
         raise DecompressionError("not a serialised parameter blob (bad magic)")
     shapes = meta["shapes"]
     dtypes = meta["dtypes"]
+    crcs = meta.get("crc32", {})
     out: Dict[str, np.ndarray] = {}
     for name, payload in sections.items():
+        if name in crcs and zlib.crc32(payload) != int(crcs[name]):
+            raise DecompressionError(
+                f"parameter {name!r} failed CRC32 integrity verification "
+                "(weights file corrupted?)"
+            )
         arr = np.frombuffer(payload, dtype=np.dtype(dtypes[name]))
         out[name] = arr.reshape(shapes[name]).copy()
     return out

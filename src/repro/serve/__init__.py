@@ -1,0 +1,32 @@
+"""On-demand model serving: decoded-layer cache, runtime, and server.
+
+* :mod:`repro.serve.cache` — :class:`LRUCache`, the byte-bounded,
+  thread-safe, single-flight LRU for decoded dense layers;
+* :mod:`repro.serve.runtime` — :class:`ModelRuntime`, lazy per-layer decode
+  over a memory-mapped ``.dsz`` archive with prefetch on the shared task
+  pool;
+* :mod:`repro.serve.server` — :class:`Server`, the dynamic-batching
+  inference front-end with throughput / latency-percentile reporting;
+* :mod:`repro.serve.bench` — the cold/warm/concurrency measurement harness
+  behind ``python -m repro serve-bench`` and ``benchmarks/bench_serving.py``.
+"""
+
+from repro.serve.cache import CacheStats, LRUCache
+from repro.serve.runtime import (
+    DEFAULT_CACHE_BYTES,
+    ModelRuntime,
+    RuntimeStats,
+    decode_compressed_layer,
+)
+from repro.serve.server import Server, ServerStats
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "DEFAULT_CACHE_BYTES",
+    "ModelRuntime",
+    "RuntimeStats",
+    "decode_compressed_layer",
+    "Server",
+    "ServerStats",
+]

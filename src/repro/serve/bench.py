@@ -1,0 +1,117 @@
+"""Measurement harness for the serving runtime.
+
+One function, :func:`serving_benchmark`, produces the numbers the serving
+story is judged on, shared by ``python -m repro serve-bench`` and
+``benchmarks/bench_serving.py``:
+
+* **cold full decode** — a fresh runtime decoding every layer up front (the
+  v1 monolithic experience);
+* **cold first layer** — time until the *first* layer is usable on a fresh
+  runtime (what random access buys: you do not wait for siblings);
+* **warm layer access** — mean per-access latency once the decoded-layer
+  cache is hot (must be orders of magnitude below cold full decode);
+* **layer-access throughput** at several thread counts against the warm
+  cache (the cache is the serving hot path; this measures its contention).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Sequence, Union
+
+import numpy as np
+
+from repro.serve.runtime import DEFAULT_CACHE_BYTES, ModelRuntime
+
+__all__ = ["serving_benchmark"]
+
+
+def _fresh_runtime(source, cache_bytes: int) -> ModelRuntime:
+    # bytes are re-wrapped per run; paths are re-opened (and re-mmapped),
+    # so every "cold" measurement really starts from the container.
+    return ModelRuntime(source, cache_bytes=cache_bytes)
+
+
+def serving_benchmark(
+    source: Union[str, bytes],
+    *,
+    concurrency: Sequence[int] = (1, 2, 4, 8),
+    accesses_per_thread: int = 200,
+    warm_repeats: int = 50,
+    cache_bytes: int = DEFAULT_CACHE_BYTES,
+    seed: int = 0,
+) -> Dict:
+    """Benchmark cold/warm layer access and concurrent throughput.
+
+    ``source`` is a ``.dsz`` archive path or its raw bytes.  Returns a
+    JSON-ready dict (see the module docstring for the metrics).
+    """
+    # -- cold: full-model decode on a fresh runtime -------------------------
+    with _fresh_runtime(source, cache_bytes) as runtime:
+        start = time.perf_counter()
+        decoded = runtime.decode_all()
+        cold_full_s = time.perf_counter() - start
+        layer_names = runtime.layer_names
+        decoded_bytes = int(sum(a.nbytes for a in decoded.values()))
+        archive_size = runtime.archive.size
+
+    # -- cold: time-to-first-layer -----------------------------------------
+    with _fresh_runtime(source, cache_bytes) as runtime:
+        start = time.perf_counter()
+        runtime.layer(layer_names[0])
+        cold_first_layer_s = time.perf_counter() - start
+
+    # -- warm accesses and concurrent throughput ---------------------------
+    runtime = _fresh_runtime(source, cache_bytes)
+    try:
+        runtime.prefetch(workers=1)
+        start = time.perf_counter()
+        touches = 0
+        for _ in range(max(1, warm_repeats)):
+            for name in layer_names:
+                runtime.layer(name)
+                touches += 1
+        warm_total_s = time.perf_counter() - start
+        warm_per_access_s = warm_total_s / touches
+
+        throughput: Dict[str, float] = {}
+        for workers in concurrency:
+            workers = int(workers)
+            if workers < 1:
+                continue
+
+            def hammer(thread_idx: int) -> None:
+                rng = np.random.default_rng(seed + thread_idx)
+                for _ in range(accesses_per_thread):
+                    runtime.layer(layer_names[rng.integers(len(layer_names))])
+
+            threads = [
+                threading.Thread(target=hammer, args=(i,)) for i in range(workers)
+            ]
+            start = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            elapsed = time.perf_counter() - start
+            total_accesses = workers * accesses_per_thread
+            throughput[str(workers)] = total_accesses / elapsed if elapsed else 0.0
+
+        cache_stats = runtime.stats().cache.as_dict()
+    finally:
+        runtime.close()
+
+    return {
+        "layers": len(layer_names),
+        "archive_bytes": archive_size,
+        "decoded_bytes": decoded_bytes,
+        "cold_full_decode_s": cold_full_s,
+        "cold_first_layer_s": cold_first_layer_s,
+        "warm_layer_access_s": warm_per_access_s,
+        "warm_vs_cold_speedup": (
+            cold_full_s / warm_per_access_s if warm_per_access_s else float("inf")
+        ),
+        "throughput_accesses_per_s": throughput,
+        "cache": cache_stats,
+    }

@@ -1,0 +1,199 @@
+"""Size-bounded, thread-safe LRU cache for decoded layers.
+
+The serving runtime decodes layers on demand; decoded dense matrices are
+large (a VGG-16 fc6 is ~400 MB), so the cache is bounded by *bytes*, not
+entry count.  Three properties matter for serving:
+
+* **thread safety** — many request threads hit the cache concurrently;
+* **single-flight misses** — when N threads miss the same key at once, one
+  runs the (expensive) decode and the rest wait for its result instead of
+  decoding N times;
+* **observability** — hit/miss/eviction counters so a serving node can
+  report cache effectiveness.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Generic, Hashable, Optional, Tuple, TypeVar
+
+from repro.utils.errors import ValidationError
+
+__all__ = ["CacheStats", "LRUCache"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`LRUCache` (snapshot via :meth:`as_dict`)."""
+
+    hits: int = 0
+    misses: int = 0
+    coalesced: int = 0  #: misses that piggybacked on another caller's create
+    evictions: int = 0
+    inserts: int = 0
+    oversize_rejects: int = 0
+    current_bytes: int = 0
+    max_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """True hits over all lookups — coalesced waiters count toward the
+        denominator (they needed a value that was not ready), so concurrent
+        cold starts do not inflate the rate."""
+        total = self.hits + self.misses + self.coalesced
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        out = dict(self.__dict__)
+        out["hit_rate"] = self.hit_rate
+        return out
+
+
+class LRUCache(Generic[K, V]):
+    """Byte-budgeted LRU mapping with single-flight ``get_or_create``.
+
+    Values are stored together with their charged size.  An entry larger
+    than the whole budget is returned to the caller but never cached
+    (counted as an oversize reject), so one huge layer cannot wipe the
+    cache for everyone else.
+    """
+
+    def __init__(self, max_bytes: int) -> None:
+        if int(max_bytes) < 1:
+            raise ValidationError("cache max_bytes must be positive")
+        self._max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[K, Tuple[V, int]]" = OrderedDict()
+        self._inflight: Dict[K, threading.Event] = {}
+        self._stats = CacheStats(max_bytes=self._max_bytes)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def max_bytes(self) -> int:
+        return self._max_bytes
+
+    @property
+    def current_bytes(self) -> int:
+        with self._lock:
+            return self._stats.current_bytes
+
+    def stats(self) -> CacheStats:
+        """A snapshot copy of the counters."""
+        with self._lock:
+            return CacheStats(**dict(self._stats.__dict__))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list:
+        """Cached keys, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    # -- core operations ---------------------------------------------------
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._stats.hits += 1
+            return entry[0]
+
+    def put(self, key: K, value: V, size: int) -> None:
+        """Insert (or refresh) an entry charged at ``size`` bytes."""
+        size = int(size)
+        if size < 0:
+            raise ValidationError("entry size must be non-negative")
+        with self._lock:
+            self._insert_locked(key, value, size)
+
+    def _insert_locked(self, key: K, value: V, size: int) -> None:
+        if size > self._max_bytes:
+            self._entries.pop(key, None)
+            self._recount_locked()
+            self._stats.oversize_rejects += 1
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._stats.current_bytes -= old[1]
+        self._entries[key] = (value, size)
+        self._stats.current_bytes += size
+        self._stats.inserts += 1
+        while self._stats.current_bytes > self._max_bytes:
+            _, (_, evicted_size) = self._entries.popitem(last=False)
+            self._stats.current_bytes -= evicted_size
+            self._stats.evictions += 1
+
+    def _recount_locked(self) -> None:
+        self._stats.current_bytes = sum(s for _, s in self._entries.values())
+
+    def remove(self, key: K) -> bool:
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self._stats.current_bytes -= entry[1]
+            return entry is not None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._stats.current_bytes = 0
+
+    def get_or_create(
+        self, key: K, factory: Callable[[], Tuple[V, int]]
+    ) -> V:
+        """Return the cached value, creating it with single-flight semantics.
+
+        ``factory`` runs outside the cache lock and returns ``(value,
+        size_bytes)``.  Concurrent callers missing on the same key wait for
+        the first caller's result; if the factory raises, one waiter is
+        promoted to retry.
+        """
+        waited = False
+        while True:
+            wait_for: Optional[threading.Event] = None
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    if waited:
+                        # A waiter finding the leader's result is not a hit:
+                        # the value was not ready when this caller asked.
+                        self._stats.coalesced += 1
+                    else:
+                        self._stats.hits += 1
+                    return entry[0]
+                wait_for = self._inflight.get(key)
+                if wait_for is None:
+                    self._inflight[key] = threading.Event()
+                    self._stats.misses += 1
+            if wait_for is not None:
+                waited = True
+                wait_for.wait()
+                continue  # re-check the cache (result may be cached or evicted)
+            try:
+                value, size = factory()
+            except BaseException:
+                # Wake the waiters without a cached entry; one of them is
+                # promoted to retry the factory.
+                with self._lock:
+                    event = self._inflight.pop(key)
+                event.set()
+                raise
+            with self._lock:
+                self._insert_locked(key, value, int(size))
+                event = self._inflight.pop(key)
+            event.set()
+            return value

@@ -1,0 +1,209 @@
+"""On-demand model serving runtime over a ``.dsz`` archive.
+
+A :class:`ModelRuntime` is the edge/serving-node counterpart of the cloud
+encoder: it memory-maps an archive (or wraps an in-memory blob) and decodes
+layers *lazily*, each first touch reading only that layer's segments and
+running the index + data codecs + CSR rebuild for that layer alone.  Decoded
+dense matrices go through a byte-bounded, thread-safe LRU cache
+(:class:`repro.serve.cache.LRUCache`) with single-flight misses, so a
+serving node with less RAM than the decoded model still serves every layer,
+and repeat access is a dictionary hit.
+
+``prefetch`` fans the first-touch decodes out on the PR-1
+:class:`repro.parallel.pool.TaskPool` (thread mode: the heavy lifting is
+GIL-releasing zlib/NumPy work), which is how a node hides decode latency
+behind the network transfer of the *next* archive.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+import numpy as np  # noqa: F401 - np.ndarray in docs/annotations
+
+from repro.core.decoder import decode_compressed_layer
+from repro.core.encoder import CompressedModel
+from repro.parallel.pool import TaskPool
+from repro.serve.cache import CacheStats, LRUCache
+from repro.store.archive import ModelArchive, archive_bytes
+from repro.utils.errors import ValidationError
+
+__all__ = [
+    "RuntimeStats",
+    "ModelRuntime",
+    "DEFAULT_CACHE_BYTES",
+    "decode_compressed_layer",
+]
+
+#: Default decoded-layer cache budget (enough for every mini-zoo model).
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+
+@dataclass
+class RuntimeStats:
+    """Serving-side counters: cache behaviour plus per-layer decode cost."""
+
+    cache: CacheStats
+    decodes: int = 0
+    decode_seconds: Dict[str, float] = field(default_factory=dict)
+    bytes_read: int = 0
+
+    @property
+    def total_decode_seconds(self) -> float:
+        return float(sum(self.decode_seconds.values()))
+
+    def as_dict(self) -> dict:
+        return {
+            "cache": self.cache.as_dict(),
+            "decodes": self.decodes,
+            "decode_seconds": dict(self.decode_seconds),
+            "total_decode_seconds": self.total_decode_seconds,
+            "bytes_read": self.bytes_read,
+        }
+
+
+class ModelRuntime:
+    """Lazy, cached, thread-safe access to a compressed model's layers.
+
+    Parameters
+    ----------
+    source:
+        A path to a ``.dsz`` archive (opened with mmap), raw archive bytes
+        (v2 or v1 compat), an open :class:`ModelArchive`, or a
+        :class:`CompressedModel` (wrapped in an in-memory archive).
+    cache_bytes:
+        Budget of the decoded-layer LRU cache.
+    verify:
+        CRC-check segment bytes on every (cold) read.  Warm hits never
+        re-read or re-verify.
+    """
+
+    def __init__(
+        self,
+        source: Union[str, Path, bytes, bytearray, memoryview, ModelArchive, CompressedModel],
+        *,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        verify: bool = True,
+    ) -> None:
+        self._owns_archive = True
+        if isinstance(source, ModelArchive):
+            self._archive = source
+            self._owns_archive = False
+        elif isinstance(source, CompressedModel):
+            self._archive = ModelArchive.from_bytes(archive_bytes(source))
+        elif isinstance(source, (bytes, bytearray, memoryview)):
+            self._archive = ModelArchive.from_bytes(source)
+        elif isinstance(source, (str, Path)):
+            self._archive = ModelArchive.open(source)
+        else:
+            raise ValidationError(
+                f"unsupported runtime source type: {type(source).__name__}"
+            )
+        self._verify = bool(verify)
+        self._cache: LRUCache[str, np.ndarray] = LRUCache(cache_bytes)
+        self._stats_lock = threading.Lock()
+        self._decodes = 0
+        self._decode_seconds: Dict[str, float] = {}
+        self._bytes_read = 0
+        self._closed = False
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def archive(self) -> ModelArchive:
+        return self._archive
+
+    @property
+    def network(self) -> str:
+        return self._archive.manifest.network
+
+    @property
+    def layer_names(self) -> list[str]:
+        return self._archive.layer_names
+
+    def stats(self) -> RuntimeStats:
+        with self._stats_lock:
+            return RuntimeStats(
+                cache=self._cache.stats(),
+                decodes=self._decodes,
+                decode_seconds=dict(self._decode_seconds),
+                bytes_read=self._bytes_read,
+            )
+
+    # -- decoding ----------------------------------------------------------
+    def layer(self, name: str) -> np.ndarray:
+        """The dense weight matrix of one layer (decoded on first touch).
+
+        The returned array is the cached object with the writeable flag
+        cleared — callers that need to mutate it must copy (``Network.
+        set_weights`` already does).
+        """
+        return self._cache.get_or_create(name, lambda: self._decode(name))
+
+    def _decode(self, name: str) -> tuple[np.ndarray, int]:
+        start = time.perf_counter()
+        compressed = self._archive.read_layer(name, verify=self._verify)
+        dense = decode_compressed_layer(compressed)
+        dense.flags.writeable = False
+        elapsed = time.perf_counter() - start
+        with self._stats_lock:
+            self._decodes += 1
+            self._decode_seconds[name] = (
+                self._decode_seconds.get(name, 0.0) + elapsed
+            )
+            self._bytes_read += compressed.compressed_bytes
+        return dense, int(dense.nbytes)
+
+    def prefetch(
+        self, names: Optional[Iterable[str]] = None, *, workers: Optional[int] = None
+    ) -> list[str]:
+        """Warm the cache for ``names`` (default: every layer) concurrently.
+
+        Returns the prefetched names.  ``workers=None`` resolves through
+        ``REPRO_WORKERS`` / CPU count; decodes fan out on a thread pool
+        (zlib/NumPy release the GIL) and single-flight caching keeps each
+        layer decoded at most once even if requests race the prefetch.
+        """
+        targets = list(names) if names is not None else self.layer_names
+        for name in targets:
+            self._archive_check(name)
+        TaskPool(workers, mode="thread").map(self.layer, targets)
+        return targets
+
+    def _archive_check(self, name: str) -> None:
+        if name not in self._archive.manifest.layers:
+            raise ValidationError(
+                f"archive has no layer {name!r}; available: {self.layer_names}"
+            )
+
+    def decode_all(self) -> Dict[str, np.ndarray]:
+        """Every layer's dense weights (through the cache)."""
+        return {name: self.layer(name) for name in self.layer_names}
+
+    def load_into(self, network) -> None:
+        """Install every decoded layer into a :class:`repro.nn.Network`."""
+        for name in self.layer_names:
+            network.set_weights(name, self.layer(name))
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._cache.clear()
+            if self._owns_archive:
+                self._archive.close()
+
+    def __enter__(self) -> "ModelRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ModelRuntime network={self.network!r} layers={len(self.layer_names)} "
+            f"cache={self._cache.current_bytes}/{self._cache.max_bytes}B>"
+        )

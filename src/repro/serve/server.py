@@ -1,0 +1,272 @@
+"""Batched inference front-end over cached decoded weights.
+
+The :class:`Server` completes the paper's edge scenario: after the archive
+arrives and the :class:`~repro.serve.runtime.ModelRuntime` decodes the fc
+layers on demand, something must actually answer inference requests.  The
+server accepts single-sample requests from any number of client threads,
+coalesces them into batches (dynamic batching: a batch closes when it is
+full *or* when the oldest request has waited ``max_batch_delay``), runs one
+forward pass per batch on the NumPy network, and resolves each request's
+future with its probability row.
+
+Per-request latency (submit to result) and batch sizes are recorded, and
+:meth:`Server.stats` reports throughput plus latency percentiles — the
+numbers ``python -m repro serve-bench`` and ``benchmarks/bench_serving.py``
+publish.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serve.runtime import ModelRuntime
+from repro.utils.errors import ValidationError
+
+__all__ = ["ServerStats", "Server"]
+
+_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+@dataclass
+class ServerStats:
+    """Aggregate request statistics since server start."""
+
+    requests: int = 0
+    batches: int = 0
+    failures: int = 0
+    elapsed_seconds: float = 0.0
+    latencies_ms: Dict[str, float] = field(default_factory=dict)
+    mean_batch_size: float = 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    def as_dict(self) -> dict:
+        out = dict(self.__dict__)
+        out["throughput_rps"] = self.throughput_rps
+        return out
+
+
+@dataclass
+class _Request:
+    x: np.ndarray
+    future: Future
+    enqueued: float
+
+
+class Server:
+    """Dynamic-batching inference server over a network + serving runtime.
+
+    Parameters
+    ----------
+    network:
+        A :class:`repro.nn.Network` whose non-compressed parameters are
+        already in place (conv layers ship dense in the edge scenario).
+    runtime:
+        Optional :class:`ModelRuntime`; when given, the compressed fc
+        weights are installed from the decoded-layer cache at
+        :meth:`start` (decoding on demand if still cold).
+    batch_size:
+        Maximum requests folded into one forward pass.
+    max_batch_delay:
+        Seconds the oldest queued request may wait for the batch to fill.
+    """
+
+    def __init__(
+        self,
+        network,
+        runtime: Optional[ModelRuntime] = None,
+        *,
+        batch_size: int = 64,
+        max_batch_delay: float = 0.002,
+    ) -> None:
+        if int(batch_size) < 1:
+            raise ValidationError("batch_size must be >= 1")
+        if float(max_batch_delay) < 0:
+            raise ValidationError("max_batch_delay must be >= 0")
+        self._network = network
+        self._runtime = runtime
+        self._batch_size = int(batch_size)
+        self._max_batch_delay = float(max_batch_delay)
+        self._queue: "queue.SimpleQueue[Optional[_Request]]" = queue.SimpleQueue()
+        self._worker: Optional[threading.Thread] = None
+        self._running = False
+        self._lock = threading.Lock()
+        self._latencies: List[float] = []
+        self._batch_sizes: List[int] = []
+        self._failures = 0
+        self._started_at = 0.0
+        self._stopped_at: Optional[float] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "Server":
+        """Install weights from the runtime and start the batching loop.
+
+        Weight installation runs *before* any server state changes, so a
+        failed decode leaves the server cleanly stopped and start() can be
+        retried.
+        """
+        with self._lock:
+            if self._running:
+                return self
+        if self._runtime is not None:
+            self._runtime.load_into(self._network)
+        with self._lock:
+            if self._running:  # lost a concurrent start() race; that's fine
+                return self
+            # A fresh queue per run: a previous stop() may have left its
+            # shutdown sentinel unconsumed (the worker can exit via the
+            # _running check instead), which would kill the new worker on
+            # its first get().
+            self._queue = queue.SimpleQueue()
+            self._running = True
+            # Stats cover one run ("since server start"): a restart resets
+            # the counters along with the elapsed clock, or throughput
+            # would divide old requests by the new run's elapsed time.
+            self._latencies = []
+            self._batch_sizes = []
+            self._failures = 0
+            self._started_at = time.perf_counter()
+            self._stopped_at = None
+            self._worker = threading.Thread(
+                target=self._serve_loop, name="repro-serve", daemon=True
+            )
+            self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the loop after the queued work drains; freeze the clock.
+
+        The shutdown sentinel is enqueued under the same lock submit()
+        enqueues requests under, so every accepted request sits ahead of
+        the sentinel and is processed before the worker exits — a future
+        returned by submit() always resolves.
+        """
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
+            self._queue.put(None)
+            worker, self._worker = self._worker, None
+        if worker is not None:
+            worker.join()
+        self._stopped_at = time.perf_counter()
+
+    def __enter__(self) -> "Server":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- request path ------------------------------------------------------
+    def submit(self, x: np.ndarray) -> Future:
+        """Enqueue one sample; the future resolves to its probability row."""
+        request = _Request(
+            x=np.asarray(x, dtype=np.float32),
+            future=Future(),
+            enqueued=time.perf_counter(),
+        )
+        # The running check and the put are one atomic step: stop() enqueues
+        # its sentinel under the same lock, so a request can never land
+        # behind the sentinel in a dead queue (its future would never
+        # resolve).
+        with self._lock:
+            if not self._running:
+                raise ValidationError("server is not running (call start())")
+            self._queue.put(request)
+        return request.future
+
+    def infer(self, x: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
+        """Synchronous single-sample inference."""
+        return self.submit(x).result(timeout=timeout)
+
+    def classify(self, x: np.ndarray, timeout: Optional[float] = None) -> int:
+        """Synchronous single-sample top-1 class."""
+        return int(np.argmax(self.infer(x, timeout=timeout)))
+
+    # -- batching loop -----------------------------------------------------
+    def _serve_loop(self) -> None:
+        # The worker exits only by consuming the shutdown sentinel: stop()
+        # enqueues it atomically with the _running flip, so every accepted
+        # request is ahead of it and gets processed before the exit.
+        while True:
+            first = self._queue.get()
+            if first is None:
+                return
+            batch = [first]
+            deadline = first.enqueued + self._max_batch_delay
+            stop_after = False
+            while len(batch) < self._batch_size:
+                remaining = deadline - time.perf_counter()
+                try:
+                    # Past the deadline, still drain whatever is already
+                    # queued (backlog built up during the previous forward
+                    # pass) — only *waiting* for more requests is bounded
+                    # by the delay budget.
+                    if remaining > 0:
+                        item = self._queue.get(timeout=remaining)
+                    else:
+                        item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is None:
+                    stop_after = True
+                    break
+                batch.append(item)
+            self._run_batch(batch)
+            if stop_after:
+                return
+
+    def _run_batch(self, batch: Sequence[_Request]) -> None:
+        try:
+            inputs = np.stack([req.x for req in batch])
+            probs = self._network.forward(inputs, training=False)
+        except BaseException as exc:  # propagate to every caller in the batch
+            done = time.perf_counter()
+            with self._lock:
+                self._failures += len(batch)
+            for req in batch:
+                self._record_latency(req, done)
+                req.future.set_exception(exc)
+            return
+        done = time.perf_counter()
+        with self._lock:
+            self._batch_sizes.append(len(batch))
+        for req, row in zip(batch, probs):
+            self._record_latency(req, done)
+            req.future.set_result(row)
+
+    def _record_latency(self, req: _Request, done: float) -> None:
+        with self._lock:
+            self._latencies.append(done - req.enqueued)
+
+    # -- statistics --------------------------------------------------------
+    def stats(self) -> ServerStats:
+        with self._lock:
+            latencies = list(self._latencies)
+            batch_sizes = list(self._batch_sizes)
+            failures = self._failures
+        end = self._stopped_at if self._stopped_at is not None else time.perf_counter()
+        elapsed = max(end - self._started_at, 0.0) if self._started_at else 0.0
+        percentiles: Dict[str, float] = {}
+        if latencies:
+            values = np.percentile(np.asarray(latencies) * 1e3, _PERCENTILES)
+            percentiles = {
+                f"p{int(p)}": float(v) for p, v in zip(_PERCENTILES, values)
+            }
+        return ServerStats(
+            requests=len(latencies),
+            batches=len(batch_sizes),
+            failures=failures,
+            elapsed_seconds=elapsed,
+            latencies_ms=percentiles,
+            mean_batch_size=float(np.mean(batch_sizes)) if batch_sizes else 0.0,
+        )

@@ -1,0 +1,300 @@
+"""Content-addressed on-disk store for compressed-model archives.
+
+A :class:`ModelStore` is the distribution side of the edge scenario: the
+cloud puts every encoded archive into the store once, keyed by the SHA-256
+of its bytes, and any number of serving nodes / edge devices fetch by
+digest.  Content addressing buys three properties for free:
+
+* **dedup** — putting the same archive twice stores one object (the second
+  put is a metadata touch, counted in :attr:`StoreStats.dedup_hits`);
+* **integrity** — a read re-hashes the object and refuses to hand out bytes
+  whose digest no longer matches the key (bit rot, torn writes);
+* **immutability** — objects never change in place, so readers can mmap
+  them without coordination.
+
+Objects live under ``root/objects/<aa>/<digest>.dsz`` (two-level fan-out so
+directories stay small) with a JSON index at ``root/index.json`` recording
+sizes and last-access times.  An optional ``max_bytes`` budget turns the
+store into a bounded cache: puts that would exceed the budget evict the
+least-recently-used objects first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.store.archive import ModelArchive, archive_bytes
+from repro.utils.errors import IntegrityError, ValidationError
+
+__all__ = ["StoreStats", "ModelStore"]
+
+_DIGEST_LEN = 64  # sha256 hex
+
+
+@dataclass
+class StoreStats:
+    """Counters accumulated over one :class:`ModelStore` instance's lifetime."""
+
+    puts: int = 0
+    dedup_hits: int = 0
+    gets: int = 0
+    evictions: int = 0
+    integrity_failures: int = 0
+    objects: int = 0
+    total_bytes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _ObjectRecord:
+    size: int
+    created: float
+    last_used: float
+    network: str = ""
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class ModelStore:
+    """SHA-256 content-addressed archive store with optional LRU budget."""
+
+    root: Union[str, Path]
+    max_bytes: int | None = None
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        if self.max_bytes is not None and int(self.max_bytes) < 1:
+            raise ValidationError("max_bytes must be positive (or None)")
+        self._lock = threading.RLock()
+        self._last_touch_save = 0.0
+        (self.root / "objects").mkdir(parents=True, exist_ok=True)
+        self._index: Dict[str, _ObjectRecord] = self._load_index()
+        self._refresh_totals()
+
+    # -- index persistence -------------------------------------------------
+    @property
+    def _index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def _load_index(self) -> Dict[str, _ObjectRecord]:
+        if not self._index_path.exists():
+            return {}
+        try:
+            raw = json.loads(self._index_path.read_text())
+        except (json.JSONDecodeError, OSError):
+            raw = {}
+        index: Dict[str, _ObjectRecord] = {}
+        for digest, rec in raw.items():
+            path = self._object_path(digest)
+            if path.exists():
+                index[digest] = _ObjectRecord(
+                    size=int(rec.get("size", path.stat().st_size)),
+                    created=float(rec.get("created", 0.0)),
+                    last_used=float(rec.get("last_used", 0.0)),
+                    network=str(rec.get("network", "")),
+                )
+        # Adopt objects present on disk but missing from the index (e.g. a
+        # crash between the object write and the index write).
+        for path in (self.root / "objects").glob("*/*.dsz"):
+            digest = path.stem
+            if digest not in index:
+                stat = path.stat()
+                index[digest] = _ObjectRecord(
+                    size=stat.st_size, created=stat.st_mtime, last_used=stat.st_mtime
+                )
+        return index
+
+    def _save_index(self) -> None:
+        tmp = self._index_path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps({d: r.as_dict() for d, r in self._index.items()}, sort_keys=True)
+        )
+        os.replace(tmp, self._index_path)
+
+    def _refresh_totals(self) -> None:
+        self.stats.objects = len(self._index)
+        self.stats.total_bytes = int(sum(r.size for r in self._index.values()))
+
+    def _object_path(self, digest: str) -> Path:
+        self._check_digest(digest)
+        return self.root / "objects" / digest[:2] / f"{digest}.dsz"
+
+    @staticmethod
+    def _check_digest(digest: str) -> None:
+        if len(digest) != _DIGEST_LEN or not all(
+            c in "0123456789abcdef" for c in digest
+        ):
+            raise ValidationError(f"not a sha256 hex digest: {digest!r}")
+
+    # -- writes ------------------------------------------------------------
+    def put_bytes(self, blob: bytes, *, network: str = "") -> str:
+        """Store an archive blob; returns its sha256 digest (dedups).
+
+        The object bytes are written to a caller-unique temp file *outside*
+        the store lock (large puts must not serialise unrelated gets); only
+        the dedup check, eviction, atomic rename, and index update run
+        under it.
+        """
+        digest = hashlib.sha256(blob).hexdigest()
+        now = time.time()
+        path = self._object_path(digest)
+        with self._lock:
+            if digest in self._index and path.exists():
+                self._index[digest].last_used = now
+                self.stats.dedup_hits += 1
+                self._save_index()
+                return digest
+            if self.max_bytes is not None and len(blob) > self.max_bytes:
+                raise ValidationError(
+                    f"object of {len(blob)} bytes exceeds the store budget "
+                    f"of {self.max_bytes} bytes"
+                )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        try:
+            tmp.write_bytes(blob)
+            with self._lock:
+                if digest in self._index and path.exists():
+                    # Lost a same-content put race: keep the winner's object.
+                    self._index[digest].last_used = now
+                    self.stats.dedup_hits += 1
+                else:
+                    self._evict_for(len(blob))
+                    os.replace(tmp, path)
+                    self._index[digest] = _ObjectRecord(
+                        size=len(blob), created=now, last_used=now, network=network
+                    )
+                    self.stats.puts += 1
+                    self._refresh_totals()
+                self._save_index()
+        finally:
+            tmp.unlink(missing_ok=True)
+        return digest
+
+    def put_model(self, model) -> str:
+        """Encode a :class:`~repro.core.encoder.CompressedModel` and store it."""
+        return self.put_bytes(archive_bytes(model), network=model.network)
+
+    def put_file(self, path: Union[str, Path]) -> str:
+        """Store an existing archive file's bytes."""
+        return self.put_bytes(Path(path).read_bytes())
+
+    def _evict_for(self, incoming: int) -> None:
+        """Drop least-recently-used objects until ``incoming`` bytes fit."""
+        if self.max_bytes is None:
+            return
+        total = int(sum(r.size for r in self._index.values()))
+        victims = sorted(self._index.items(), key=lambda kv: kv[1].last_used)
+        for digest, record in victims:
+            if total + incoming <= self.max_bytes:
+                break
+            self._remove_object(digest)
+            total -= record.size
+            self.stats.evictions += 1
+
+    def _remove_object(self, digest: str) -> None:
+        path = self._object_path(digest)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+        self._index.pop(digest, None)
+        self._refresh_totals()
+
+    def delete(self, digest: str) -> bool:
+        """Remove an object; returns True when it existed."""
+        with self._lock:
+            existed = digest in self._index
+            self._remove_object(digest)
+            self._save_index()
+        return existed
+
+    # -- reads -------------------------------------------------------------
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._index and self._object_path(digest).exists()
+
+    def digests(self) -> list[str]:
+        """Stored digests, most recently used last."""
+        with self._lock:
+            return [
+                d
+                for d, _ in sorted(
+                    self._index.items(), key=lambda kv: kv[1].last_used
+                )
+            ]
+
+    def _touch_locked(self, digest: str) -> None:
+        """Bump an object's recency; persist the index at most once per
+        second (touches are hot-path metadata — losing the last second of
+        access times on a crash only perturbs LRU order, while mutations
+        always persist immediately)."""
+        self._index[digest].last_used = time.time()
+        self.stats.gets += 1
+        now = time.monotonic()
+        if now - self._last_touch_save >= 1.0:
+            self._last_touch_save = now
+            self._save_index()
+
+    def flush(self) -> None:
+        """Force-persist the index (recency updates are otherwise throttled)."""
+        with self._lock:
+            self._save_index()
+
+    def get_bytes(self, digest: str, *, verify: bool = True) -> bytes:
+        """Read an object's bytes; ``verify`` re-hashes and checks the key.
+
+        The read and hash run outside the store lock (objects are immutable
+        once written), so large-object reads do not serialise the store.
+        """
+        with self._lock:
+            path = self._object_path(digest)
+            if digest not in self._index or not path.exists():
+                raise ValidationError(f"store has no object {digest}")
+            self._touch_locked(digest)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            # Evicted between the existence check and the read.
+            raise ValidationError(f"store has no object {digest}") from None
+        if verify and hashlib.sha256(blob).hexdigest() != digest:
+            with self._lock:
+                self.stats.integrity_failures += 1
+            raise IntegrityError(
+                f"object {digest[:12]}… failed integrity verification: "
+                "stored bytes no longer hash to their content address"
+            )
+        return blob
+
+    def open(self, digest: str, *, verify: bool = True) -> ModelArchive:
+        """Open a stored archive for random access.
+
+        With ``verify`` (the default) the whole object is re-hashed before
+        the archive is opened; pass ``verify=False`` to trust the object and
+        rely on the archive's per-segment CRC32s instead (the cheap option
+        for very large archives).
+        """
+        if verify:
+            return ModelArchive.from_bytes(self.get_bytes(digest, verify=True))
+        with self._lock:
+            path = self._object_path(digest)
+            if digest not in self._index or not path.exists():
+                raise ValidationError(f"store has no object {digest}")
+            self._touch_locked(digest)
+            # Open while holding the lock: a concurrent eviction unlinking
+            # this path would otherwise surface as a raw FileNotFoundError.
+            return ModelArchive.open(path)

@@ -19,6 +19,7 @@ from repro.utils.errors import (
     CompressionError,
     DecompressionError,
     ConfigurationError,
+    IntegrityError,
     ValidationError,
 )
 from repro.utils.bitstream import BitWriter, BitReader, pack_bits, unpack_bits
@@ -44,6 +45,7 @@ __all__ = [
     "CompressionError",
     "DecompressionError",
     "ConfigurationError",
+    "IntegrityError",
     "ValidationError",
     "BitWriter",
     "BitReader",

@@ -29,6 +29,13 @@ class DecompressionError(ReproError, RuntimeError):
     """Decompression failed (corrupt stream, bad magic, truncated frame)."""
 
 
+class IntegrityError(DecompressionError):
+    """Stored bytes failed checksum / content-address verification.
+
+    Subclasses :class:`DecompressionError` so existing corrupt-blob handling
+    catches it; raised by the content-addressed store and archive readers."""
+
+
 class TrainingError(ReproError, RuntimeError):
     """Neural-network training diverged or was mis-configured."""
 

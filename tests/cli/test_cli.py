@@ -1,0 +1,118 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, parse_synthetic_spec, synthetic_sparse_layers
+from repro.store import ModelStore
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture()
+def archive_path(tmp_path):
+    path = tmp_path / "model.dsz"
+    code = main(
+        [
+            "compress",
+            "--out", str(path),
+            "--synthetic", "fc6=48x80:0.1,fc7=32x48:0.2",
+            "--error-bound", "1e-3",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestSpecParsing:
+    def test_parse(self):
+        layers = parse_synthetic_spec("a=4x8:0.5, b=16x2:1.0")
+        assert layers == [("a", (4, 8), 0.5), ("b", (16, 2), 1.0)]
+
+    def test_bad_specs(self):
+        for spec in ("", "a=4x8", "a=4:0.5", "a=0x8:0.5", "a=4x8:0.0", "a=4x8:2"):
+            with pytest.raises(ValidationError):
+                parse_synthetic_spec(spec)
+
+    def test_synthetic_layers_deterministic(self):
+        spec = "fc=32x64:0.25"
+        a = synthetic_sparse_layers(spec, seed=9)["fc"]
+        b = synthetic_sparse_layers(spec, seed=9)["fc"]
+        assert (a.data == b.data).all()
+        assert (a.index == b.index).all()
+        assert a.shape == (32, 64)
+
+
+class TestCommands:
+    def test_compress_inspect_verify_serve_bench(self, archive_path, capsys):
+        assert archive_path.exists()
+        capsys.readouterr()
+
+        assert main(["inspect", str(archive_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fc6" in out and "fc7" in out and "format v2" in out
+
+        assert main(["verify", str(archive_path)]) == 0
+        out = capsys.readouterr().out
+        assert "all 2 layers verified" in out
+
+        code = main(
+            [
+                "serve-bench", str(archive_path),
+                "--requests", "20",
+                "--warm-repeats", "2",
+                "--concurrency", "1,2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        results = json.loads(capsys.readouterr().out)
+        assert results["layers"] == 2
+        assert results["warm_vs_cold_speedup"] > 1.0
+        assert set(results["throughput_accesses_per_s"]) == {"1", "2"}
+
+    def test_inspect_json(self, archive_path, capsys):
+        assert main(["inspect", str(archive_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["archive_version"] == 2
+        assert set(payload["layers"]) == {"fc6", "fc7"}
+
+    def test_compress_into_store(self, tmp_path, capsys):
+        out = tmp_path / "m.dsz"
+        store_dir = tmp_path / "store"
+        assert main(
+            [
+                "compress",
+                "--out", str(out),
+                "--synthetic", "fc=32x32:0.3",
+                "--store", str(store_dir),
+            ]
+        ) == 0
+        printed = capsys.readouterr().out
+        digest = printed.strip().split("sha256:")[-1]
+        store = ModelStore(store_dir)
+        assert digest in store
+        assert store.get_bytes(digest) == out.read_bytes()
+
+    def test_verify_detects_corruption(self, archive_path, capsys):
+        data = bytearray(archive_path.read_bytes())
+        data[len(data) // 3] ^= 0xFF  # inside some segment
+        archive_path.write_bytes(bytes(data))
+        assert main(["verify", str(archive_path)]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_checksums_only_verify(self, archive_path, capsys):
+        assert main(["verify", str(archive_path), "--checksums-only"]) == 0
+        assert "crc ok" in capsys.readouterr().out
+
+    def test_error_exit_code(self, tmp_path, capsys):
+        missing = tmp_path / "nope.dsz"
+        assert main(["inspect", str(missing)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_synthetic_spec_is_a_clean_error(self, tmp_path, capsys):
+        code = main(
+            ["compress", "--out", str(tmp_path / "x.dsz"), "--synthetic", "oops"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -10,10 +10,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.encoder import DeepSZEncoder
 from repro.data import mnist_like, train_test_split
 from repro.nn import SGDConfig, SGDTrainer, models
 from repro.nn.specs import PAPER_PRUNING_RATIOS
-from repro.pruning import PruningConfig, prune_network
+from repro.pruning import PruningConfig, encode_sparse, prune_network, prune_weights
 
 
 @pytest.fixture(scope="session")
@@ -24,6 +25,25 @@ def rng() -> np.random.Generator:
 @pytest.fixture()
 def fresh_rng() -> np.random.Generator:
     return np.random.default_rng(999)
+
+
+@pytest.fixture(scope="session")
+def small_compressed_model():
+    """A three-layer encoded model shared by the store / serve / CLI tests
+    (session cached; treat as immutable)."""
+    rng = np.random.default_rng(777)
+    layers = {}
+    for name, shape, density in [
+        ("fc6", (96, 160), 0.10),
+        ("fc7", (64, 96), 0.12),
+        ("fc8", (32, 64), 0.25),
+    ]:
+        weights = (rng.standard_normal(shape) * 0.05).astype(np.float32)
+        pruned, _ = prune_weights(weights, density)
+        layers[name] = encode_sparse(pruned)
+    return DeepSZEncoder().encode(
+        "store-net", layers, {name: 1e-3 for name in layers}
+    )
 
 
 @pytest.fixture(scope="session")

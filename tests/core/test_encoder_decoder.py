@@ -215,6 +215,40 @@ class TestGoldenModelBlob:
         assert fresh.layers["fc1"].index_payload == layer.index_payload
 
 
+class TestV1PayloadChecksums:
+    """Blobs carry per-payload CRC32s: corruption fails with the layer named."""
+
+    def test_corrupted_sz_payload_names_layer(self, sparse_layers, error_bounds):
+        model = DeepSZEncoder().encode("x", sparse_layers, error_bounds)
+        blob = bytearray(model.to_bytes())
+        # Flip a byte inside fc6's sz payload: the sections follow the JSON
+        # header in insertion order, so fc6/sz is the first payload.
+        header_len = int.from_bytes(blob[:8], "little")
+        blob[8 + header_len + 4] ^= 0xFF
+        with pytest.raises(DecompressionError, match="'fc6' sz payload"):
+            CompressedModel.from_bytes(bytes(blob))
+
+    def test_truncated_blob_is_a_clean_decompression_error(
+        self, sparse_layers, error_bounds
+    ):
+        model = DeepSZEncoder().encode("x", sparse_layers, error_bounds)
+        blob = model.to_bytes()
+        with pytest.raises(DecompressionError):
+            CompressedModel.from_bytes(blob[: len(blob) - len(blob) // 4])
+
+    def test_pre_checksum_blobs_still_load(self):
+        """The golden pre-PR2 blob has no crc32 metadata and must load."""
+        from pathlib import Path
+
+        blob = (
+            Path(__file__).resolve().parent.parent / "golden" / "golden_model_v1.bin"
+        ).read_bytes()
+        header_len = int.from_bytes(blob[:8], "little")
+        assert b"crc32" not in blob[8 : 8 + header_len]  # really pre-checksum
+        model = CompressedModel.from_bytes(blob)
+        assert model.network == "golden-net"
+
+
 class TestDecodeErrorContract:
     def test_unknown_data_codec_in_blob_raises_decompression_error(
         self, sparse_layers, error_bounds

@@ -112,6 +112,29 @@ class TestSerialization:
         with pytest.raises(DecompressionError):
             state_dict_from_bytes(b"not a state dict")
 
+    def test_flipped_parameter_byte_names_parameter(self, fresh_rng):
+        state = {"ip1.weight": fresh_rng.normal(size=(6, 8)).astype(np.float32)}
+        blob = bytearray(state_dict_to_bytes(state))
+        blob[-5] ^= 0xFF  # inside the (single, last) parameter payload
+        with pytest.raises(DecompressionError, match="'ip1.weight' failed CRC32"):
+            state_dict_from_bytes(bytes(blob))
+
+    def test_pre_checksum_blob_still_loads(self, fresh_rng):
+        """Blobs written before crc32 metadata existed skip verification."""
+        import json
+
+        state = {"w": fresh_rng.normal(size=(3, 3)).astype(np.float32)}
+        blob = bytearray(state_dict_to_bytes(state))
+        header_len = int.from_bytes(blob[:8], "little")
+        header = json.loads(bytes(blob[8 : 8 + header_len]))
+        del header["meta"]["crc32"]
+        stripped = json.dumps(header, sort_keys=True).encode()
+        rebuilt = (
+            len(stripped).to_bytes(8, "little") + stripped + bytes(blob[8 + header_len :])
+        )
+        out = state_dict_from_bytes(rebuilt)
+        assert np.array_equal(out["w"], state["w"])
+
     def test_incompatible_architecture_raises(self):
         blob = network_to_bytes(models.lenet_300_100(seed=1))
         with pytest.raises(ValidationError):

@@ -1,0 +1,92 @@
+"""Hypothesis round-trip properties for the archive manifest codec."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store.archive import (
+    ArchiveManifest,
+    LayerEntry,
+    SegmentEntry,
+    manifest_from_dict,
+    manifest_to_dict,
+)
+
+_settings = settings(max_examples=60, deadline=None)
+
+_names = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "N"), whitelist_characters="_-./"),
+    min_size=1,
+    max_size=24,
+)
+
+
+@st.composite
+def segment_entries(draw):
+    return SegmentEntry(
+        offset=draw(st.integers(min_value=0, max_value=2**48)),
+        length=draw(st.integers(min_value=0, max_value=2**32)),
+        crc32=draw(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=2**32 - 1))
+        ),
+    )
+
+
+@st.composite
+def layer_entries(draw, name):
+    return LayerEntry(
+        name=name,
+        error_bound=draw(
+            st.floats(
+                min_value=1e-12, max_value=1.0, allow_nan=False, allow_infinity=False
+            )
+        ),
+        shape=(
+            draw(st.integers(min_value=1, max_value=1 << 20)),
+            draw(st.integers(min_value=1, max_value=1 << 20)),
+        ),
+        nnz=draw(st.integers(min_value=0, max_value=1 << 30)),
+        entry_count=draw(st.integers(min_value=0, max_value=1 << 30)),
+        index_backend=draw(st.sampled_from(["zlib", "lzma", "bz2", "store"])),
+        data_codec=draw(st.sampled_from(["sz", "zfp", "custom-codec"])),
+        segments={
+            "sz": draw(segment_entries()),
+            "index": draw(segment_entries()),
+        },
+    )
+
+
+@st.composite
+def manifests(draw):
+    names = draw(st.lists(_names, min_size=0, max_size=6, unique=True))
+    layers = {name: draw(layer_entries(name)) for name in names}
+    return ArchiveManifest(
+        network=draw(st.text(max_size=32)),
+        expected_accuracy_loss=draw(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+        ),
+        layers=layers,
+    )
+
+
+@_settings
+@given(manifest=manifests())
+def test_manifest_round_trips_through_dict(manifest):
+    restored = manifest_from_dict(manifest_to_dict(manifest))
+    assert restored.network == manifest.network
+    assert restored.expected_accuracy_loss == manifest.expected_accuracy_loss
+    assert list(restored.layers) == list(manifest.layers)
+    for name, entry in manifest.layers.items():
+        got = restored.layers[name]
+        assert got == entry
+
+
+@_settings
+@given(manifest=manifests())
+def test_manifest_dict_is_json_stable(manifest):
+    """Encoding is pure JSON data and a second encode round is identical."""
+    import json
+
+    payload = manifest_to_dict(manifest)
+    via_json = json.loads(json.dumps(payload))
+    assert manifest_from_dict(via_json) == manifest_from_dict(payload)
+    assert manifest_to_dict(manifest_from_dict(payload)) == payload

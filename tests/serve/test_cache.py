@@ -1,0 +1,151 @@
+"""Tests for the byte-bounded, thread-safe LRU decoded-layer cache."""
+
+import threading
+
+import pytest
+
+from repro.serve import LRUCache
+from repro.utils.errors import ValidationError
+
+
+class TestBasics:
+    def test_put_get_and_stats(self):
+        cache = LRUCache(100)
+        assert cache.get("a") is None  # miss
+        cache.put("a", "va", 10)
+        assert cache.get("a") == "va"
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.inserts == 1
+        assert stats.current_bytes == 10
+        assert stats.max_bytes == 100
+        assert 0 < stats.hit_rate < 1
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValidationError):
+            LRUCache(0)
+        with pytest.raises(ValidationError):
+            LRUCache(10).put("a", "v", -1)
+
+    def test_eviction_is_lru_ordered(self):
+        cache = LRUCache(30)
+        cache.put("a", 1, 10)
+        cache.put("b", 2, 10)
+        cache.put("c", 3, 10)
+        cache.get("a")  # refresh a: b is now least recently used
+        cache.put("d", 4, 10)
+        assert "b" not in cache
+        assert all(k in cache for k in ("a", "c", "d"))
+        assert cache.stats().evictions == 1
+        assert cache.keys() == ["c", "a", "d"]
+
+    def test_replacing_entry_adjusts_bytes(self):
+        cache = LRUCache(100)
+        cache.put("a", 1, 40)
+        cache.put("a", 2, 10)
+        assert cache.stats().current_bytes == 10
+        assert cache.get("a") == 2
+
+    def test_oversize_entry_not_cached(self):
+        cache = LRUCache(10)
+        cache.put("big", "x", 11)
+        assert "big" not in cache
+        assert cache.stats().oversize_rejects == 1
+        assert cache.stats().current_bytes == 0
+
+    def test_remove_and_clear(self):
+        cache = LRUCache(100)
+        cache.put("a", 1, 10)
+        assert cache.remove("a")
+        assert not cache.remove("a")
+        cache.put("b", 2, 10)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().current_bytes == 0
+
+
+class TestGetOrCreate:
+    def test_factory_runs_once(self):
+        cache = LRUCache(100)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return "value", 10
+
+        assert cache.get_or_create("k", factory) == "value"
+        assert cache.get_or_create("k", factory) == "value"
+        assert len(calls) == 1
+
+    def test_factory_error_propagates_and_is_retryable(self):
+        cache = LRUCache(100)
+
+        def boom():
+            raise RuntimeError("decode failed")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_create("k", boom)
+        assert cache.get_or_create("k", lambda: ("ok", 5)) == "ok"
+
+    def test_concurrent_misses_single_flight(self):
+        """Many threads hammering the same keys: every thread gets the right
+        value and each key's factory runs exactly once."""
+        cache = LRUCache(1 << 20)
+        call_counts = {}
+        call_lock = threading.Lock()
+        barrier = threading.Barrier(16)
+        results = []
+        results_lock = threading.Lock()
+
+        def factory_for(key):
+            def factory():
+                with call_lock:
+                    call_counts[key] = call_counts.get(key, 0) + 1
+                return f"value-{key}", 100
+
+            return factory
+
+        def worker(idx):
+            barrier.wait()
+            for round_no in range(50):
+                key = f"k{(idx + round_no) % 8}"
+                value = cache.get_or_create(key, factory_for(key))
+                with results_lock:
+                    results.append((key, value))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert all(value == f"value-{key}" for key, value in results)
+        assert len(results) == 16 * 50
+        # No eviction pressure (8 * 100 bytes << 1 MiB): single-flight means
+        # exactly one factory call per key.
+        assert set(call_counts) == {f"k{i}" for i in range(8)}
+        assert all(count == 1 for count in call_counts.values())
+        stats = cache.stats()
+        assert stats.misses == 8
+        # Waiters that piggybacked on a leader's decode are 'coalesced',
+        # not hits; every lookup is accounted exactly once.
+        assert stats.hits + stats.coalesced == 16 * 50 - 8
+        assert stats.hit_rate == stats.hits / (16 * 50)
+
+    def test_concurrent_distinct_keys(self):
+        cache = LRUCache(1 << 20)
+        barrier = threading.Barrier(8)
+
+        def worker(idx):
+            barrier.wait()
+            for i in range(100):
+                key = f"{idx}-{i}"
+                assert cache.get_or_create(key, lambda k=key: (k, 10)) == key
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cache.stats().inserts == 800

@@ -1,0 +1,161 @@
+"""Tests for the on-demand :class:`ModelRuntime`."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import DeepSZDecoder
+from repro.serve import ModelRuntime
+from repro.store import ModelArchive, archive_bytes, write_archive
+from repro.utils.errors import DecompressionError, ValidationError
+
+
+@pytest.fixture(scope="module")
+def blob(small_compressed_model):
+    return archive_bytes(small_compressed_model)
+
+
+@pytest.fixture(scope="module")
+def reference_weights(small_compressed_model):
+    return DeepSZDecoder().decode(small_compressed_model).weights
+
+
+class TestOnDemandDecode:
+    def test_layer_matches_full_decode(self, blob, reference_weights):
+        with ModelRuntime(blob) as runtime:
+            for name, expected in reference_weights.items():
+                np.testing.assert_array_equal(runtime.layer(name), expected)
+
+    def test_lazy_decoding_touches_only_requested_layer(self, blob, reference_weights):
+        with ModelRuntime(blob) as runtime:
+            runtime.layer("fc7")
+            stats = runtime.stats()
+            assert stats.decodes == 1
+            assert list(stats.decode_seconds) == ["fc7"]
+
+    def test_second_access_is_a_cache_hit(self, blob):
+        with ModelRuntime(blob) as runtime:
+            first = runtime.layer("fc6")
+            second = runtime.layer("fc6")
+            assert first is second  # the cached object itself
+            stats = runtime.stats()
+            assert stats.decodes == 1
+            assert stats.cache.hits == 1
+            assert stats.cache.misses == 1
+
+    def test_cached_arrays_are_read_only(self, blob):
+        with ModelRuntime(blob) as runtime:
+            array = runtime.layer("fc6")
+            with pytest.raises(ValueError):
+                array[0, 0] = 1.0
+
+    def test_sources(self, small_compressed_model, blob, tmp_path, reference_weights):
+        path = tmp_path / "model.dsz"
+        write_archive(small_compressed_model, path)
+        for source in (
+            blob,
+            str(path),
+            path,
+            ModelArchive.from_bytes(blob),
+            small_compressed_model,
+        ):
+            with ModelRuntime(source) as runtime:
+                np.testing.assert_array_equal(
+                    runtime.layer("fc8"), reference_weights["fc8"]
+                )
+        with pytest.raises(ValidationError):
+            ModelRuntime(12345)
+
+    def test_v1_blob_source(self, small_compressed_model, reference_weights):
+        with ModelRuntime(small_compressed_model.to_bytes()) as runtime:
+            assert runtime.archive.version == 1
+            np.testing.assert_array_equal(
+                runtime.layer("fc6"), reference_weights["fc6"]
+            )
+
+    def test_unknown_layer(self, blob):
+        with ModelRuntime(blob) as runtime:
+            with pytest.raises(ValidationError, match="no layer"):
+                runtime.layer("nope")
+            with pytest.raises(ValidationError, match="no layer"):
+                runtime.prefetch(["nope"])
+
+    def test_corrupt_segment_raises_on_access(self, blob):
+        manifest = ModelArchive.from_bytes(blob).manifest
+        seg = manifest.layers["fc6"].segments["sz"]
+        corrupted = bytearray(blob)
+        corrupted[seg.offset] ^= 0xFF
+        with ModelRuntime(bytes(corrupted)) as runtime:
+            with pytest.raises(DecompressionError, match="CRC32"):
+                runtime.layer("fc6")
+            # Sibling layers stay servable.
+            assert runtime.layer("fc7") is not None
+
+
+class TestPrefetchAndCache:
+    def test_prefetch_all(self, blob, reference_weights):
+        with ModelRuntime(blob) as runtime:
+            names = runtime.prefetch(workers=4)
+            assert set(names) == set(reference_weights)
+            stats = runtime.stats()
+            assert stats.decodes == len(reference_weights)
+            # Every subsequent access is a hit.
+            for name in names:
+                runtime.layer(name)
+            assert runtime.stats().cache.hits >= len(names)
+
+    def test_tiny_cache_still_serves_with_evictions(self, blob, reference_weights):
+        sizes = {n: a.nbytes for n, a in reference_weights.items()}
+        budget = max(sizes.values()) + 1  # holds exactly one decoded layer
+        with ModelRuntime(blob, cache_bytes=budget) as runtime:
+            for _ in range(3):
+                for name, expected in reference_weights.items():
+                    np.testing.assert_array_equal(runtime.layer(name), expected)
+            stats = runtime.stats()
+            assert stats.cache.evictions > 0
+            assert stats.decodes > len(reference_weights)
+
+    def test_concurrent_access_hammering(self, blob, reference_weights):
+        names = list(reference_weights)
+        with ModelRuntime(blob) as runtime:
+            barrier = threading.Barrier(12)
+            errors = []
+
+            def worker(idx):
+                try:
+                    barrier.wait()
+                    rng = np.random.default_rng(idx)
+                    for _ in range(40):
+                        name = names[rng.integers(len(names))]
+                        np.testing.assert_array_equal(
+                            runtime.layer(name), reference_weights[name]
+                        )
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(12)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            # Single-flight: each layer decoded once despite 12 threads.
+            assert runtime.stats().decodes == len(names)
+
+    def test_load_into_network_and_decode_all(self, blob, reference_weights):
+        with ModelRuntime(blob) as runtime:
+            decoded = runtime.decode_all()
+            assert set(decoded) == set(reference_weights)
+
+            class FakeNetwork:
+                def __init__(self):
+                    self.loaded = {}
+
+                def set_weights(self, name, weights):
+                    self.loaded[name] = np.array(weights)
+
+            net = FakeNetwork()
+            runtime.load_into(net)
+            for name, expected in reference_weights.items():
+                np.testing.assert_array_equal(net.loaded[name], expected)

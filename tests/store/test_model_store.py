@@ -1,0 +1,114 @@
+"""Tests for the content-addressed :class:`ModelStore`."""
+
+import hashlib
+
+import pytest
+
+from repro.store import ModelStore, archive_bytes
+from repro.utils.errors import IntegrityError, ValidationError
+
+
+@pytest.fixture()
+def blob(small_compressed_model):
+    return archive_bytes(small_compressed_model)
+
+
+class TestPutGet:
+    def test_round_trip(self, tmp_path, small_compressed_model, blob):
+        store = ModelStore(tmp_path / "store")
+        digest = store.put_model(small_compressed_model)
+        assert digest == hashlib.sha256(blob).hexdigest()
+        assert digest in store
+        assert store.get_bytes(digest) == blob
+        model = store.open(digest).load_model()
+        assert set(model.layers) == set(small_compressed_model.layers)
+
+    def test_put_file(self, tmp_path, small_compressed_model):
+        path = tmp_path / "model.dsz"
+        small_compressed_model.save(path)
+        store = ModelStore(tmp_path / "store")
+        digest = store.put_file(path)
+        assert store.get_bytes(digest) == path.read_bytes()
+
+    def test_dedup(self, tmp_path, small_compressed_model, blob):
+        store = ModelStore(tmp_path / "store")
+        first = store.put_bytes(blob)
+        second = store.put_model(small_compressed_model)
+        assert first == second
+        assert store.stats.puts == 1
+        assert store.stats.dedup_hits == 1
+        assert store.stats.objects == 1
+        assert store.stats.total_bytes == len(blob)
+
+    def test_unknown_digest(self, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        with pytest.raises(ValidationError, match="no object"):
+            store.get_bytes("0" * 64)
+        with pytest.raises(ValidationError, match="sha256"):
+            store.get_bytes("not-a-digest")
+
+    def test_delete(self, tmp_path, blob):
+        store = ModelStore(tmp_path / "store")
+        digest = store.put_bytes(blob)
+        assert store.delete(digest)
+        assert digest not in store
+        assert not store.delete(digest)
+        assert store.stats.objects == 0
+
+    def test_index_survives_reopen(self, tmp_path, blob):
+        root = tmp_path / "store"
+        digest = ModelStore(root).put_bytes(blob)
+        reopened = ModelStore(root)
+        assert digest in reopened
+        assert reopened.get_bytes(digest) == blob
+
+
+class TestIntegrity:
+    def test_corrupted_object_detected_on_read(self, tmp_path, blob):
+        store = ModelStore(tmp_path / "store")
+        digest = store.put_bytes(blob)
+        path = store._object_path(digest)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(IntegrityError, match="integrity"):
+            store.get_bytes(digest)
+        assert store.stats.integrity_failures == 1
+        # verify=False trusts the object and defers to segment CRCs.
+        assert store.get_bytes(digest, verify=False) != blob
+
+    def test_open_verifies_by_default(self, tmp_path, blob):
+        store = ModelStore(tmp_path / "store")
+        digest = store.put_bytes(blob)
+        path = store._object_path(digest)
+        path.write_bytes(b"garbage" * 10)
+        with pytest.raises(IntegrityError):
+            store.open(digest)
+
+
+class TestEviction:
+    def _blob(self, tag: bytes, size: int = 1000) -> bytes:
+        return tag * (size // len(tag))
+
+    def test_lru_eviction_under_budget(self, tmp_path):
+        store = ModelStore(tmp_path / "store", max_bytes=2500)
+        a = store.put_bytes(self._blob(b"aa"))
+        b = store.put_bytes(self._blob(b"bb"))
+        store.get_bytes(a, verify=False)  # touch a: b becomes LRU
+        c = store.put_bytes(self._blob(b"cc"))  # would be 3000 bytes: evict b
+        assert a in store and c in store
+        assert b not in store
+        assert store.stats.evictions == 1
+        assert store.stats.total_bytes <= 2500
+
+    def test_oversize_object_rejected(self, tmp_path):
+        store = ModelStore(tmp_path / "store", max_bytes=100)
+        with pytest.raises(ValidationError, match="budget"):
+            store.put_bytes(b"x" * 101)
+
+    def test_digests_ordered_by_recency(self, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        a = store.put_bytes(self._blob(b"aa"))
+        b = store.put_bytes(self._blob(b"bb"))
+        store.get_bytes(a, verify=False)
+        assert store.digests() == [b, a]
