@@ -20,6 +20,12 @@ Subcommands
     Run the serving benchmark (cold full decode vs lazy first layer vs
     warm cache access, plus concurrent layer-access throughput) and print
     the numbers, optionally as JSON.
+``assess``
+    Run Step 2 (error-bound assessment, Algorithm 1) on a zoo model with
+    the parallel activation-reuse engine and print the per-layer
+    assessment points plus the Algorithm 2 error-bound plan.  ``--cache``
+    persists candidate results so repeated runs are incremental;
+    ``--workers 0`` uses every core.
 """
 
 from __future__ import annotations
@@ -232,6 +238,113 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# assess
+# ---------------------------------------------------------------------------
+
+
+def _cmd_assess(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.assessment import AssessmentConfig, assess_network
+    from repro.core.optimizer import OptimizerConfig, optimize_error_bounds
+    from repro.core.pipeline import assessment_subset
+    from repro.nn import zoo
+    from repro.store import AssessmentCache
+
+    pruned, _, test = zoo.pruned_model(args.model)
+    images, labels = assessment_subset(test.images, test.labels, args.samples, args.seed)
+    config = AssessmentConfig(
+        expected_accuracy_loss=args.expected_loss,
+        max_fine_tests=args.max_fine_tests,
+    )
+    cache = AssessmentCache(args.cache) if args.cache is not None else None
+    started = time.perf_counter()
+    result = assess_network(
+        pruned.network,
+        pruned.sparse_layers,
+        images,
+        labels,
+        config=config,
+        workers=args.workers or None,
+        reuse_activations=not args.no_reuse,
+        cache=cache,
+    )
+    elapsed = time.perf_counter() - started
+    plan = optimize_error_bounds(
+        result.candidates(),
+        OptimizerConfig(expected_accuracy_loss=args.expected_loss),
+    )
+
+    if args.json:
+        payload = {
+            "network": result.network,
+            "baseline_accuracy": result.baseline_accuracy,
+            "tests_performed": result.tests_performed,
+            "evaluations": result.evaluations,
+            "cache_hits": result.cache_hits,
+            "elapsed_s": elapsed,
+            "samples": int(len(images)),
+            "layers": {
+                name: {
+                    "points": [
+                        {
+                            "error_bound": p.error_bound,
+                            "accuracy": p.accuracy,
+                            "degradation": p.degradation,
+                            "compressed_bytes": p.compressed_bytes,
+                        }
+                        for p in assessment.points
+                    ],
+                    "feasible_range": list(assessment.feasible_range),
+                }
+                for name, assessment in result.layers.items()
+            },
+            "plan": {
+                "error_bounds": dict(plan.error_bounds),
+                "predicted_loss": plan.predicted_loss,
+                "total_compressed_bytes": plan.total_compressed_bytes,
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    rows = []
+    for name, assessment in result.layers.items():
+        lo, hi = assessment.feasible_range
+        chosen = plan.error_bounds[name]
+        chosen_point = assessment.point_for(chosen)
+        rows.append(
+            [
+                name,
+                len(assessment.points),
+                f"{min(assessment.tested_bounds):.0e}..{max(assessment.tested_bounds):.0e}",
+                f"{lo:.0e}..{hi:.0e}",
+                f"{chosen:.0e}",
+                f"{chosen_point.degradation * 100:+.2f}%",
+                format_bytes(chosen_point.compressed_bytes),
+            ]
+        )
+    print(
+        render_table(
+            ["layer", "points", "tested", "feasible", "chosen eb", "degr.", "bytes"],
+            rows,
+            title=(
+                f"{result.network}: baseline {result.baseline_accuracy * 100:.2f}% "
+                f"on {len(images)} samples"
+            ),
+        )
+    )
+    cache_note = f", {result.cache_hits} cache hits" if cache is not None else ""
+    print(
+        f"{result.tests_performed} assessment points "
+        f"({result.evaluations} evaluations{cache_note}) in {elapsed:.2f}s; "
+        f"plan predicts {plan.predicted_loss * 100:.2f}% loss, "
+        f"{format_bytes(plan.total_compressed_bytes)} compressed"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # parser / entry point
 # ---------------------------------------------------------------------------
 
@@ -286,6 +399,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="decoded-layer cache budget (MiB)")
     p.add_argument("--json", action="store_true", help="emit JSON")
     p.set_defaults(func=_cmd_serve_bench)
+
+    p = sub.add_parser(
+        "assess", help="run the Step 2 error-bound assessment on a zoo model"
+    )
+    p.add_argument("--model", default="lenet-300-100",
+                   help="zoo model name (trained/pruned on first use, then cached)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="assessment pool threads (0 = all cores / REPRO_WORKERS)")
+    p.add_argument("--samples", type=int, default=None,
+                   help="seeded-shuffled test-sample cap for the sweep")
+    p.add_argument("--seed", type=int, default=None,
+                   help="seed of the sample-subset draw")
+    p.add_argument("--expected-loss", type=float, default=0.01,
+                   help="expected accuracy loss driving the fine scans")
+    p.add_argument("--max-fine-tests", type=int, default=24,
+                   help="safety cap on each layer's fine scan")
+    p.add_argument("--cache", default=None,
+                   help="persist candidate results under this directory")
+    p.add_argument("--no-reuse", action="store_true",
+                   help="disable activation-reuse checkpointing")
+    p.add_argument("--json", action="store_true", help="emit JSON")
+    p.set_defaults(func=_cmd_assess)
     return parser
 
 

@@ -32,8 +32,10 @@ from repro.core.assessment import (
     AssessmentResult,
     assess_layer,
     assess_network,
+    bound_key,
     evaluate_candidate,
 )
+from repro.core.assess_parallel import AssessmentEngine, EngineStats
 from repro.core.accuracy_model import (
     predict_total_loss,
     linearity_probe,
@@ -54,8 +56,11 @@ __all__ = [
     "AssessmentPoint",
     "LayerAssessment",
     "AssessmentResult",
+    "AssessmentEngine",
+    "EngineStats",
     "assess_layer",
     "assess_network",
+    "bound_key",
     "evaluate_candidate",
     "predict_total_loss",
     "linearity_probe",

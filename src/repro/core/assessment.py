@@ -18,13 +18,14 @@ the input of the Algorithm 2 optimizer.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
 from repro.codecs import best_fit_lossless, get_codec
-from repro.nn.network import Network
+from repro.nn.network import Network, topk_counts
 from repro.pruning.sparse_format import SparseLayer, decode_sparse
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_positive
@@ -34,10 +35,42 @@ __all__ = [
     "AssessmentPoint",
     "LayerAssessment",
     "AssessmentResult",
+    "bound_key",
     "evaluate_candidate",
     "assess_layer",
     "assess_network",
 ]
+
+
+def bound_key(error_bound: float) -> str:
+    """Canonical dictionary key for an error bound.
+
+    Algorithm 1's schedules only ever produce bounds of the form
+    ``step * 10^decade`` with ``step`` in 1..9 (anchored at a coarse bound),
+    but historically the fine schedule *accumulated* floating-point sums, so
+    two logically equal bounds could differ in the last ulp: the exact-float
+    dedup in :func:`assess_layer` would then evaluate both, while the
+    ``np.isclose`` lookup in :meth:`LayerAssessment.point_for` could match
+    either.  This key snaps a bound to its decade/step grid point when it is
+    within 1e-9 relative of one, and otherwise falls back to the shortest
+    round-trip ``repr`` — one canonical representation for both paths.
+    """
+    eb = float(error_bound)
+    if eb > 0.0 and math.isfinite(eb):
+        decade = math.floor(math.log10(eb))
+        # log10 rounding can land one decade off near powers of ten; probe
+        # the neighbours too.
+        for d in (decade - 1, decade, decade + 1):
+            try:
+                base = 10.0**d
+                step = round(eb / base)
+            except (OverflowError, ZeroDivisionError):
+                # 10**d under/overflowed (subnormal or huge bounds): no grid
+                # point exists at this decade.
+                continue
+            if 1 <= step <= 9 and math.isclose(step * base, eb, rel_tol=1e-9, abs_tol=0.0):
+                return f"{step}e{d}"
+    return repr(eb)
 
 
 @dataclass(frozen=True)
@@ -85,8 +118,9 @@ class LayerAssessment:
     points: List[AssessmentPoint] = field(default_factory=list)
 
     def point_for(self, error_bound: float) -> AssessmentPoint:
+        key = bound_key(error_bound)
         for point in self.points:
-            if np.isclose(point.error_bound, error_bound, rtol=1e-9):
+            if bound_key(point.error_bound) == key:
                 return point
         raise KeyError(f"no assessment point at error bound {error_bound} for {self.layer}")
 
@@ -127,10 +161,81 @@ class AssessmentResult:
     baseline_accuracy: float
     layers: Dict[str, LayerAssessment]
     tests_performed: int = 0
+    #: Candidate evaluations actually computed (>= tests_performed when the
+    #: parallel engine speculated past a stopping point, < when the CAS
+    #: cache served repeated runs).
+    evaluations: int = 0
+    #: Candidate results served from a persistent AssessmentCache.
+    cache_hits: int = 0
 
     def candidates(self) -> Dict[str, List[AssessmentPoint]]:
         """Per-layer candidate lists for the optimizer."""
         return {name: list(assessment.points) for name, assessment in self.layers.items()}
+
+
+def reconstruct_candidate(
+    sparse_layer: SparseLayer, error_bound: float, config: AssessmentConfig
+) -> tuple[np.ndarray, int]:
+    """Compress/decompress one layer's data array at ``error_bound``.
+
+    Returns the reconstructed dense weight matrix and the size in bytes of
+    the compressed data array (the error-bound-dependent half of a
+    candidate's compressed size).
+    """
+    codec = get_codec(config.data_codec)
+    payload = codec.compress(
+        sparse_layer.data,
+        error_bound=error_bound,
+        capacity=config.capacity,
+        lossless=config.lossless,
+        chunk_size=config.chunk_size,
+    )
+    decompressed = codec.decompress(payload)
+    return decode_sparse(sparse_layer, data=decompressed), len(payload)
+
+
+def index_blob_bytes(sparse_layer: SparseLayer, config: AssessmentConfig) -> int:
+    """Best-fit lossless size of the layer's index array.
+
+    Independent of the error bound, so the assessment engine computes it
+    once per layer instead of once per candidate.
+    """
+    _, index_blob = best_fit_lossless(
+        sparse_layer.index.tobytes(), config.index_lossless_candidates
+    )
+    return len(index_blob)
+
+
+def accuracy_with_substitution(
+    network: Network,
+    layer_name: str,
+    weights: np.ndarray,
+    activations: np.ndarray,
+    test_labels: np.ndarray,
+    *,
+    batch_size: int,
+) -> float:
+    """Top-1 accuracy with ``weights`` substituted into one layer, resuming
+    from checkpointed ``activations`` (the inputs of that layer).
+
+    Purely functional: the network is never mutated, so any number of these
+    can run concurrently against one shared network object.  Batching matches
+    :meth:`Network.evaluate` exactly, which keeps the result bit-identical to
+    a full forward pass with the weights swapped in.
+    """
+    labels = np.asarray(test_labels)
+    total = len(labels)
+    if total == 0:
+        return 0.0
+    hits = 0
+    for start in range(0, total, batch_size):
+        probs = network.forward_from(
+            layer_name,
+            activations[start : start + batch_size],
+            weight_override=weights,
+        )
+        hits += topk_counts(probs, labels[start : start + batch_size], (1,))[1]
+    return hits / total
 
 
 def evaluate_candidate(
@@ -142,56 +247,90 @@ def evaluate_candidate(
     test_labels: np.ndarray,
     *,
     config: AssessmentConfig | None = None,
+    activations: np.ndarray | None = None,
 ) -> tuple[float, int]:
     """Accuracy and compressed size with one layer reconstructed at ``error_bound``.
 
     This is the unit of work Algorithm 1 repeats and the parallel harness
     distributes: compress the layer's data array with SZ, decompress it,
-    rebuild the dense weights through the index array, temporarily swap them
-    into the network, run the forward pass, and restore the layer.
+    rebuild the dense weights through the index array, and run the forward
+    pass with those weights substituted *functionally* — the network is
+    never mutated, so candidates are pure tasks that can run concurrently.
+
+    ``activations`` optionally supplies the checkpointed inputs of
+    ``layer_name`` (see :meth:`Network.forward_to`); without it the
+    checkpoint is recomputed from ``test_images``, which costs one upstream
+    forward pass per call.
     """
+    from repro.nn.layers import Dense
+
     config = config or AssessmentConfig()
-    codec = get_codec(config.data_codec)
-    payload = codec.compress(
-        sparse_layer.data,
-        error_bound=error_bound,
-        capacity=config.capacity,
-        lossless=config.lossless,
-        chunk_size=config.chunk_size,
-    )
-    decompressed = codec.decompress(payload)
-    dense = decode_sparse(sparse_layer, data=decompressed)
-
-    _, index_blob = best_fit_lossless(
-        sparse_layer.index.tobytes(), config.index_lossless_candidates
-    )
-    compressed_bytes = len(payload) + len(index_blob)
-
-    original = network.get_weights(layer_name)
-    try:
-        network.set_weights(layer_name, dense)
-        accuracy = network.accuracy(
+    dense, payload_bytes = reconstruct_candidate(sparse_layer, error_bound, config)
+    compressed_bytes = payload_bytes + index_blob_bytes(sparse_layer, config)
+    if isinstance(network[layer_name], Dense):
+        if activations is None:
+            activations = checkpoint_activations(
+                network, layer_name, test_images, batch_size=config.eval_batch_size
+            )
+        accuracy = accuracy_with_substitution(
+            network,
+            layer_name,
+            dense,
+            activations,
+            test_labels,
+            batch_size=config.eval_batch_size,
+        )
+    else:
+        # Clone-on-write fallback for non-Dense weight layers (the historical
+        # set_weights path supported them): still pure with respect to the
+        # shared network, just without the functional resume.
+        clone = network.clone()
+        clone.set_weights(layer_name, dense)
+        accuracy = clone.accuracy(
             test_images, test_labels, batch_size=config.eval_batch_size
         )
-    finally:
-        network.set_weights(layer_name, original)
     return accuracy, compressed_bytes
+
+
+def checkpoint_activations(
+    network: Network,
+    layer_name: str,
+    test_images: np.ndarray,
+    *,
+    batch_size: int,
+) -> np.ndarray:
+    """The inputs of ``layer_name`` over a whole test set, batched exactly
+    like :meth:`Network.evaluate` so downstream results stay bit-identical."""
+    chunks = [
+        network.forward_to(layer_name, test_images[start : start + batch_size])
+        for start in range(0, len(test_images), batch_size)
+    ]
+    if not chunks:
+        return np.zeros((0, 0), dtype=np.float32)
+    return np.concatenate(chunks, axis=0)
 
 
 def _fine_bounds(start: float, max_tests: int) -> List[float]:
     """The fine-scan schedule: start, 2*start, ... 9*start, 10*start, 20*start, ...
 
-    Mirrors Algorithm 1's ``eb += base; base *= 10 when eb == 10 * base``.
+    Mirrors Algorithm 1's ``eb += base; base *= 10 when eb == 10 * base``,
+    but computes every bound multiplicatively (``step * base``) instead of
+    accumulating ``eb += base``: the additive form drifts in floating point,
+    which made near-equal bounds platform-dependent and could roll the
+    decade over one step early or late at the ``eb >= 10 * base - 1e-15``
+    guard.  ``step`` cycles 1..9 and ``base`` is ``start`` scaled by exact
+    powers of ten, so each bound is a single rounding away from its real
+    value and the schedule is reproducible everywhere.
     """
     bounds: List[float] = []
-    base = start
-    eb = start
+    step = 1
+    decade = 0
     while len(bounds) < max_tests:
-        bounds.append(eb)
-        eb += base
-        # Floating-point-safe version of "eb == 10 * base".
-        if eb >= 10 * base - 1e-15:
-            base *= 10
+        bounds.append(step * (start * 10.0**decade))
+        step += 1
+        if step == 10:
+            step = 1
+            decade += 1
     return bounds
 
 
@@ -217,12 +356,17 @@ def assess_layer(
     assessment = LayerAssessment(layer=layer_name, baseline_accuracy=baseline_accuracy)
     assessment._expected_loss = config.expected_accuracy_loss  # type: ignore[attr-defined]
     tests = 0
-    seen: Dict[float, AssessmentPoint] = {}
+    # Deduplication uses the canonical bound key, matching point_for: an
+    # exact-float key would treat near-equal bounds (coarse anchor vs the
+    # same value reached through the fine schedule) as distinct and
+    # evaluate them twice.
+    seen: Dict[str, AssessmentPoint] = {}
 
     def run(eb: float) -> AssessmentPoint:
         nonlocal tests
-        if eb in seen:
-            return seen[eb]
+        key = bound_key(eb)
+        if key in seen:
+            return seen[key]
         accuracy, size = evaluator(
             network, layer_name, sparse_layer, eb, test_images, test_labels, config=config
         )
@@ -234,7 +378,7 @@ def assess_layer(
             degradation=baseline_accuracy - accuracy,
             compressed_bytes=size,
         )
-        seen[eb] = point
+        seen[key] = point
         return point
 
     # Coarse scan: find the decade where distortion first appears.
@@ -272,9 +416,37 @@ def assess_network(
     *,
     config: AssessmentConfig | None = None,
     evaluator: Callable[..., tuple[float, int]] | None = None,
+    workers: int | None = 1,
+    reuse_activations: bool = True,
+    cache=None,
 ) -> AssessmentResult:
-    """Run Algorithm 1 for every pruned fc-layer of a network."""
+    """Run Algorithm 1 for every pruned fc-layer of a network.
+
+    Without a custom ``evaluator`` this delegates to the
+    :class:`~repro.core.assess_parallel.AssessmentEngine`: candidates are
+    pure tasks fanned out over ``workers`` threads (``None`` resolves via
+    ``REPRO_WORKERS`` / CPU count), each resuming from checkpointed
+    activations of the perturbed layer, with optional persistent caching of
+    results (``cache``, an :class:`~repro.store.AssessmentCache`).  The
+    engine returns bit-identical points, test counts, and downstream
+    optimizer plans for every worker count.
+
+    Passing ``evaluator`` keeps the historical serial loop — it is the
+    baseline the benchmarks compare against and the hook tests use to fake
+    evaluations.
+    """
     config = config or AssessmentConfig()
+    if evaluator is None:
+        from repro.core.assess_parallel import AssessmentEngine
+
+        engine = AssessmentEngine(
+            config,
+            workers=workers,
+            reuse_activations=reuse_activations,
+            cache=cache,
+        )
+        return engine.run(network, sparse_layers, test_images, test_labels)
+
     baseline = network.accuracy(test_images, test_labels, batch_size=config.eval_batch_size)
     layers: Dict[str, LayerAssessment] = {}
     total_tests = 0
@@ -296,4 +468,5 @@ def assess_network(
         baseline_accuracy=baseline,
         layers=layers,
         tests_performed=total_tests,
+        evaluations=total_tests,
     )

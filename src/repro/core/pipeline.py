@@ -26,11 +26,33 @@ from repro.core.optimizer import (
 )
 from repro.nn.network import Network
 from repro.pruning.magnitude import PrunedNetwork, PruningConfig, prune_network
+from repro.store.assess_cache import AssessmentCache
 from repro.utils.errors import ValidationError
+from repro.utils.rng import make_rng
 from repro.utils.timing import Timer, TimingBreakdown
 from repro.utils.validation import check_positive
 
-__all__ = ["DeepSZConfig", "LayerReport", "DeepSZResult", "DeepSZ"]
+__all__ = ["DeepSZConfig", "LayerReport", "DeepSZResult", "DeepSZ", "assessment_subset"]
+
+
+def assessment_subset(
+    test_images: np.ndarray,
+    test_labels: np.ndarray,
+    samples: int | None,
+    seed: int | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A seeded shuffled subset of the test set for Step 2.
+
+    A head slice (``test_images[:n]``) is class-biased on ordered datasets —
+    measured degradations would then reflect only the leading classes and
+    silently skew the optimizer's plan.  A seeded permutation keeps the draw
+    representative *and* reproducible (same seed, same subset, same
+    assessment points).
+    """
+    if samples is None or samples >= len(test_images):
+        return test_images, test_labels
+    order = make_rng(seed).permutation(len(test_images))[:samples]
+    return test_images[order], test_labels[order]
 
 
 @dataclass(frozen=True)
@@ -57,9 +79,11 @@ class DeepSZConfig:
     eval_batch_size: int = 256
     topk: Sequence[int] = (1, 5)
     assessment_samples: int | None = None  #: cap on test samples used by Step 2
+    assessment_seed: int | None = None  #: seed of the Step 2 subset draw (None = library default)
+    assessment_cache: str | None = None  #: directory of a persistent candidate-result cache
     data_codec: str = "sz"  #: registry name of the error-bounded data codec
     chunk_size: int | None = None  #: v2 chunked container chunk size (elements)
-    workers: int = 1  #: pool workers for the encode/decode fan-out
+    workers: int = 1  #: pool workers for the assessment and encode/decode fan-outs
 
     def __post_init__(self) -> None:
         check_positive(self.expected_accuracy_loss, "expected_accuracy_loss")
@@ -218,11 +242,14 @@ class DeepSZ:
         # Step 2: error bound assessment (Algorithm 1).  The assessment may
         # run on a capped subset of the test set (assessment_samples); the
         # final accuracies reported below always use the full test set.
-        if cfg.assessment_samples is not None:
-            assess_images = test_images[: cfg.assessment_samples]
-            assess_labels = test_labels[: cfg.assessment_samples]
-        else:
-            assess_images, assess_labels = test_images, test_labels
+        assess_images, assess_labels = assessment_subset(
+            test_images, test_labels, cfg.assessment_samples, cfg.assessment_seed
+        )
+        cache = (
+            AssessmentCache(cfg.assessment_cache)
+            if cfg.assessment_cache is not None
+            else None
+        )
         assessment = assess_network(
             network,
             sparse_layers,
@@ -230,6 +257,8 @@ class DeepSZ:
             assess_labels,
             config=cfg.assessment_config(),
             evaluator=evaluator,
+            workers=cfg.workers,
+            cache=cache,
         )
 
         # Step 3: error bound configuration (Algorithm 2).

@@ -5,6 +5,14 @@ pass, top-k accuracy evaluation, and — crucially for the error-bound
 assessment — named access to the fc-layer weight matrices so that a single
 layer can be swapped for its decompressed reconstruction while all other
 layers stay untouched.
+
+For the assessment engine the container additionally supports *functional*
+partial execution: :meth:`Network.forward_to` / :meth:`Network.forward_collect`
+checkpoint the activations entering a named layer, and
+:meth:`Network.forward_from` resumes the forward pass from such a checkpoint,
+optionally substituting the weight matrix of the resumed layer without
+mutating the network.  Together they let a candidate ``(layer, error bound)``
+evaluation recompute only the layers *downstream* of the perturbed one.
 """
 
 from __future__ import annotations
@@ -17,7 +25,35 @@ import numpy as np
 from repro.nn.layers import Dense, Layer, Softmax
 from repro.utils.errors import ValidationError
 
-__all__ = ["Network"]
+__all__ = ["Network", "topk_counts"]
+
+
+def topk_counts(
+    probs: np.ndarray, labels: np.ndarray, topk: Sequence[int]
+) -> Dict[int, int]:
+    """Per-k hit counts of a batch of class probabilities.
+
+    Shared by :meth:`Network.evaluate` and the assessment engine so that both
+    paths count hits with bit-identical tie-breaking (``np.argpartition``
+    order is deterministic but unspecified; using one implementation keeps
+    full-forward and checkpoint-resumed evaluations exactly comparable).
+    """
+    labels = np.asarray(labels)
+    counts = {int(k): 0 for k in topk}
+    if probs.shape[0] == 0:
+        return counts
+    max_k = max(counts)
+    # top-k indices per row (unordered within the top set, which is all
+    # top-k accuracy needs).
+    k_eff = min(max_k, probs.shape[1])
+    top = np.argpartition(-probs, kth=k_eff - 1, axis=1)[:, :k_eff]
+    ranked = np.take_along_axis(
+        top, np.argsort(-np.take_along_axis(probs, top, axis=1), axis=1), axis=1
+    )
+    for k in counts:
+        hits = (ranked[:, : min(k, k_eff)] == labels[:, None]).any(axis=1)
+        counts[k] = int(hits.sum())
+    return counts
 
 
 class Network:
@@ -115,6 +151,81 @@ class Network:
             out = layer.forward(out, training=training)
         return out
 
+    def layer_index(self, layer_name: str) -> int:
+        """Position of a named layer in forward order."""
+        for i, layer in enumerate(self.layers):
+            if layer.name == layer_name:
+                return i
+        raise KeyError(f"no layer named {layer_name!r} in network {self.name!r}")
+
+    def forward_to(self, layer_name: str, x: np.ndarray) -> np.ndarray:
+        """Activations *entering* ``layer_name`` (the checkpoint the
+        assessment engine reuses across that layer's candidates)."""
+        stop = self.layer_index(layer_name)
+        out = np.asarray(x, dtype=np.float32)
+        for layer in self.layers[:stop]:
+            out = layer.forward(out, training=False)
+        return out
+
+    def forward_collect(
+        self, x: np.ndarray, capture: Iterable[str]
+    ) -> tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """One forward pass that checkpoints the inputs of several layers.
+
+        Returns ``(output, {layer_name: input_activations})``.  A single pass
+        is enough to seed the activation-reuse cache for every assessed layer
+        at once, instead of one truncated pass per layer.
+        """
+        wanted = set(capture)
+        unknown = wanted - set(self.layer_names())
+        if unknown:
+            raise ValidationError(f"cannot capture unknown layers: {sorted(unknown)}")
+        checkpoints: Dict[str, np.ndarray] = {}
+        out = np.asarray(x, dtype=np.float32)
+        for layer in self.layers:
+            if layer.name in wanted:
+                checkpoints[layer.name] = out
+            out = layer.forward(out, training=False)
+        return out, checkpoints
+
+    def forward_from(
+        self,
+        layer_name: str,
+        activations: np.ndarray,
+        *,
+        weight_override: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Resume the forward pass from the input of ``layer_name``.
+
+        ``weight_override`` substitutes the weight matrix of the resumed
+        layer *functionally* — the network is never mutated, so concurrent
+        candidate evaluations can share one network object.  Only
+        :class:`~repro.nn.layers.Dense` layers support an override (they are
+        the layers DeepSZ compresses).
+        """
+        start = self.layer_index(layer_name)
+        out = np.asarray(activations, dtype=np.float32)
+        first = self.layers[start]
+        if weight_override is not None:
+            if not isinstance(first, Dense):
+                raise ValidationError(
+                    f"weight_override requires a Dense layer, got "
+                    f"{type(first).__name__} for {layer_name!r}"
+                )
+            weight = np.asarray(weight_override, dtype=np.float32)
+            if weight.shape != first.params["weight"].shape:
+                raise ValidationError(
+                    f"weight_override shape mismatch for {layer_name!r}: "
+                    f"expected {first.params['weight'].shape}, got {weight.shape}"
+                )
+            # Same arithmetic as Dense.forward, without touching its params.
+            out = out @ weight.T + first.params["bias"]
+        else:
+            out = first.forward(out, training=False)
+        for layer in self.layers[start + 1 :]:
+            out = layer.forward(out, training=False)
+        return out
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         for layer in reversed(self.layers):
             grad = layer.backward(grad)
@@ -158,20 +269,11 @@ class Network:
         total = len(labels)
         if total == 0:
             return {k: 0.0 for k in topk}
-        max_k = topk[-1]
         for start in range(0, total, batch_size):
             probs = self.forward(x[start : start + batch_size], training=False)
-            batch_labels = labels[start : start + batch_size]
-            # top-k indices per row (unordered within the top set, which is
-            # all top-k accuracy needs).
-            k_eff = min(max_k, probs.shape[1])
-            top = np.argpartition(-probs, kth=k_eff - 1, axis=1)[:, :k_eff]
-            ranked = np.take_along_axis(
-                top, np.argsort(-np.take_along_axis(probs, top, axis=1), axis=1), axis=1
-            )
+            counts = topk_counts(probs, labels[start : start + batch_size], topk)
             for k in topk:
-                hits = (ranked[:, : min(k, k_eff)] == batch_labels[:, None]).any(axis=1)
-                correct[k] += int(hits.sum())
+                correct[k] += counts[k]
         return {k: correct[k] / total for k in topk}
 
     def accuracy(self, x: np.ndarray, labels: np.ndarray, batch_size: int = 256) -> float:

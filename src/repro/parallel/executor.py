@@ -14,6 +14,14 @@ silently capped big machines at four workers).
 
 On platforms or environments where spawning processes is undesirable (or when
 ``workers=1``), everything degrades to a serial loop with identical results.
+
+.. note::
+   This is the PR-1 batch harness: a fixed task list, process pools, state
+   shipped via initializer.  The *adaptive* Algorithm 1 sweep now lives in
+   :class:`repro.core.assess_parallel.AssessmentEngine` (thread pool,
+   activation reuse, speculation, persistent caching), which is what
+   ``assess_network`` uses by default; this module remains for callers that
+   already hold an explicit candidate list and want process isolation.
 """
 
 from __future__ import annotations

@@ -10,6 +10,11 @@ Two pieces sit between the codec core and the serving runtime:
 * :mod:`repro.store.cas` — :class:`ModelStore`, a SHA-256 content-addressed
   on-disk store of archives with dedup, integrity verification on read,
   and an optional LRU byte budget.
+
+A third piece, :mod:`repro.store.assess_cache`, reuses the CAS layout for
+the assessment engine: candidate evaluation results keyed by the SHA-256 of
+their inputs (layer content, error bound, codec settings, test set), so
+repeated Step 2 runs are incremental.
 """
 
 from repro.store.archive import (
@@ -24,9 +29,19 @@ from repro.store.archive import (
     manifest_to_dict,
     write_archive,
 )
+from repro.store.assess_cache import (
+    AssessmentCache,
+    AssessmentCacheStats,
+    sha256_array,
+    test_set_digest,
+)
 from repro.store.cas import ModelStore, StoreStats
 
 __all__ = [
+    "AssessmentCache",
+    "AssessmentCacheStats",
+    "sha256_array",
+    "test_set_digest",
     "ARCHIVE_MAGIC",
     "ArchiveManifest",
     "LayerEntry",

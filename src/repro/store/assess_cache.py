@@ -1,0 +1,130 @@
+"""Persistent content-keyed cache of assessment-candidate results.
+
+Step 2 of DeepSZ evaluates many ``(layer, error bound)`` candidates, and the
+result of each one is a pure function of its inputs: the layer's two-array
+content, the error bound, the codec configuration, and the test set.  This
+module gives those results a home next to the :class:`~repro.store.ModelStore`
+CAS so repeated runs are incremental — re-assessing the same model (or a
+model sharing layers with one already assessed) only pays for candidates it
+has never seen.  Speculative evaluations the parallel engine discards from a
+result are still written here, so even "wasted" speculation speeds up the
+next run.
+
+The cache key is the SHA-256 of a canonical JSON encoding of
+
+* the layer's ``data`` / ``index`` SHA-256s and dense shape,
+* the canonical error-bound key (:func:`repro.core.assessment.bound_key`),
+* the codec settings (codec name, chunk size, capacity, lossless backends),
+* the test set's image/label SHA-256s and the evaluation batch size,
+
+and each record is a tiny JSON file stored with the same two-level directory
+fan-out and atomic-rename discipline as the object store.  Accuracies
+round-trip exactly (JSON floats use shortest-repr encoding), so cached and
+freshly computed assessments are bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+__all__ = ["AssessmentCacheStats", "AssessmentCache", "sha256_array", "test_set_digest"]
+
+
+def sha256_array(array: np.ndarray) -> str:
+    """Content hash of an array's raw bytes (C-order, dtype included)."""
+    array = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(str(array.dtype).encode())
+    digest.update(str(array.shape).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def test_set_digest(test_images: np.ndarray, test_labels: np.ndarray) -> str:
+    """One digest covering the whole evaluation set (images and labels)."""
+    return hashlib.sha256(
+        (sha256_array(test_images) + sha256_array(test_labels)).encode()
+    ).hexdigest()
+
+
+@dataclass
+class AssessmentCacheStats:
+    """Counters over one :class:`AssessmentCache` instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class AssessmentCache:
+    """On-disk key/value store of ``(accuracy, compressed_bytes)`` records."""
+
+    root: Union[str, Path]
+    stats: AssessmentCacheStats = field(default_factory=AssessmentCacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self._lock = threading.Lock()
+        (self.root / "records").mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def key_digest(key: Dict[str, object]) -> str:
+        """Canonical digest of a key mapping (order-independent)."""
+        if not key:
+            raise ValidationError("assessment cache key must not be empty")
+        blob = json.dumps(key, sort_keys=True, separators=(",", ":")).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def _record_path(self, digest: str) -> Path:
+        return self.root / "records" / digest[:2] / f"{digest}.json"
+
+    def get(self, key: Dict[str, object]) -> tuple[float, int] | None:
+        """Look up a candidate result; ``None`` on miss (or unreadable record)."""
+        path = self._record_path(self.key_digest(key))
+        try:
+            record = json.loads(path.read_text())
+            result = (float(record["accuracy"]), int(record["compressed_bytes"]))
+        except (OSError, ValueError, KeyError, TypeError):
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        with self._lock:
+            self.stats.hits += 1
+        return result
+
+    def put(self, key: Dict[str, object], accuracy: float, compressed_bytes: int) -> None:
+        """Persist a candidate result (atomic; concurrent same-key puts race
+        benignly — the records are identical by construction)."""
+        digest = self.key_digest(key)
+        path = self._record_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "accuracy": float(accuracy),
+            "compressed_bytes": int(compressed_bytes),
+            "key": key,
+        }
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+        try:
+            tmp.write_text(json.dumps(record, sort_keys=True))
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        with self._lock:
+            self.stats.puts += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in (self.root / "records").glob("*/*.json"))

@@ -116,3 +116,38 @@ class TestCommands:
         )
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestAssessCommand:
+    @pytest.fixture()
+    def fake_zoo(self, monkeypatch, pruned_lenet300, small_dataset):
+        from repro.nn import zoo
+
+        _, test = small_dataset
+        monkeypatch.setattr(
+            zoo, "pruned_model", lambda name, **kw: (pruned_lenet300, None, test)
+        )
+
+    def test_assess_table(self, fake_zoo, capsys):
+        assert main(["assess", "--samples", "120", "--expected-loss", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "ip1" in out and "chosen eb" in out
+        assert "assessment points" in out
+
+    def test_assess_json_with_cache(self, fake_zoo, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = [
+            "assess", "--samples", "120", "--expected-loss", "0.02",
+            "--cache", cache, "--json",
+        ]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["cache_hits"] == 0
+        assert set(first["layers"]) == {"ip1", "ip2", "ip3"}
+        assert set(first["plan"]["error_bounds"]) == {"ip1", "ip2", "ip3"}
+
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["evaluations"] == 0
+        assert second["layers"] == first["layers"]
+        assert second["plan"] == first["plan"]

@@ -160,3 +160,84 @@ class TestCodecConfigValidation:
     def test_valid_chunked_config_accepted(self):
         cfg = DeepSZConfig(data_codec="sz", chunk_size=4096, workers=2)
         assert cfg.assessment_config().chunk_size == 4096
+
+
+class TestAssessmentSubset:
+    """The Step 2 sample cap must be a seeded shuffle, not a head slice."""
+
+    def _ordered_set(self, n=60):
+        # Class-sorted labels: a head slice would only ever see class 0.
+        images = np.arange(n * 4, dtype=np.float32).reshape(n, 4)
+        labels = np.repeat(np.arange(3), n // 3)
+        return images, labels
+
+    def test_subset_is_not_a_head_slice(self):
+        from repro.core.pipeline import assessment_subset
+
+        images, labels = self._ordered_set()
+        sub_images, sub_labels = assessment_subset(images, labels, 20, None)
+        assert len(sub_images) == 20
+        # A head slice of 20 would be all class 0; the shuffled draw must
+        # cover more than one class on a class-sorted set.
+        assert len(np.unique(sub_labels)) > 1
+
+    def test_subset_rows_stay_paired(self):
+        from repro.core.pipeline import assessment_subset
+
+        images, labels = self._ordered_set()
+        sub_images, sub_labels = assessment_subset(images, labels, 20, seed=3)
+        lookup = {tuple(row): label for row, label in zip(images, labels)}
+        for row, label in zip(sub_images, sub_labels):
+            assert lookup[tuple(row)] == label
+
+    def test_subset_deterministic_per_seed(self):
+        from repro.core.pipeline import assessment_subset
+
+        images, labels = self._ordered_set()
+        a = assessment_subset(images, labels, 20, seed=5)
+        b = assessment_subset(images, labels, 20, seed=5)
+        c = assessment_subset(images, labels, 20, seed=6)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+        assert not np.array_equal(a[0], c[0])
+
+    def test_no_cap_returns_everything(self):
+        from repro.core.pipeline import assessment_subset
+
+        images, labels = self._ordered_set()
+        assert assessment_subset(images, labels, None, None)[0] is images
+        assert assessment_subset(images, labels, 1000, None)[0] is images
+
+
+class TestPipelineWorkers:
+    def test_workers_do_not_change_the_result(self, pruned_lenet300, small_dataset):
+        _, test = small_dataset
+        base = DeepSZ(
+            DeepSZConfig(expected_accuracy_loss=0.01, topk=(1,), optimizer_resolution=50)
+        ).compress(pruned_lenet300, test.images, test.labels)
+        fanned = DeepSZ(
+            DeepSZConfig(
+                expected_accuracy_loss=0.01,
+                topk=(1,),
+                optimizer_resolution=50,
+                workers=4,
+            )
+        ).compress(pruned_lenet300, test.images, test.labels)
+        assert base.plan.error_bounds == fanned.plan.error_bounds
+        assert base.assessment_tests == fanned.assessment_tests
+        assert base.compressed_fc_bytes == fanned.compressed_fc_bytes
+
+    def test_assessment_cache_wired_through_config(
+        self, pruned_lenet300, small_dataset, tmp_path
+    ):
+        _, test = small_dataset
+        config = DeepSZConfig(
+            expected_accuracy_loss=0.01,
+            topk=(1,),
+            optimizer_resolution=50,
+            assessment_cache=str(tmp_path / "cache"),
+        )
+        first = DeepSZ(config).compress(pruned_lenet300, test.images, test.labels)
+        second = DeepSZ(config).compress(pruned_lenet300, test.images, test.labels)
+        assert second.assessment.evaluations == 0
+        assert second.assessment.cache_hits >= second.assessment.tests_performed
+        assert first.plan.error_bounds == second.plan.error_bounds

@@ -193,3 +193,73 @@ class TestModelBuilders:
     def test_synthesize_fc_weights_full_scale_dims(self):
         w = models.synthesize_fc_weights("LeNet-300-100", "ip3", seed=1)
         assert w.shape == (10, 100)
+
+
+class TestPartialExecution:
+    """forward_to / forward_collect / forward_from: the assessment engine's
+    checkpoint-and-resume contract."""
+
+    def test_forward_to_then_from_equals_full_forward(self, fresh_rng):
+        net = tiny_net()
+        x = fresh_rng.normal(size=(6, 1, 4, 4)).astype(np.float32)
+        full = net.forward(x)
+        for name in ("fc1", "r1", "fc2", "prob"):
+            checkpoint = net.forward_to(name, x)
+            resumed = net.forward_from(name, checkpoint)
+            assert np.array_equal(full, resumed), name
+
+    def test_forward_collect_matches_forward_to(self, fresh_rng):
+        net = tiny_net()
+        x = fresh_rng.normal(size=(5, 1, 4, 4)).astype(np.float32)
+        out, captured = net.forward_collect(x, ["fc1", "fc2"])
+        assert np.array_equal(out, net.forward(x))
+        assert np.array_equal(captured["fc1"], net.forward_to("fc1", x))
+        assert np.array_equal(captured["fc2"], net.forward_to("fc2", x))
+
+    def test_forward_collect_unknown_layer_rejected(self, fresh_rng):
+        net = tiny_net()
+        x = fresh_rng.normal(size=(2, 1, 4, 4)).astype(np.float32)
+        with pytest.raises(ValidationError):
+            net.forward_collect(x, ["nope"])
+
+    def test_weight_override_equals_mutated_clone(self, fresh_rng):
+        net = tiny_net()
+        x = fresh_rng.normal(size=(6, 1, 4, 4)).astype(np.float32)
+        new_weights = fresh_rng.normal(size=(3, 8)).astype(np.float32)
+        checkpoint = net.forward_to("fc2", x)
+        functional = net.forward_from("fc2", checkpoint, weight_override=new_weights)
+        clone = net.clone()
+        clone.set_weights("fc2", new_weights)
+        assert np.array_equal(functional, clone.forward(x))
+
+    def test_weight_override_does_not_mutate(self, fresh_rng):
+        net = tiny_net()
+        x = fresh_rng.normal(size=(4, 1, 4, 4)).astype(np.float32)
+        before = net.get_weights("fc2").copy()
+        net.forward_from(
+            "fc2",
+            net.forward_to("fc2", x),
+            weight_override=np.zeros_like(before),
+        )
+        assert np.array_equal(net.get_weights("fc2"), before)
+
+    def test_weight_override_shape_checked(self, fresh_rng):
+        net = tiny_net()
+        x = fresh_rng.normal(size=(2, 1, 4, 4)).astype(np.float32)
+        checkpoint = net.forward_to("fc2", x)
+        with pytest.raises(ValidationError):
+            net.forward_from("fc2", checkpoint, weight_override=np.zeros((2, 2)))
+
+    def test_weight_override_requires_dense(self, fresh_rng):
+        net = tiny_net()
+        x = fresh_rng.normal(size=(2, 1, 4, 4)).astype(np.float32)
+        checkpoint = net.forward_to("r1", x)
+        with pytest.raises(ValidationError):
+            net.forward_from("r1", checkpoint, weight_override=np.zeros((8, 16)))
+
+    def test_layer_index_and_unknown_layer(self):
+        net = tiny_net()
+        assert net.layer_index("flatten") == 0
+        assert net.layer_index("prob") == 4
+        with pytest.raises(KeyError):
+            net.layer_index("missing")

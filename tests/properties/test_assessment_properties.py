@@ -1,0 +1,99 @@
+"""Property tests for the Algorithm 1 schedules and canonical bound keys."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assessment import _fine_bounds, bound_key
+
+starts = st.one_of(
+    # Decade starts (what Algorithm 1 actually feeds in: coarse bound / 10)...
+    st.integers(min_value=-9, max_value=-1).map(lambda d: 10.0**d),
+    # ...and arbitrary positive anchors, to pin the general contract.
+    st.floats(min_value=1e-9, max_value=1e-1, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestFineBoundsProperties:
+    @given(start=starts, max_tests=st.integers(min_value=1, max_value=60))
+    @settings(max_examples=200)
+    def test_strictly_increasing(self, start, max_tests):
+        bounds = _fine_bounds(start, max_tests)
+        assert len(bounds) == max_tests
+        assert all(b > a for a, b in zip(bounds, bounds[1:]))
+
+    @given(start=starts, max_tests=st.integers(min_value=1, max_value=60))
+    @settings(max_examples=200)
+    def test_duplicate_free_under_canonical_key(self, start, max_tests):
+        bounds = _fine_bounds(start, max_tests)
+        keys = [bound_key(b) for b in bounds]
+        assert len(set(keys)) == len(keys)
+
+    @given(start=starts, max_tests=st.integers(min_value=1, max_value=60))
+    @settings(max_examples=200)
+    def test_decade_consistent_and_drift_free(self, start, max_tests):
+        """Every bound is exactly step * (start * 10^decade) — the
+        multiplicative form, not an accumulated sum — with step cycling 1..9
+        and the decade advancing once per cycle."""
+        bounds = _fine_bounds(start, max_tests)
+        step, decade = 1, 0
+        for bound in bounds:
+            assert bound == step * (start * 10.0**decade)
+            step += 1
+            if step == 10:
+                step, decade = 1, decade + 1
+
+    @given(start=starts, max_tests=st.integers(min_value=1, max_value=60))
+    @settings(max_examples=100)
+    def test_platform_independent_reconstruction(self, start, max_tests):
+        """Recomputing the schedule gives the same floats (no accumulated
+        state: each bound is a pure function of its position)."""
+        assert _fine_bounds(start, max_tests) == _fine_bounds(start, max_tests)
+
+
+class TestBoundKeyProperties:
+    @given(
+        step=st.integers(min_value=1, max_value=9),
+        decade=st.integers(min_value=-9, max_value=2),
+    )
+    def test_grid_values_get_grid_keys(self, step, decade):
+        assert bound_key(step * 10.0**decade) == f"{step}e{decade}"
+
+    @given(
+        step=st.integers(min_value=1, max_value=9),
+        decade=st.integers(min_value=-9, max_value=-1),
+    )
+    def test_accumulated_sum_matches_grid_key(self, step, decade):
+        """The historical additive schedule drifted; its sums must still
+        canonicalise onto the same key as the exact grid value."""
+        base = 10.0**decade
+        acc = 0.0
+        for _ in range(step):
+            acc += base
+        assert bound_key(acc) == bound_key(step * base)
+
+    @given(st.floats(min_value=1e-12, max_value=1e3, allow_nan=False))
+    def test_key_is_round_trip_stable(self, eb):
+        """A key is a pure function of the float value."""
+        assert bound_key(eb) == bound_key(float(repr(eb)))
+
+    @given(
+        step=st.integers(min_value=1, max_value=9),
+        decade=st.integers(min_value=-9, max_value=-1),
+    )
+    def test_near_equal_values_collapse(self, step, decade):
+        eb = step * 10.0**decade
+        assert bound_key(eb * (1.0 + 1e-13)) == bound_key(eb)
+
+    def test_degenerate_values_still_keyed(self):
+        assert bound_key(0.0) == repr(0.0)
+        assert bound_key(-1e-3) == repr(-1e-3)
+        assert bound_key(math.inf) == repr(math.inf)
+
+    def test_extreme_magnitudes_do_not_crash(self):
+        # Subnormals underflow the 10**d probe, huge values overflow it;
+        # both must fall back to the repr key instead of raising.
+        assert bound_key(5e-324) == repr(5e-324)
+        assert bound_key(1e308) == "1e308"
+        assert bound_key(1.7e308) == repr(1.7e308)

@@ -1,0 +1,89 @@
+"""Tests for the persistent assessment-candidate cache."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.store import AssessmentCache, sha256_array
+from repro.store import test_set_digest as dataset_digest
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return AssessmentCache(tmp_path / "cache")
+
+
+KEY = {"data_sha": "ab", "error_bound": "1e-3", "codec": "sz"}
+
+
+class TestRoundTrip:
+    def test_put_get_exact(self, cache):
+        # 0.1 + 0.2 is deliberately non-representable: JSON floats use
+        # shortest-repr encoding, so the accuracy must round-trip bit-exactly.
+        accuracy = 0.1 + 0.2
+        cache.put(KEY, accuracy, 12345)
+        assert cache.get(KEY) == (accuracy, 12345)
+
+    def test_miss_returns_none(self, cache):
+        assert cache.get(KEY) is None
+        assert cache.stats.misses == 1
+
+    def test_key_order_independent(self, cache):
+        cache.put({"a": 1, "b": 2}, 0.5, 10)
+        assert cache.get({"b": 2, "a": 1}) == (0.5, 10)
+
+    def test_distinct_keys_distinct_records(self, cache):
+        cache.put(dict(KEY, error_bound="1e-3"), 0.9, 1)
+        cache.put(dict(KEY, error_bound="2e-3"), 0.8, 2)
+        assert cache.get(dict(KEY, error_bound="1e-3")) == (0.9, 1)
+        assert cache.get(dict(KEY, error_bound="2e-3")) == (0.8, 2)
+        assert len(cache) == 2
+
+    def test_stats(self, cache):
+        cache.put(KEY, 0.9, 1)
+        cache.get(KEY)
+        cache.get({"other": True})
+        assert cache.stats.puts == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_empty_key_rejected(self, cache):
+        with pytest.raises(ValidationError):
+            cache.get({})
+
+
+class TestRobustness:
+    def test_corrupt_record_is_a_miss(self, cache):
+        cache.put(KEY, 0.9, 1)
+        path = next((cache.root / "records").glob("*/*.json"))
+        path.write_text("{not json")
+        assert cache.get(KEY) is None
+
+    def test_record_missing_field_is_a_miss(self, cache):
+        cache.put(KEY, 0.9, 1)
+        path = next((cache.root / "records").glob("*/*.json"))
+        path.write_text(json.dumps({"accuracy": 0.9}))
+        assert cache.get(KEY) is None
+
+    def test_reopen_preserves_records(self, tmp_path):
+        first = AssessmentCache(tmp_path / "cache")
+        first.put(KEY, 0.75, 42)
+        second = AssessmentCache(tmp_path / "cache")
+        assert second.get(KEY) == (0.75, 42)
+
+
+class TestContentDigests:
+    def test_sha256_array_covers_dtype_and_shape(self):
+        a = np.arange(6, dtype=np.float32)
+        assert sha256_array(a) != sha256_array(a.astype(np.float64))
+        assert sha256_array(a) != sha256_array(a.reshape(2, 3))
+        assert sha256_array(a) == sha256_array(a.copy())
+
+    def test_test_set_digest_sensitive_to_labels(self):
+        images = np.zeros((4, 2), dtype=np.float32)
+        labels = np.array([0, 1, 0, 1])
+        assert dataset_digest(images, labels) != dataset_digest(
+            images, np.array([1, 0, 1, 0])
+        )
