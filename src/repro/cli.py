@@ -19,7 +19,9 @@ Subcommands
 ``serve-bench``
     Run the serving benchmark (cold full decode vs lazy first layer vs
     warm cache access, plus concurrent layer-access throughput) and print
-    the numbers, optionally as JSON.
+    the numbers, optionally as JSON.  ``--sparse`` serves layers in
+    compressed-domain form (CSC matmuls straight from the two-array
+    decode, with cache entries charged their true sparse footprint).
 ``assess``
     Run Step 2 (error-bound assessment, Algorithm 1) on a zoo model with
     the parallel activation-reuse engine and print the per-layer
@@ -102,10 +104,16 @@ def _cmd_compress(args: argparse.Namespace) -> int:
             chunk_size=args.chunk_size,
             workers=args.workers,
             assessment_samples=args.assessment_samples,
+            sparse_inference=args.sparse_inference,
         )
         result = DeepSZ(config).compress(pruned, test.images, test.labels)
         model = result.model
     else:
+        if args.sparse_inference:
+            raise ValidationError(
+                "--sparse-inference requires --model (the zoo pipeline "
+                "measures compressed accuracy; synthetic layers have none)"
+            )
         sparse = synthetic_sparse_layers(args.synthetic, seed=args.seed)
         encoder = DeepSZEncoder(chunk_size=args.chunk_size, workers=args.workers)
         model = encoder.encode(
@@ -222,12 +230,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         accesses_per_thread=args.requests,
         warm_repeats=args.warm_repeats,
         cache_bytes=args.cache_mb * 1024 * 1024,
+        sparse=args.sparse,
     )
     if args.json:
         print(json.dumps(results, indent=2, sort_keys=True))
         return 0
+    mode = "sparse (compressed-domain)" if results["sparse"] else "dense"
     print(f"archive: {format_bytes(results['archive_bytes'])}, "
-          f"{results['layers']} layers, decoded {format_bytes(results['decoded_bytes'])}")
+          f"{results['layers']} layers, {mode} resident "
+          f"{format_bytes(results['decoded_bytes'])}")
     print(f"cold full decode     : {results['cold_full_decode_s'] * 1e3:9.2f} ms")
     print(f"cold first layer     : {results['cold_first_layer_s'] * 1e3:9.2f} ms")
     print(f"warm layer access    : {results['warm_layer_access_s'] * 1e6:9.2f} us")
@@ -371,6 +382,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-size", type=int, default=None,
                    help="chunked v2 SZ container chunk size (elements)")
     p.add_argument("--workers", type=int, default=1, help="encode pool workers")
+    p.add_argument("--sparse-inference", action="store_true",
+                   help="verify the compressed model through the sparse "
+                        "(compressed-domain) forward pass (zoo pipeline mode)")
     p.add_argument("--seed", type=int, default=0, help="synthetic weight seed")
     p.add_argument("--store", default=None,
                    help="also put the archive into this content-addressed store")
@@ -397,6 +411,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated thread counts")
     p.add_argument("--cache-mb", type=int, default=256,
                    help="decoded-layer cache budget (MiB)")
+    p.add_argument("--sparse", action="store_true",
+                   help="serve layers in compressed-domain (sparse) form")
     p.add_argument("--json", action="store_true", help="emit JSON")
     p.set_defaults(func=_cmd_serve_bench)
 

@@ -6,7 +6,10 @@ each (this is the data behind the paper's Figure 7b):
 1. **lossless** — decompress the index arrays with their recorded back ends
    (resolved through the codec registry);
 2. **sz** — decompress every data array with its recorded data codec;
-3. **csr** — rebuild the dense weight matrices from (index, data) pairs.
+3. **csr** — rebuild weight matrices from (index, data) pairs: dense
+   float32 matrices by default, or matmul-ready
+   :class:`~repro.nn.sparse.SparseWeight` matrices on the ``sparse=True``
+   compressed-domain fast path (which never materialises the dense form).
 
 Layers are independent, so phase 2 fans out on a
 :class:`repro.parallel.pool.TaskPool` when the decoder is built with
@@ -27,21 +30,33 @@ import numpy as np
 from repro.codecs import Codec, get_codec
 from repro.core.encoder import CompressedModel
 from repro.nn.network import Network
+from repro.nn.sparse import SparseWeight
 from repro.parallel.pool import TaskPool
 from repro.pruning.sparse_format import SparseLayer, decode_sparse
 from repro.utils.errors import ConfigurationError, DecompressionError, ValidationError
 from repro.utils.timing import TimingBreakdown
 
-__all__ = ["DecodedModel", "DeepSZDecoder", "decode_compressed_layer"]
+__all__ = [
+    "DecodedModel",
+    "DeepSZDecoder",
+    "decode_compressed_layer",
+    "decode_compressed_layer_sparse",
+]
 
 
 @dataclass
 class DecodedModel:
-    """Reconstructed dense fc-layer weights plus the decode timing breakdown."""
+    """Reconstructed fc-layer weights plus the decode timing breakdown.
+
+    ``weights`` maps layer names to dense ``np.ndarray`` matrices on the
+    default decode path, or to :class:`repro.nn.sparse.SparseWeight`
+    instances when decoded with ``sparse=True`` (``sparse`` records which).
+    """
 
     network: str
     weights: Dict[str, np.ndarray]
     timing: TimingBreakdown = field(default_factory=TimingBreakdown)
+    sparse: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -72,16 +87,8 @@ def _codec_for_layer(name: str, codec_name: str) -> Codec:
         ) from exc
 
 
-def decode_compressed_layer(layer) -> np.ndarray:
-    """Decode one :class:`~repro.core.encoder.CompressedLayer` into its dense
-    weight matrix: lossless index decode, data codec decode, CSR rebuild.
-
-    The single-layer primitive behind the lazy
-    :class:`repro.serve.ModelRuntime`.  :class:`DeepSZDecoder` below runs
-    the same steps but grouped into whole-model phases (for the Figure 7b
-    timing split and the pool fan-out), so the two implementations are
-    intentionally parallel; equality of their reconstructions is pinned by
-    ``tests/serve/test_runtime.py::test_layer_matches_full_decode``."""
+def _decode_layer_arrays(layer) -> tuple[np.ndarray, np.ndarray]:
+    """Run the two codec passes of one layer: (index, data) arrays."""
     raw = _codec_for_layer(layer.name, layer.index_backend).decompress(
         layer.index_payload
     )
@@ -97,6 +104,20 @@ def decode_compressed_layer(layer) -> np.ndarray:
             f"data array for {layer.name!r} has {data.size} entries, "
             f"expected {layer.entry_count}"
         )
+    return index, data
+
+
+def decode_compressed_layer(layer) -> np.ndarray:
+    """Decode one :class:`~repro.core.encoder.CompressedLayer` into its dense
+    weight matrix: lossless index decode, data codec decode, CSR rebuild.
+
+    The single-layer primitive behind the lazy
+    :class:`repro.serve.ModelRuntime`.  :class:`DeepSZDecoder` below runs
+    the same steps but grouped into whole-model phases (for the Figure 7b
+    timing split and the pool fan-out), so the two implementations are
+    intentionally parallel; equality of their reconstructions is pinned by
+    ``tests/serve/test_runtime.py::test_layer_matches_full_decode``."""
+    index, data = _decode_layer_arrays(layer)
     skeleton = SparseLayer(
         data=np.zeros(layer.entry_count, dtype=np.float32),
         index=index,
@@ -104,6 +125,24 @@ def decode_compressed_layer(layer) -> np.ndarray:
         nnz=layer.nnz,
     )
     return decode_sparse(skeleton, data=data)
+
+
+def decode_compressed_layer_sparse(layer) -> SparseLayer:
+    """Decode one compressed layer but *stop at the two-array form*.
+
+    The sparse-inference fast path: the codec passes run exactly as in
+    :func:`decode_compressed_layer`, but the O(rows * cols) dense rebuild is
+    skipped — the returned :class:`SparseLayer` carries the SZ-decompressed
+    values in ``data`` and feeds straight into
+    :meth:`repro.nn.sparse.SparseWeight.from_sparse_layer` (an O(entries)
+    CSR/CSC build)."""
+    index, data = _decode_layer_arrays(layer)
+    return SparseLayer(
+        data=np.asarray(data, dtype=np.float32),
+        index=index,
+        shape=layer.shape,
+        nnz=layer.nnz,
+    )
 
 
 class DeepSZDecoder:
@@ -141,8 +180,14 @@ class DeepSZDecoder:
             "CompressedModel, ModelArchive, archive path, or blob"
         )
 
-    def decode(self, model: CompressedModel) -> DecodedModel:
-        """Reconstruct every layer; phases are timed separately (Figure 7b)."""
+    def decode(self, model: CompressedModel, *, sparse: bool = False) -> DecodedModel:
+        """Reconstruct every layer; phases are timed separately (Figure 7b).
+
+        ``sparse=True`` takes the compressed-domain fast path: the "csr"
+        phase builds matmul-ready :class:`~repro.nn.sparse.SparseWeight`
+        matrices (O(entries)) instead of materialising dense ones
+        (O(rows * cols)), and the result's ``weights`` hold those.
+        """
         model = self._materialise(model)
         timing = TimingBreakdown()
         index_arrays: Dict[str, np.ndarray] = {}
@@ -185,18 +230,35 @@ class DeepSZDecoder:
         with timing.phase("csr"):
             for name, layer in model.layers.items():
                 skeleton = SparseLayer(
-                    data=np.zeros(layer.entry_count, dtype=np.float32),
+                    data=data_arrays[name] if sparse else np.zeros(
+                        layer.entry_count, dtype=np.float32
+                    ),
                     index=index_arrays[name],
                     shape=layer.shape,
                     nnz=layer.nnz,
                 )
-                weights[name] = decode_sparse(skeleton, data=data_arrays[name])
+                if sparse:
+                    weights[name] = SparseWeight.from_sparse_layer(skeleton)
+                else:
+                    weights[name] = decode_sparse(skeleton, data=data_arrays[name])
 
-        return DecodedModel(network=model.network, weights=weights, timing=timing)
+        return DecodedModel(
+            network=model.network, weights=weights, timing=timing, sparse=sparse
+        )
 
-    def apply(self, model: CompressedModel, network: Network) -> DecodedModel:
-        """Decode and load the reconstructed weights into ``network``."""
-        decoded = self.decode(model)
-        for name, dense in decoded.weights.items():
-            network.set_weights(name, dense)
+    def apply(
+        self, model: CompressedModel, network: Network, *, sparse: bool = False
+    ) -> DecodedModel:
+        """Decode and load the reconstructed weights into ``network``.
+
+        ``sparse=True`` installs compressed-domain weights
+        (:meth:`Network.set_sparse_weights`), switching the target fc layers
+        to sparse execution.
+        """
+        decoded = self.decode(model, sparse=sparse)
+        for name, weight in decoded.weights.items():
+            if sparse:
+                network.set_sparse_weights(name, weight)
+            else:
+                network.set_weights(name, weight)
         return decoded

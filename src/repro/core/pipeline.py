@@ -84,6 +84,11 @@ class DeepSZConfig:
     data_codec: str = "sz"  #: registry name of the error-bounded data codec
     chunk_size: int | None = None  #: v2 chunked container chunk size (elements)
     workers: int = 1  #: pool workers for the assessment and encode/decode fan-outs
+    #: Reconstruct the compressed model for sparse (compressed-domain)
+    #: inference: the verification decode stops at the two-array form and the
+    #: reported compressed accuracy is measured through CSC matmuls — the
+    #: execution mode a sparse-serving edge node actually runs.
+    sparse_inference: bool = False
 
     def __post_init__(self) -> None:
         check_positive(self.expected_accuracy_loss, "expected_accuracy_loss")
@@ -294,10 +299,12 @@ class DeepSZ:
         encoding_seconds = encode_timer.stop()
 
         # Decode once to measure the decode-path timing and the actual
-        # accuracy of the compressed model.
+        # accuracy of the compressed model.  In sparse-inference mode the
+        # decode stops at the two-array form and the accuracy below is
+        # measured through the compressed-domain (CSC matmul) forward pass.
         decoder = DeepSZDecoder(workers=cfg.workers)
         reconstructed = network.clone()
-        decoded = decoder.apply(model, reconstructed)
+        decoded = decoder.apply(model, reconstructed, sparse=cfg.sparse_inference)
 
         baseline_acc = network.evaluate(
             test_images, test_labels, batch_size=cfg.eval_batch_size, topk=cfg.topk

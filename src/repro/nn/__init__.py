@@ -34,6 +34,7 @@ from repro.nn.layers import (
 )
 from repro.nn.losses import softmax_cross_entropy
 from repro.nn.network import Network
+from repro.nn.sparse import SparseWeight
 from repro.nn.train import SGDConfig, SGDTrainer, TrainResult
 from repro.nn import models, specs
 from repro.nn.serialize import save_network, load_network, network_to_bytes, network_from_bytes
@@ -52,6 +53,7 @@ __all__ = [
     "Softmax",
     "softmax_cross_entropy",
     "Network",
+    "SparseWeight",
     "SGDConfig",
     "SGDTrainer",
     "TrainResult",

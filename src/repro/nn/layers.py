@@ -75,6 +75,17 @@ class Dense(Layer):
     The weight matrix uses the paper's (out_features, in_features) orientation
     — e.g. AlexNet fc6 is 4096 x 9216 — so that the flattened 1-D view of
     ``W`` is exactly the "data array" DeepSZ compresses.
+
+    The layer runs in one of two weight modes:
+
+    * **dense** (default) — ``params["weight"]`` holds the float32 matrix
+      and forward/backward are BLAS matmuls;
+    * **sparse** — :meth:`set_sparse_weights` swaps the matrix for a
+      :class:`repro.nn.sparse.SparseWeight` (CSC) and forward runs the
+      compressed-domain matmul.  ``params["weight"]`` is dropped so the
+      resident footprint really is the sparse one; the mode is
+      inference-only (training forward and backward raise).  Installing
+      dense weights (:meth:`set_dense_weights`) switches back.
     """
 
     def __init__(
@@ -99,17 +110,94 @@ class Dense(Layer):
         self.params = {"weight": weight, "bias": zeros_init((out_features,))}
         self.zero_grads()
         self._x: Optional[np.ndarray] = None
+        self._sparse = None  # Optional[SparseWeight]; set via set_sparse_weights
 
+    # -- weight modes ------------------------------------------------------
+    @property
+    def is_sparse(self) -> bool:
+        return self._sparse is not None
+
+    @property
+    def sparse_weight(self):
+        """The resident :class:`~repro.nn.sparse.SparseWeight` (or None)."""
+        return self._sparse
+
+    def set_sparse_weights(self, weight) -> None:
+        """Switch to compressed-domain execution.
+
+        Accepts a :class:`~repro.nn.sparse.SparseWeight`, a SciPy sparse
+        matrix, or a two-array :class:`~repro.pruning.SparseLayer`; the shape
+        must match (out_features, in_features).  The dense ``params["weight"]``
+        entry is removed — the sparse matrix is the only resident copy.
+        """
+        from repro.nn.sparse import SparseWeight
+
+        sparse = SparseWeight.coerce(weight)
+        expected = (self.out_features, self.in_features)
+        if sparse.shape != expected:
+            raise ValidationError(
+                f"weight shape mismatch for {self.name!r}: "
+                f"expected {expected}, got {sparse.shape}"
+            )
+        self._sparse = sparse
+        self.params.pop("weight", None)
+        self.grads.pop("weight", None)
+
+    def set_dense_weights(self, weights: np.ndarray) -> None:
+        """Install a dense weight matrix (leaves sparse mode if active)."""
+        weights = np.asarray(weights, dtype=np.float32)
+        expected = (self.out_features, self.in_features)
+        if weights.shape != expected:
+            raise ValidationError(
+                f"weight shape mismatch for {self.name!r}: "
+                f"expected {expected}, got {weights.shape}"
+            )
+        self.params["weight"] = weights.copy()
+        self.grads["weight"] = np.zeros_like(self.params["weight"])
+        self._sparse = None
+
+    def dense_weights(self) -> np.ndarray:
+        """The weight matrix as a dense array (materialised in sparse mode)."""
+        if self._sparse is not None:
+            return self._sparse.to_dense()
+        return self.params["weight"]
+
+    def parameter_count(self) -> int:
+        count = super().parameter_count()
+        if self._sparse is not None:
+            count += self._sparse.nnz
+        return count
+
+    def parameter_bytes(self) -> int:
+        """Resident footprint: CSC arrays in sparse mode, float32 otherwise."""
+        total = super().parameter_bytes()
+        if self._sparse is not None:
+            total += self._sparse.nbytes
+        return total
+
+    # -- execution ---------------------------------------------------------
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValidationError(
                 f"{self.name}: expected input (N, {self.in_features}), got {x.shape}"
             )
+        if self._sparse is not None:
+            if training:
+                raise ValidationError(
+                    f"{self.name}: sparse-mode Dense is inference-only "
+                    "(install dense weights to train)"
+                )
+            return self._sparse.matmul(x) + self.params["bias"]
         if training:
             self._x = x
         return x @ self.params["weight"].T + self.params["bias"]
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._sparse is not None:
+            raise ValidationError(
+                f"{self.name}: sparse-mode Dense is inference-only "
+                "(install dense weights to train)"
+            )
         if self._x is None:
             raise ValidationError(f"{self.name}: backward called before a training forward pass")
         self.grads["weight"] = grad_out.T @ self._x

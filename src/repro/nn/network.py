@@ -21,8 +21,10 @@ import copy
 from typing import Dict, Iterable, Iterator, List, Sequence
 
 import numpy as np
+from scipy import sparse as sp
 
 from repro.nn.layers import Dense, Layer, Softmax
+from repro.nn.sparse import SparseWeight
 from repro.utils.errors import ValidationError
 
 __all__ = ["Network", "topk_counts"]
@@ -95,17 +97,35 @@ class Network:
     def fc_parameter_bytes(self) -> int:
         return int(sum(layer.parameter_bytes() for layer in self.fc_layers()))
 
+    def sparse_fc_layers(self) -> List[Dense]:
+        """The fc layers currently running in compressed-domain (sparse) mode."""
+        return [layer for layer in self.fc_layers() if layer.is_sparse]
+
     # -- weights ----------------------------------------------------------
     def get_weights(self, layer_name: str) -> np.ndarray:
-        """Return (a reference to) the weight matrix of a named layer."""
+        """Return the weight matrix of a named layer.
+
+        Dense-mode layers return a reference to the resident matrix; a
+        sparse-mode fc layer returns a *materialised* dense copy of its
+        compressed weights.
+        """
         layer = self[layer_name]
+        if isinstance(layer, Dense) and layer.is_sparse:
+            return layer.dense_weights()
         if "weight" not in layer.params:
             raise ValidationError(f"layer {layer_name!r} has no weights")
         return layer.params["weight"]
 
     def set_weights(self, layer_name: str, weights: np.ndarray) -> None:
-        """Replace the weight matrix of a named layer (shape must match)."""
+        """Replace the weight matrix of a named layer (shape must match).
+
+        On a :class:`~repro.nn.layers.Dense` layer this installs dense
+        weights — leaving sparse mode if it was active.
+        """
         layer = self[layer_name]
+        if isinstance(layer, Dense):
+            layer.set_dense_weights(weights)
+            return
         current = layer.params.get("weight")
         if current is None:
             raise ValidationError(f"layer {layer_name!r} has no weights")
@@ -117,22 +137,52 @@ class Network:
             )
         layer.params["weight"] = weights.copy()
 
+    def set_sparse_weights(self, layer_name: str, weight) -> None:
+        """Switch a named fc layer to compressed-domain (sparse) execution.
+
+        ``weight`` may be a :class:`~repro.nn.sparse.SparseWeight`, a SciPy
+        sparse matrix, or a two-array :class:`~repro.pruning.SparseLayer`.
+        """
+        layer = self[layer_name]
+        if not isinstance(layer, Dense):
+            raise ValidationError(
+                f"sparse weights require a Dense layer, got "
+                f"{type(layer).__name__} for {layer_name!r}"
+            )
+        layer.set_sparse_weights(weight)
+
     def state_dict(self) -> Dict[str, np.ndarray]:
-        """All parameters as a flat ``{layer.param: array}`` mapping (copies)."""
+        """All parameters as a flat ``{layer.param: array}`` mapping (copies).
+
+        Sparse-mode fc layers export their weight *densified*, so a state
+        dict round-trips regardless of execution mode.
+        """
         out: Dict[str, np.ndarray] = {}
         for layer in self.layers:
+            if isinstance(layer, Dense) and layer.is_sparse:
+                out[f"{layer.name}.weight"] = layer.dense_weights()
             for key, value in layer.params.items():
                 out[f"{layer.name}.{key}"] = value.copy()
         return out
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Load parameters produced by :meth:`state_dict`."""
+        """Load parameters produced by :meth:`state_dict`.
+
+        Loading the ``weight`` of a sparse-mode fc layer installs it as
+        dense weights (the layer leaves sparse mode).
+        """
         for layer in self.layers:
-            for key in layer.params:
+            keys = set(layer.params)
+            if isinstance(layer, Dense) and layer.is_sparse:
+                keys.add("weight")
+            for key in sorted(keys):
                 full = f"{layer.name}.{key}"
                 if full not in state:
                     raise ValidationError(f"state dict is missing parameter {full!r}")
                 value = np.asarray(state[full], dtype=np.float32)
+                if key == "weight" and isinstance(layer, Dense) and layer.is_sparse:
+                    layer.set_dense_weights(value)
+                    continue
                 if value.shape != layer.params[key].shape:
                     raise ValidationError(
                         f"shape mismatch for {full!r}: expected "
@@ -193,7 +243,7 @@ class Network:
         layer_name: str,
         activations: np.ndarray,
         *,
-        weight_override: np.ndarray | None = None,
+        weight_override: "np.ndarray | SparseWeight | sp.spmatrix | None" = None,
     ) -> np.ndarray:
         """Resume the forward pass from the input of ``layer_name``.
 
@@ -201,7 +251,10 @@ class Network:
         layer *functionally* — the network is never mutated, so concurrent
         candidate evaluations can share one network object.  Only
         :class:`~repro.nn.layers.Dense` layers support an override (they are
-        the layers DeepSZ compresses).
+        the layers DeepSZ compresses).  The override may be a dense matrix
+        or a sparse one (:class:`~repro.nn.sparse.SparseWeight`, SciPy
+        sparse, or a two-array SparseLayer), independent of the resumed
+        layer's own weight mode.
         """
         start = self.layer_index(layer_name)
         out = np.asarray(activations, dtype=np.float32)
@@ -212,14 +265,35 @@ class Network:
                     f"weight_override requires a Dense layer, got "
                     f"{type(first).__name__} for {layer_name!r}"
                 )
-            weight = np.asarray(weight_override, dtype=np.float32)
-            if weight.shape != first.params["weight"].shape:
-                raise ValidationError(
-                    f"weight_override shape mismatch for {layer_name!r}: "
-                    f"expected {first.params['weight'].shape}, got {weight.shape}"
+            expected = (first.out_features, first.in_features)
+            if not isinstance(weight_override, np.ndarray) and (
+                isinstance(weight_override, SparseWeight)
+                or sp.issparse(weight_override)
+                # Duck-typed SparseLayer (all three attributes, so plain
+                # sequences with an .index *method* stay on the dense path).
+                or (
+                    hasattr(weight_override, "index")
+                    and hasattr(weight_override, "data")
+                    and hasattr(weight_override, "shape")
                 )
-            # Same arithmetic as Dense.forward, without touching its params.
-            out = out @ weight.T + first.params["bias"]
+            ):
+                sparse = SparseWeight.coerce(weight_override)
+                if sparse.shape != expected:
+                    raise ValidationError(
+                        f"weight_override shape mismatch for {layer_name!r}: "
+                        f"expected {expected}, got {sparse.shape}"
+                    )
+                # Same arithmetic as the sparse Dense.forward path.
+                out = sparse.matmul(out) + first.params["bias"]
+            else:
+                weight = np.asarray(weight_override, dtype=np.float32)
+                if weight.shape != expected:
+                    raise ValidationError(
+                        f"weight_override shape mismatch for {layer_name!r}: "
+                        f"expected {expected}, got {weight.shape}"
+                    )
+                # Same arithmetic as Dense.forward, without touching its params.
+                out = out @ weight.T + first.params["bias"]
         else:
             out = first.forward(out, training=False)
         for layer in self.layers[start + 1 :]:

@@ -20,7 +20,13 @@ from scipy import sparse as sp
 
 from repro.utils.errors import DecompressionError, ValidationError
 
-__all__ = ["SparseLayer", "encode_sparse", "decode_sparse", "sparse_to_scipy"]
+__all__ = [
+    "SparseLayer",
+    "encode_sparse",
+    "decode_sparse",
+    "sparse_positions",
+    "sparse_to_scipy",
+]
 
 _GAP_LIMIT = 255  #: largest position difference representable in one uint8 entry
 
@@ -132,16 +138,70 @@ def decode_sparse(layer: SparseLayer, data: np.ndarray | None = None) -> np.ndar
     total = int(np.prod(layer.shape))
     dense = np.zeros(total, dtype=np.float32)
     if values.size:
-        positions = np.cumsum(layer.index.astype(np.int64)) - 1
-        if positions[-1] >= total:
-            raise DecompressionError("index array addresses past the end of the matrix")
         # Padding entries carry (near-)zero values; writing them is harmless
         # and mirrors the paper's reconstruction.
-        dense[positions] = values
+        dense[sparse_positions(layer)] = values
     return dense.reshape(layer.shape)
 
 
-def sparse_to_scipy(layer: SparseLayer) -> sp.csr_matrix:
-    """Convert to a SciPy CSR matrix (interop / verification helper)."""
-    dense = decode_sparse(layer)
-    return sp.csr_matrix(dense)
+def sparse_positions(layer: SparseLayer) -> np.ndarray:
+    """Flat (row-major) positions of every stored entry, padding included.
+
+    The delta decode shared by :func:`decode_sparse` and
+    :func:`sparse_to_scipy`; raises :class:`DecompressionError` when the
+    index array is corrupt — a zero delta (every encoded delta is in
+    [1, 255], and a zero would make two entries collide on one position)
+    or a walk past the end of the matrix.
+    """
+    if layer.index.size and int(layer.index.min()) < 1:
+        raise DecompressionError(
+            "index array contains zero deltas (corrupt two-array stream)"
+        )
+    positions = np.cumsum(layer.index.astype(np.int64)) - 1
+    if positions.size and positions[-1] >= int(np.prod(layer.shape)):
+        raise DecompressionError("index array addresses past the end of the matrix")
+    return positions
+
+
+def sparse_to_scipy(layer: SparseLayer, data: np.ndarray | None = None) -> sp.csr_matrix:
+    """Convert to a SciPy CSR matrix *without* materialising the dense matrix.
+
+    The stored positions are strictly increasing in row-major order, so the
+    CSR structure falls out directly: column indices are ``position % cols``
+    and the row pointer is a ``searchsorted`` over ``position // cols``.
+    This is the compressed-domain entry point of the sparse inference path —
+    a pruned fc-layer goes from the two-array format to a matmul-ready CSR
+    in O(entries), never touching the O(rows * cols) dense form.
+
+    Parameters
+    ----------
+    layer:
+        The sparse layer (provides the index array and shape).
+    data:
+        Optional replacement data array (e.g. SZ-decompressed values).  When
+        given, *every* stored entry is kept — including padding slots, whose
+        lossy-decoded values are near zero — so the CSR holds exactly what
+        :func:`decode_sparse` would write into the dense matrix.  Without it
+        the exact 0.0 padding entries are dropped and ``csr.nnz`` equals
+        ``layer.nnz``.
+    """
+    values = layer.data if data is None else np.asarray(data, dtype=np.float32)
+    if values.shape != layer.index.shape:
+        raise DecompressionError(
+            f"data array length {values.shape} does not match index array {layer.index.shape}"
+        )
+    rows_n, cols_n = (int(d) for d in layer.shape)
+    if values.size == 0:
+        return sp.csr_matrix(layer.shape, dtype=np.float32)
+    positions = sparse_positions(layer)
+    rows = positions // cols_n
+    indices = (positions % cols_n).astype(np.int32)
+    indptr = np.searchsorted(rows, np.arange(rows_n + 1)).astype(np.int32)
+    csr = sp.csr_matrix(
+        (values.astype(np.float32, copy=True), indices, indptr), shape=layer.shape
+    )
+    if data is None:
+        # Padding entries are exact 0.0 by construction; dropping them makes
+        # csr.nnz the true non-zero count (the documented interop contract).
+        csr.eliminate_zeros()
+    return csr

@@ -27,10 +27,10 @@ from repro.serve.runtime import DEFAULT_CACHE_BYTES, ModelRuntime
 __all__ = ["serving_benchmark"]
 
 
-def _fresh_runtime(source, cache_bytes: int) -> ModelRuntime:
+def _fresh_runtime(source, cache_bytes: int, sparse: bool) -> ModelRuntime:
     # bytes are re-wrapped per run; paths are re-opened (and re-mmapped),
     # so every "cold" measurement really starts from the container.
-    return ModelRuntime(source, cache_bytes=cache_bytes)
+    return ModelRuntime(source, cache_bytes=cache_bytes, sparse=sparse)
 
 
 def serving_benchmark(
@@ -41,14 +41,17 @@ def serving_benchmark(
     warm_repeats: int = 50,
     cache_bytes: int = DEFAULT_CACHE_BYTES,
     seed: int = 0,
+    sparse: bool = False,
 ) -> Dict:
     """Benchmark cold/warm layer access and concurrent throughput.
 
-    ``source`` is a ``.dsz`` archive path or its raw bytes.  Returns a
-    JSON-ready dict (see the module docstring for the metrics).
+    ``source`` is a ``.dsz`` archive path or its raw bytes.  ``sparse``
+    serves layers in compressed-domain form (``decoded_bytes`` then reports
+    the resident CSC footprint the cache is charged, not dense bytes).
+    Returns a JSON-ready dict (see the module docstring for the metrics).
     """
     # -- cold: full-model decode on a fresh runtime -------------------------
-    with _fresh_runtime(source, cache_bytes) as runtime:
+    with _fresh_runtime(source, cache_bytes, sparse) as runtime:
         start = time.perf_counter()
         decoded = runtime.decode_all()
         cold_full_s = time.perf_counter() - start
@@ -57,13 +60,13 @@ def serving_benchmark(
         archive_size = runtime.archive.size
 
     # -- cold: time-to-first-layer -----------------------------------------
-    with _fresh_runtime(source, cache_bytes) as runtime:
+    with _fresh_runtime(source, cache_bytes, sparse) as runtime:
         start = time.perf_counter()
         runtime.layer(layer_names[0])
         cold_first_layer_s = time.perf_counter() - start
 
     # -- warm accesses and concurrent throughput ---------------------------
-    runtime = _fresh_runtime(source, cache_bytes)
+    runtime = _fresh_runtime(source, cache_bytes, sparse)
     try:
         runtime.prefetch(workers=1)
         start = time.perf_counter()
@@ -104,6 +107,7 @@ def serving_benchmark(
 
     return {
         "layers": len(layer_names),
+        "sparse": bool(sparse),
         "archive_bytes": archive_size,
         "decoded_bytes": decoded_bytes,
         "cold_full_decode_s": cold_full_s,

@@ -9,6 +9,11 @@ full *or* when the oldest request has waited ``max_batch_delay``), runs one
 forward pass per batch on the NumPy network, and resolves each request's
 future with its probability row.
 
+The forward pass is whatever the network's fc layers are running: dense
+BLAS matmuls, or — when the weights were installed from a sparse-mode
+:class:`~repro.serve.runtime.ModelRuntime` — compressed-domain CSC matmuls
+that exploit the pruned layers' ~10% density batch after batch.
+
 Per-request latency (submit to result) and batch sizes are recorded, and
 :meth:`Server.stats` reports throughput plus latency percentiles — the
 numbers ``python -m repro serve-bench`` and ``benchmarks/bench_serving.py``
@@ -183,6 +188,15 @@ class Server:
                 raise ValidationError("server is not running (call start())")
             self._queue.put(request)
         return request.future
+
+    def submit_many(self, xs: Sequence[np.ndarray]) -> List[Future]:
+        """Enqueue a sequence of samples, one future per sample.
+
+        The samples enter the queue back to back, so the batching loop folds
+        them into as few forward passes as ``batch_size`` allows — the bulk
+        path benchmarks and the edge example use this to drive full batches.
+        """
+        return [self.submit(x) for x in xs]
 
     def infer(self, x: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
         """Synchronous single-sample inference."""

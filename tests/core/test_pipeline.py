@@ -97,6 +97,40 @@ class TestExpectedAccuracyPipeline:
         assert pipeline_result.baseline_accuracy[1] >= pipeline_result.compressed_accuracy[1] - 0.02
 
 
+class TestSparseInferencePipeline:
+    def test_default_is_dense(self):
+        assert DeepSZConfig().sparse_inference is False
+
+    def test_sparse_inference_accuracy_matches_dense_reevaluation(
+        self, pruned_lenet300, small_dataset
+    ):
+        """With sparse_inference=True the reported compressed accuracy is
+        measured through the compressed-domain forward pass — and must be
+        the accuracy a dense decode of the same model would measure."""
+        from repro.core.decoder import DeepSZDecoder
+
+        _, test = small_dataset
+        deepsz = DeepSZ(
+            DeepSZConfig(
+                expected_accuracy_loss=0.01,
+                topk=(1,),
+                optimizer_resolution=50,
+                assessment_samples=100,
+                sparse_inference=True,
+            )
+        )
+        result = deepsz.compress(pruned_lenet300, test.images, test.labels)
+        dense_net = pruned_lenet300.network.clone()
+        DeepSZDecoder().apply(result.model, dense_net)
+        dense_acc = dense_net.evaluate(test.images, test.labels, topk=(1,))
+        # The two kernels are not bitwise identical (CSC vs BLAS summation
+        # order), so allow one test-set quantum for a platform-dependent
+        # near-tie; in practice the counts match exactly.
+        assert result.compressed_accuracy[1] == pytest.approx(
+            dense_acc[1], abs=1.0 / len(test.labels)
+        )
+
+
 class TestExpectedRatioPipeline:
     def test_reaches_target_ratio(self, pruned_lenet300, small_dataset):
         _, test = small_dataset

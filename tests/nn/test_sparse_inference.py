@@ -1,0 +1,233 @@
+"""Dense-vs-sparse parity of the compressed-domain inference engine.
+
+Every zoo model architecture, pruned at its paper ratios, must produce the
+same outputs whether its fc layers run dense BLAS matmuls or sparse CSC
+matmuls: probabilities within 1e-6 and identical top-k predictions, on the
+full forward pass *and* on the ``forward_from`` / ``forward_collect``
+checkpoint paths the assessment engine uses.  A trained-model integration
+test additionally pins parity through the full archive -> sparse runtime ->
+network serving path.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import DeepSZDecoder
+from repro.core.encoder import DeepSZEncoder
+from repro.nn import SparseWeight, models, zoo
+from repro.nn.network import topk_counts
+from repro.pruning import encode_sparse
+from repro.pruning.magnitude import prune_weights
+from repro.serve import ModelRuntime
+from repro.utils.errors import ValidationError
+
+ZOO_MODELS = sorted(zoo.RECIPES)
+
+_ATOL = 1e-6
+
+
+@lru_cache(maxsize=None)
+def pruned_pair(recipe_name: str):
+    """(dense_net, sparse_net, x) for one zoo architecture.
+
+    The architecture is built untrained and magnitude-pruned at the
+    recipe's paper ratios — parity is a property of the execution kernels,
+    not of training, so this covers every zoo model in seconds.
+    """
+    recipe = zoo.get_recipe(recipe_name)
+    net = models.build_model(recipe.model, num_classes=recipe.num_classes, seed=31)
+    for layer_name, ratio in recipe.pruning_ratios.items():
+        pruned, _ = prune_weights(net.get_weights(layer_name), ratio)
+        net.set_weights(layer_name, pruned)
+    sparse_net = net.clone()
+    for layer_name in recipe.pruning_ratios:
+        sparse_net.set_sparse_weights(
+            layer_name, encode_sparse(net.get_weights(layer_name))
+        )
+    rng = np.random.default_rng(77)
+    if recipe.dataset == "mnist-like":
+        x = rng.standard_normal((16, 1, 28, 28)).astype(np.float32)
+    else:
+        x = rng.standard_normal((8, 3, 32, 32)).astype(np.float32)
+    return net, sparse_net, x
+
+
+def ranked_topk(probs: np.ndarray, k: int) -> np.ndarray:
+    """Top-k class indices per row, ranked (same kernel as topk_counts)."""
+    k = min(k, probs.shape[1])
+    top = np.argpartition(-probs, kth=k - 1, axis=1)[:, :k]
+    return np.take_along_axis(
+        top, np.argsort(-np.take_along_axis(probs, top, axis=1), axis=1), axis=1
+    )
+
+
+class TestZooParity:
+    @pytest.mark.parametrize("name", ZOO_MODELS)
+    def test_forward_outputs_match(self, name):
+        dense, sparse, x = pruned_pair(name)
+        out_dense = dense.forward(x)
+        out_sparse = sparse.forward(x)
+        assert np.abs(out_dense - out_sparse).max() <= _ATOL
+
+    @pytest.mark.parametrize("name", ZOO_MODELS)
+    def test_topk_predictions_identical(self, name):
+        dense, sparse, x = pruned_pair(name)
+        out_dense = dense.forward(x)
+        out_sparse = sparse.forward(x)
+        for k in (1, 5):
+            assert np.array_equal(ranked_topk(out_dense, k), ranked_topk(out_sparse, k))
+        # The shared accuracy-counting kernel agrees too.
+        labels = np.arange(len(x)) % out_dense.shape[1]
+        assert topk_counts(out_dense, labels, (1, 5)) == topk_counts(
+            out_sparse, labels, (1, 5)
+        )
+
+    @pytest.mark.parametrize("name", ZOO_MODELS)
+    def test_forward_collect_checkpoints_match(self, name):
+        """The assessment engine's one-pass checkpointing works in sparse mode."""
+        recipe = zoo.get_recipe(name)
+        dense, sparse, x = pruned_pair(name)
+        fc_names = list(recipe.pruning_ratios)
+        out_sparse, checkpoints = sparse.forward_collect(x, fc_names)
+        out_dense, dense_checkpoints = dense.forward_collect(x, fc_names)
+        # Final outputs are probabilities: the absolute 1e-6 bar applies.
+        assert np.abs(out_dense - out_sparse).max() <= _ATOL
+        for layer_name in fc_names:
+            # Checkpoints are raw activations (magnitudes of a few units
+            # downstream of a sparse fc layer), so the bar is relative.
+            assert np.allclose(
+                checkpoints[layer_name],
+                dense_checkpoints[layer_name],
+                atol=1e-6,
+                rtol=1e-5,
+            )
+
+    @pytest.mark.parametrize("name", ZOO_MODELS)
+    def test_forward_from_resume_matches_full_forward(self, name):
+        recipe = zoo.get_recipe(name)
+        dense, sparse, x = pruned_pair(name)
+        full = sparse.forward(x)
+        _, checkpoints = sparse.forward_collect(x, list(recipe.pruning_ratios))
+        for layer_name, activations in checkpoints.items():
+            resumed = sparse.forward_from(layer_name, activations)
+            assert np.array_equal(resumed, full)
+
+    @pytest.mark.parametrize("name", ZOO_MODELS)
+    def test_forward_from_weight_override_on_sparse_network(self, name):
+        """A dense candidate override on a sparse network reproduces the
+        dense network's evaluation — the assessment path over sparse serving."""
+        recipe = zoo.get_recipe(name)
+        dense, sparse, x = pruned_pair(name)
+        layer_name = next(iter(recipe.pruning_ratios))
+        candidate = dense.get_weights(layer_name)
+        expected = dense.forward(x)
+        got = sparse.forward_from(
+            layer_name,
+            sparse.forward_to(layer_name, x),
+            weight_override=candidate,
+        )
+        assert np.abs(expected - got).max() <= _ATOL
+
+    def test_sparse_weight_override_on_dense_network(self):
+        dense, sparse, x = pruned_pair("lenet-300-100")
+        candidate = encode_sparse(dense.get_weights("ip2"))
+        expected = dense.forward(x)
+        for override in (candidate, SparseWeight.from_sparse_layer(candidate)):
+            got = dense.forward_from(
+                "ip2", dense.forward_to("ip2", x), weight_override=override
+            )
+            assert np.abs(expected - got).max() <= _ATOL
+
+    def test_sequence_weight_override_stays_on_dense_path(self):
+        """A nested-list override (valid before the sparse engine: lists
+        have an ``.index`` *method*) must still route through np.asarray."""
+        dense, _, x = pruned_pair("lenet-300-100")
+        candidate = dense.get_weights("ip2")
+        got = dense.forward_from(
+            "ip2", dense.forward_to("ip2", x), weight_override=candidate.tolist()
+        )
+        assert np.array_equal(got, dense.forward(x))
+
+
+class TestSparseMode:
+    def test_training_forward_raises(self):
+        _, sparse, x = pruned_pair("lenet-300-100")
+        with pytest.raises(ValidationError):
+            sparse.forward(x, training=True)
+
+    def test_backward_raises(self):
+        _, sparse, _ = pruned_pair("lenet-300-100")
+        with pytest.raises(ValidationError):
+            sparse["ip1"].backward(np.zeros((4, 300), dtype=np.float32))
+
+    def test_set_weights_returns_to_dense_mode(self):
+        dense, sparse, x = pruned_pair("lenet-300-100")
+        net = sparse.clone()
+        assert net["ip1"].is_sparse
+        net.set_weights("ip1", dense.get_weights("ip1"))
+        assert not net["ip1"].is_sparse
+        assert np.abs(net.forward(x) - dense.forward(x)).max() <= _ATOL
+
+    def test_parameter_bytes_report_sparse_footprint(self):
+        dense, sparse, _ = pruned_pair("lenet-300-100")
+        assert sparse.parameter_bytes() < dense.parameter_bytes() / 4
+
+    def test_get_weights_materialises_dense_copy(self):
+        dense, sparse, _ = pruned_pair("lenet-300-100")
+        assert np.array_equal(sparse.get_weights("ip1"), dense.get_weights("ip1"))
+
+    def test_state_dict_round_trips_from_sparse_mode(self):
+        dense, sparse, x = pruned_pair("lenet-300-100")
+        restored = models.lenet_300_100(seed=99)
+        restored.load_state_dict(sparse.state_dict())
+        assert np.array_equal(restored.forward(x), dense.forward(x))
+
+
+class TestTrainedModelServingParity:
+    """Archive -> runtime -> network parity on a *trained* pruned model."""
+
+    @pytest.fixture(scope="class")
+    def archive_and_network(self, pruned_lenet300):
+        model = DeepSZEncoder().encode(
+            pruned_lenet300.network.name,
+            pruned_lenet300.sparse_layers,
+            {name: 1e-3 for name in pruned_lenet300.sparse_layers},
+        )
+        return model, pruned_lenet300.network
+
+    def test_decoder_sparse_apply_matches_dense_apply(self, archive_and_network):
+        model, network = archive_and_network
+        decoder = DeepSZDecoder()
+        net_dense, net_sparse = network.clone(), network.clone()
+        decoder.apply(model, net_dense)
+        decoded = decoder.apply(model, net_sparse, sparse=True)
+        assert decoded.sparse
+        x = np.random.default_rng(5).standard_normal((32, 1, 28, 28)).astype(np.float32)
+        assert np.abs(net_dense.forward(x) - net_sparse.forward(x)).max() <= _ATOL
+
+    def test_runtime_sparse_serving_matches_dense(
+        self, archive_and_network, small_dataset
+    ):
+        model, network = archive_and_network
+        _, test = small_dataset
+        with ModelRuntime(model) as rt_dense, ModelRuntime(
+            model, sparse=True
+        ) as rt_sparse:
+            net_dense, net_sparse = network.clone(), network.clone()
+            rt_dense.load_into(net_dense)
+            rt_sparse.load_into(net_sparse)
+            probs_dense = net_dense.forward(test.images[:64])
+            probs_sparse = net_sparse.forward(test.images[:64])
+            assert np.abs(probs_dense - probs_sparse).max() <= _ATOL
+            assert net_dense.evaluate(
+                test.images, test.labels, topk=(1, 5)
+            ) == net_sparse.evaluate(test.images, test.labels, topk=(1, 5))
+            # The sparse cache is charged the CSC footprint, far below dense.
+            assert (
+                rt_sparse.stats().cache.current_bytes
+                < rt_dense.stats().cache.current_bytes / 4
+            )

@@ -1,0 +1,103 @@
+"""Property-based tests for the compressed-domain (sparse) matmul kernel.
+
+The sparse inference engine is only correct if, for *any* pruned matrix —
+any shape, any density, any gap-255 padding pattern — the chain
+``encode_sparse -> sparse_to_scipy -> CSC matmul`` agrees with the dense
+matmul on the reconstructed matrix.  Hypothesis drives shapes and densities
+(including ultra-sparse wide matrices whose gaps force 255-padding entries),
+and additionally pins batched-vs-single-sample agreement and the
+data-override path used by the SZ decode.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.nn.sparse import SparseWeight
+from repro.pruning import decode_sparse, encode_sparse, sparse_to_scipy
+
+SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def _matrix(rows: int, cols: int, density: float, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    w = rng.normal(0, 0.05, (rows, cols)).astype(np.float32)
+    return (w * (np.random.default_rng(seed + 1).random((rows, cols)) < density)).astype(
+        np.float32
+    )
+
+
+pruned_matrices = st.tuples(
+    st.integers(1, 24),  # rows
+    st.integers(1, 900),  # cols: wide enough for >255 gaps at low density
+    st.floats(0.0, 0.6),  # density: includes all-zero and padding-heavy cases
+    st.integers(0, 2**31 - 1),
+).map(lambda t: _matrix(*t))
+
+
+class TestEncodeToCsrRoundTrip:
+    @SETTINGS
+    @given(matrix=pruned_matrices)
+    def test_csr_equals_dense_reconstruction(self, matrix):
+        layer = encode_sparse(matrix)
+        csr = sparse_to_scipy(layer)
+        assert np.array_equal(csr.toarray(), matrix)
+        assert csr.nnz == layer.nnz  # padding entries dropped
+
+    @SETTINGS
+    @given(matrix=pruned_matrices)
+    def test_csr_matmul_equals_dense_matmul(self, matrix):
+        layer = encode_sparse(matrix)
+        weight = SparseWeight.from_sparse_layer(layer)
+        rng = np.random.default_rng(matrix.shape[1])
+        x = rng.standard_normal((5, matrix.shape[1])).astype(np.float32)
+        dense_out = x @ matrix.T
+        sparse_out = weight.matmul(x)
+        assert sparse_out.shape == dense_out.shape
+        assert np.allclose(sparse_out, dense_out, atol=1e-5, rtol=1e-5)
+
+    @SETTINGS
+    @given(matrix=pruned_matrices, seed=st.integers(0, 2**20))
+    def test_data_override_mirrors_decode_sparse(self, matrix, seed):
+        """Replacement values (the SZ-decode path) flow through the CSR
+        exactly as they flow into the dense reconstruction, padding slots
+        included."""
+        layer = encode_sparse(matrix)
+        noisy = layer.data + np.random.default_rng(seed).uniform(
+            -1e-3, 1e-3, layer.data.shape
+        ).astype(np.float32)
+        assert np.array_equal(
+            sparse_to_scipy(layer, data=noisy).toarray(),
+            decode_sparse(layer, data=noisy),
+        )
+
+
+class TestBatchedVsSingle:
+    @SETTINGS
+    @given(matrix=pruned_matrices, batch=st.integers(1, 9))
+    def test_batched_forward_agrees_with_per_sample(self, matrix, batch):
+        layer = encode_sparse(matrix)
+        weight = SparseWeight.from_sparse_layer(layer)
+        rng = np.random.default_rng(batch)
+        x = rng.standard_normal((batch, matrix.shape[1])).astype(np.float32)
+        batched = weight.matmul(x)
+        singles = np.vstack([weight.matmul(x[i : i + 1]) for i in range(batch)])
+        assert np.allclose(batched, singles, atol=1e-6)
+
+
+class TestSparseWeightInvariants:
+    @SETTINGS
+    @given(matrix=pruned_matrices)
+    def test_nbytes_counts_the_three_csc_arrays(self, matrix):
+        weight = SparseWeight.from_sparse_layer(encode_sparse(matrix))
+        m = weight.matrix
+        assert weight.nbytes == m.data.nbytes + m.indices.nbytes + m.indptr.nbytes
+        assert not m.data.flags.writeable
+
+    @SETTINGS
+    @given(matrix=pruned_matrices)
+    def test_to_dense_round_trips(self, matrix):
+        weight = SparseWeight.from_sparse_layer(encode_sparse(matrix))
+        assert np.array_equal(weight.to_dense(), matrix)

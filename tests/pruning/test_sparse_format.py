@@ -131,6 +131,35 @@ class TestSizeAccounting:
             )
 
 
+class TestCorruptIndex:
+    def test_zero_delta_raises_on_both_decode_paths(self, rng):
+        """A zero delta cannot come out of encode_sparse (deltas are in
+        [1, 255]); both reconstructions must flag it as corruption rather
+        than silently colliding two entries on one position."""
+        layer = encode_sparse(random_pruned_matrix(rng))
+        bad_index = layer.index.copy()
+        bad_index[1] = 0
+        corrupt = SparseLayer(
+            data=layer.data, index=bad_index, shape=layer.shape, nnz=layer.nnz
+        )
+        with pytest.raises(DecompressionError, match="zero delta"):
+            decode_sparse(corrupt)
+        with pytest.raises(DecompressionError, match="zero delta"):
+            sparse_to_scipy(corrupt)
+
+    def test_overflowing_index_raises_on_both_decode_paths(self, rng):
+        layer = encode_sparse(random_pruned_matrix(rng))
+        bad_index = layer.index.copy()
+        bad_index[:] = 255
+        corrupt = SparseLayer(
+            data=layer.data, index=bad_index, shape=(2, 3), nnz=layer.nnz
+        )
+        with pytest.raises(DecompressionError, match="past the end"):
+            decode_sparse(corrupt)
+        with pytest.raises(DecompressionError, match="past the end"):
+            sparse_to_scipy(corrupt)
+
+
 class TestScipyInterop:
     def test_matches_scipy_csr(self, rng):
         w = random_pruned_matrix(rng)
