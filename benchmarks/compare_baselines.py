@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Perf-regression gate: diff fresh ``BENCH_*.json`` against the baselines.
+
+For every artifact committed under ``benchmarks/baselines/`` this script
+loads the freshly generated counterpart (``benchmarks/BENCH_<suite>.json``
+by default, written by ``run_all.py``) and compares every metric in the
+baseline's ``gate`` list.  A gated ``"higher"``-is-better metric that
+regresses by more than the threshold — or a ``"lower"``-is-better one that
+grows by more than it — fails the gate; everything else is reported for
+context but never fails the job.
+
+The threshold defaults to 30% and is overridable via
+``REPRO_BENCH_REGRESSION_PCT`` or ``--threshold`` for noisy runners: CI
+hosted machines differ from the baseline machine and from each other, so
+the CI job runs with a generous threshold that still catches collapse-class
+regressions, while a local run against baselines recorded on the same
+machine uses the tight default.
+
+Exit status: 0 when every gated metric is within the threshold, 1 otherwise
+(or when a fresh artifact is missing entirely).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+BENCH_DIR = Path(__file__).resolve().parent
+BASELINE_DIR = BENCH_DIR / "baselines"
+
+DEFAULT_THRESHOLD_PCT = 30.0
+
+
+def compare_suite(
+    baseline: dict, fresh: dict, threshold_pct: float
+) -> Tuple[List[list], List[str]]:
+    """Compare one suite's artifacts.
+
+    Returns ``(rows, failures)``: a report row per baseline metric
+    (``[metric, baseline, fresh, delta%, verdict]``) and a list of failure
+    descriptions for gated metrics beyond the threshold.
+    """
+    gate = set(baseline.get("gate", []))
+    directions = baseline.get("directions", {})
+    fresh_metrics = fresh.get("metrics", {})
+    rows: List[list] = []
+    failures: List[str] = []
+    for name, base_value in sorted(baseline.get("metrics", {}).items()):
+        if name not in fresh_metrics:
+            if name in gate:
+                failures.append(f"gated metric {name!r} missing from fresh artifact")
+                rows.append([name, base_value, None, None, "MISSING"])
+            continue
+        fresh_value = fresh_metrics[name]
+        if base_value:
+            # Positive delta = improvement in the metric's own direction.
+            change = (fresh_value - base_value) / abs(base_value) * 100.0
+            if directions.get(name, "higher") == "lower":
+                change = -change
+            delta = change
+        else:
+            delta = 0.0
+        gated = name in gate
+        regressed = gated and delta < -threshold_pct
+        verdict = "FAIL" if regressed else ("ok" if gated else "info")
+        rows.append([name, base_value, fresh_value, delta, verdict])
+        if regressed:
+            failures.append(
+                f"{name}: {base_value:.4g} -> {fresh_value:.4g} "
+                f"({delta:+.1f}% vs the -{threshold_pct:.0f}% limit)"
+            )
+    return rows, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baselines", default=str(BASELINE_DIR),
+                        help="directory of committed baseline artifacts")
+    parser.add_argument("--fresh", default=str(BENCH_DIR),
+                        help="directory of freshly generated artifacts")
+    parser.add_argument(
+        "--threshold", type=float,
+        default=float(os.environ.get("REPRO_BENCH_REGRESSION_PCT",
+                                     DEFAULT_THRESHOLD_PCT)),
+        help="max tolerated regression on gated metrics, in percent",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_dir = Path(args.baselines)
+    fresh_dir = Path(args.fresh)
+    baseline_paths = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baseline_paths:
+        print(f"error: no BENCH_*.json baselines under {baseline_dir}", file=sys.stderr)
+        return 1
+
+    all_failures: List[str] = []
+    for baseline_path in baseline_paths:
+        fresh_path = fresh_dir / baseline_path.name
+        baseline = json.loads(baseline_path.read_text())
+        suite = baseline.get("suite", baseline_path.stem)
+        if not fresh_path.exists():
+            all_failures.append(f"{suite}: fresh artifact {fresh_path} missing")
+            print(f"== {suite}: MISSING fresh artifact {fresh_path} ==")
+            continue
+        fresh = json.loads(fresh_path.read_text())
+        rows, failures = compare_suite(baseline, fresh, args.threshold)
+        print(f"== {suite} (threshold {args.threshold:.0f}%) ==")
+        width = max((len(r[0]) for r in rows), default=10)
+        for name, base, new, delta, verdict in rows:
+            new_text = f"{new:12.4g}" if new is not None else "     missing"
+            delta_text = f"{delta:+8.1f}%" if delta is not None else "        -"
+            print(f"  {name:<{width}} {base:12.4g} -> {new_text} {delta_text}  {verdict}")
+        all_failures.extend(f"{suite}: {f}" for f in failures)
+
+    if all_failures:
+        print("\nperf-regression gate FAILED:", file=sys.stderr)
+        for failure in all_failures:
+            print(f"  {failure}", file=sys.stderr)
+        print(
+            "\nIf the regression is expected (or the runner is noisy), refresh "
+            "baselines with `python benchmarks/run_all.py --update-baselines` "
+            "on the reference machine, or raise REPRO_BENCH_REGRESSION_PCT.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nperf-regression gate passed for {len(baseline_paths)} suite(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Unified benchmark runner: one command, stable ``BENCH_*.json`` artifacts.
+
+Runs the serving / assessment / sparse-inference benchmarks (each as a
+subprocess of its existing script, so this runner cannot drift from what
+the scripts measure), reads the raw ``results/*.json`` each script wrote,
+and distills a *stable-schema* artifact per suite::
+
+    {"schema_version": 1, "suite": "serving", "mode": "smoke",
+     "metrics": {...flat name -> number...},
+     "gate": [...metric names the perf-regression gate enforces...],
+     "directions": {"<gated metric>": "higher" | "lower"}}
+
+Metric keys are append-only across PRs: tooling (the CI artifact diff, the
+``compare_baselines.py`` gate) may rely on any key that has ever shipped.
+
+Artifacts land next to this file as ``BENCH_<suite>.json``.  CI runs this
+in smoke mode on every push and uploads the artifacts, then runs
+``compare_baselines.py`` against the committed ``benchmarks/baselines/``.
+Refresh those baselines with ``--update-baselines`` on the reference
+machine whenever a PR legitimately moves a gated number (and commit the
+result).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py               # smoke mode
+    PYTHONPATH=src python benchmarks/run_all.py --full
+    PYTHONPATH=src python benchmarks/run_all.py --suites serving,sparse_inference
+    PYTHONPATH=src python benchmarks/run_all.py --update-baselines
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+from typing import Callable, Dict
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+RESULTS_DIR = BENCH_DIR / "results"
+BASELINE_DIR = BENCH_DIR / "baselines"
+
+SCHEMA_VERSION = 1
+
+
+def _extract_serving(raw: dict) -> dict:
+    sweep = raw["gateway_sweep"]
+    throughput = raw["throughput_accesses_per_s"]
+    metrics = {
+        "warm_vs_cold_speedup": raw["warm_vs_cold_speedup"],
+        "warm_layer_access_us": raw["warm_layer_access_s"] * 1e6,
+        "cold_full_decode_ms": raw["cold_full_decode_s"] * 1e3,
+        "layer_access_rps_4": throughput.get("4", max(throughput.values())),
+        "gateway_scaling_4v1": sweep["scaling_4v1"],
+        "gateway_saturation_rejection_rate": sweep["saturation"]["rejection_rate"],
+    }
+    for count, rate in sweep["throughput_rps"].items():
+        metrics[f"gateway_rps_{count}"] = rate
+    return {
+        "metrics": metrics,
+        # Absolute-throughput gates catch collapse-class regressions; the
+        # ratios are machine-independent and travel between runners.
+        "gate": ["warm_vs_cold_speedup", "layer_access_rps_4", "gateway_rps_4"],
+        "directions": {
+            "warm_vs_cold_speedup": "higher",
+            "layer_access_rps_4": "higher",
+            "gateway_rps_4": "higher",
+        },
+    }
+
+
+def _extract_assessment(raw: dict) -> dict:
+    return {
+        "metrics": {
+            "assessment_speedup": raw["speedup"],
+            "serial_ms": raw["serial_s"] * 1e3,
+            "parallel_ms": raw["parallel_s"] * 1e3,
+            "tests_performed": raw["tests_performed"],
+        },
+        "gate": ["assessment_speedup"],
+        "directions": {"assessment_speedup": "higher"},
+    }
+
+
+def _extract_sparse(raw: dict) -> dict:
+    return {
+        "metrics": {
+            "byte_reduction": raw["byte_reduction"],
+            "forward_speedup": raw["forward_speedup"],
+            "dense_forward_ms": raw["dense_forward_s"] * 1e3,
+            "sparse_forward_ms": raw["sparse_forward_s"] * 1e3,
+        },
+        "gate": ["byte_reduction", "forward_speedup"],
+        "directions": {"byte_reduction": "higher", "forward_speedup": "higher"},
+    }
+
+
+#: suite -> (benchmark script, raw results file, metric extractor)
+SUITES: Dict[str, tuple[str, str, Callable[[dict], dict]]] = {
+    "serving": ("bench_serving.py", "bench_serving.json", _extract_serving),
+    "assessment": ("bench_assessment.py", "bench_assessment.json", _extract_assessment),
+    "sparse_inference": (
+        "bench_sparse_inference.py",
+        "bench_sparse_inference.json",
+        _extract_sparse,
+    ),
+}
+
+
+def _suite_env(smoke: bool) -> dict:
+    env = os.environ.copy()
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if smoke:
+        env.setdefault("REPRO_BENCH_SMOKE", "1")
+    # The runner's job is producing artifacts, not enforcing speed bars:
+    # regression detection belongs to compare_baselines.py, which sees the
+    # actual numbers.  Correctness asserts inside the scripts (parity,
+    # identical plans, bounded-queue rejection) still run at full strength.
+    # An explicit environment always wins over these defaults.
+    env.setdefault("REPRO_ASSESS_MIN_SPEEDUP", "1.0")
+    env.setdefault("REPRO_SPARSE_MIN_SPEEDUP", "1.0")
+    env.setdefault("REPRO_GATEWAY_MIN_SCALING", "0")
+    return env
+
+
+def run_suite(name: str, *, smoke: bool, out_dir: Path) -> Path:
+    script, raw_name, extract = SUITES[name]
+    print(f"== {name}: {script} ({'smoke' if smoke else 'full'} mode) ==", flush=True)
+    subprocess.run(
+        [sys.executable, script],
+        cwd=BENCH_DIR,
+        env=_suite_env(smoke),
+        check=True,
+    )
+    raw = json.loads((RESULTS_DIR / raw_name).read_text())
+    artifact = {
+        "schema_version": SCHEMA_VERSION,
+        "suite": name,
+        "mode": "smoke" if smoke else "full",
+        **extract(raw),
+    }
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--full", action="store_true",
+                        help="run at full scale instead of smoke mode")
+    parser.add_argument("--suites", default=",".join(SUITES),
+                        help=f"comma-separated subset of: {', '.join(SUITES)}")
+    parser.add_argument("--out", default=str(BENCH_DIR),
+                        help="directory for the BENCH_*.json artifacts")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="copy the fresh artifacts into benchmarks/baselines/")
+    args = parser.parse_args(argv)
+
+    names = [s.strip() for s in args.suites.split(",") if s.strip()]
+    unknown = [s for s in names if s not in SUITES]
+    if unknown:
+        parser.error(f"unknown suite(s) {unknown}; available: {sorted(SUITES)}")
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    artifacts = [run_suite(name, smoke=not args.full, out_dir=out_dir) for name in names]
+
+    if args.update_baselines:
+        BASELINE_DIR.mkdir(parents=True, exist_ok=True)
+        for path in artifacts:
+            target = BASELINE_DIR / path.name
+            shutil.copyfile(path, target)
+            print(f"baseline refreshed: {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

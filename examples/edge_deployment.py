@@ -22,7 +22,15 @@ scenario out on the AlexNet-mini / synthetic-ImageNet stand-in:
   (``ModelRuntime(..., sparse=True)``): decoding stops at the two-array
   form, the fc layers run CSC matmuls directly on the pruned weights, and
   the resident cache footprint drops ~6x — more models per byte of edge
-  RAM, and faster batches at the ~10% paper density.
+  RAM, and faster batches at the ~10% paper density;
+* a **region gateway** then fronts a small fleet: the archive goes into a
+  content-addressed :class:`repro.store.ModelStore`, and a
+  :class:`repro.serve.Gateway` hosts dense and sparse variants of the
+  model behind replica pools — requests shard by policy (least-loaded for
+  the dense pool, consistent-hash so a device's stream sticks to one warm
+  replica for the sparse pool), and a deliberately tiny admission queue
+  shows overload degrading into fast-fail ``GatewayOverloaded`` rejections
+  instead of a latency collapse.
 
 Run with::
 
@@ -31,14 +39,16 @@ Run with::
 
 from __future__ import annotations
 
+import tempfile
 import time
 
 from repro.analysis import format_bytes
 from repro.core import DeepSZ, DeepSZConfig
 from repro.core.decoder import DeepSZDecoder
 from repro.nn import models, zoo
-from repro.serve import ModelRuntime, Server
-from repro.store import ModelArchive
+from repro.serve import Gateway, ModelRuntime, Server
+from repro.store import ModelArchive, ModelStore
+from repro.utils.errors import GatewayOverloaded
 
 
 def transfer_seconds(num_bytes: int, bits_per_second: float) -> float:
@@ -154,6 +164,73 @@ def main() -> None:
           f"top-5 {evaluation[5]:.2%} (baseline {baseline.get(5, 0):.2%})")
     print(f"sparse-serving accuracy: top-1 {sparse_eval[1]:.2%}, top-5 {sparse_eval[5]:.2%} "
           f"(identical execution to within float32 rounding)")
+
+    # ----------------------------------- region gateway: a multi-model fleet
+    print("\n== region gateway: dense + sparse pools behind one front door ==")
+    with tempfile.TemporaryDirectory(prefix="edge-store-") as store_dir:
+        store = ModelStore(store_dir)
+        digest = store.put_bytes(archive_blob, network="alexnet-mini")
+        print(f"archive stored as sha256:{digest[:16]}…")
+
+        gateway = Gateway(store=store)
+        # Both pools resolve the same content digest from the store; each
+        # replica gets its own runtime (independent decoded-layer cache)
+        # and its own clone of the edge network.
+        gateway.add_model(
+            "alexnet-dense", digest=digest[:12], replicas=2,
+            network_factory=edge_net.clone, policy="least-loaded",
+            max_queue_depth=512, batch_size=64,
+        )
+        gateway.add_model(
+            "alexnet-sparse", digest=digest[:12], replicas=2, sparse=True,
+            network_factory=edge_net.clone, policy="consistent-hash",
+            max_queue_depth=512, batch_size=64,
+        )
+        with gateway:
+            futures = []
+            for i, image in enumerate(test.images[:256]):
+                model = "alexnet-dense" if i % 2 == 0 else "alexnet-sparse"
+                # The shard key is the requesting device: consistent-hash
+                # keeps each device on one replica's warm cache.
+                futures.append(gateway.submit(model, image, key=f"device-{i % 32}"))
+            for future in futures:
+                future.result()
+            fleet = gateway.stats()
+        for name, model_stats in fleet.models.items():
+            spread = "/".join(str(r.dispatched) for r in model_stats.replicas)
+            print(f"  {name:<14} {model_stats.throughput_rps:6.0f} req/s, "
+                  f"p99 {model_stats.latencies_ms.get('p99', 0.0):5.1f} ms, "
+                  f"replica spread {spread}, "
+                  f"resident {format_bytes(model_stats.cache_bytes)}")
+        print(f"fleet: {fleet.completed} served, {fleet.failures} failures, "
+              f"resident weights {format_bytes(fleet.cache_bytes)} across "
+              f"{sum(len(m.replicas) for m in fleet.models.values())} replicas")
+
+        # Overload: a tiny admission queue sheds a burst instead of queueing
+        # it — rejected requests fail in microseconds with a 429-style
+        # error, admitted ones keep their latency.
+        gateway.add_model(
+            "alexnet-burst", digest=digest[:12], replicas=1,
+            network_factory=edge_net.clone, max_queue_depth=8,
+            max_concurrency=1, batch_size=8,
+        )
+        rejected = 0
+        with gateway:
+            burst = [None] * 96
+            for i, image in enumerate(test.images[:96]):
+                try:
+                    burst[i] = gateway.submit("alexnet-burst", image)
+                except GatewayOverloaded:
+                    rejected += 1
+            for future in burst:
+                if future is not None:
+                    future.result()
+            burst_stats = gateway.stats().models["alexnet-burst"]
+        print(f"overload burst: 96 offered -> {burst_stats.submitted} admitted, "
+              f"{rejected} fast-fail rejected "
+              f"({burst_stats.rejection_rate:.0%}), admitted p99 "
+              f"{burst_stats.latencies_ms.get('p99', 0.0):.1f} ms")
+        gateway.close()
 
 
 if __name__ == "__main__":

@@ -22,6 +22,13 @@ Subcommands
     the numbers, optionally as JSON.  ``--sparse`` serves layers in
     compressed-domain form (CSC matmuls straight from the two-array
     decode, with cache entries charged their true sparse footprint).
+``gateway-bench``
+    Benchmark the multi-model serving gateway: N synthetic models (dense,
+    sparse, or mixed), each behind a configurable replica pool and shard
+    policy, under closed-loop client load — swept over a list of replica
+    counts — followed by an open-loop saturation burst against a tiny
+    admission queue that shows bounded-queue rejection instead of latency
+    collapse.
 ``assess``
     Run Step 2 (error-bound assessment, Algorithm 1) on a zoo model with
     the parallel activation-reuse engine and print the per-layer
@@ -249,6 +256,92 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# gateway-bench
+# ---------------------------------------------------------------------------
+
+
+def _cmd_gateway_bench(args: argparse.Namespace) -> int:
+    from repro.core.encoder import DeepSZEncoder
+    from repro.serve.bench import gateway_benchmark
+    from repro.store import archive_bytes
+
+    if args.models < 1:
+        raise ValidationError("--models must be >= 1")
+    if args.sparse not in ("none", "mixed", "all"):
+        raise ValidationError("--sparse must be one of none, mixed, all")
+    replica_counts = sorted(
+        {int(r) for r in args.replicas.split(",") if r.strip()}
+    )
+    if not replica_counts or min(replica_counts) < 1:
+        raise ValidationError("--replicas needs positive comma-separated counts")
+
+    sources: Dict[str, bytes] = {}
+    sparse_flags: Dict[str, bool] = {}
+    encoder = DeepSZEncoder(workers=args.workers)
+    for index in range(args.models):
+        name = f"model-{index}"
+        layers = synthetic_sparse_layers(args.synthetic, seed=args.seed + index)
+        model = encoder.encode(name, layers, {n: args.error_bound for n in layers})
+        sources[name] = archive_bytes(model)
+        sparse_flags[name] = args.sparse == "all" or (
+            args.sparse == "mixed" and index % 2 == 1
+        )
+
+    sweep: Dict[str, Dict] = {}
+    for count in replica_counts:
+        sweep[str(count)] = gateway_benchmark(
+            sources,
+            replicas=count,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            policy=args.policy,
+            sparse=sparse_flags,
+            batch_size=args.batch_size,
+            seed=args.seed,
+            saturation_queue_depth=(
+                args.queue_depth if count == replica_counts[-1] else None
+            ),
+        )
+
+    if args.json:
+        print(json.dumps(sweep, indent=2, sort_keys=True))
+        return 0
+
+    mode = {"none": "dense", "all": "sparse", "mixed": "mixed dense/sparse"}[args.sparse]
+    rows = []
+    for count, result in sweep.items():
+        rows.append(
+            [
+                count,
+                f"{result['throughput_rps']:,.0f} req/s",
+                f"{result['latency_ms'].get('p50', 0.0):.2f} ms",
+                f"{result['latency_ms'].get('p99', 0.0):.2f} ms",
+                format_bytes(result["cache_bytes"]),
+            ]
+        )
+    print(
+        render_table(
+            ["replicas", "throughput", "p50", "p99", "resident cache"],
+            rows,
+            title=(
+                f"gateway: {args.models} {mode} model(s), policy {args.policy!r}, "
+                f"{args.clients} clients x {args.requests} closed-loop requests"
+            ),
+        )
+    )
+    saturation = sweep[str(replica_counts[-1])].get("saturation")
+    if saturation:
+        print(
+            f"saturation @ queue depth {saturation['queue_depth_limit']}: "
+            f"{saturation['offered']} offered -> {saturation['admitted']} admitted, "
+            f"{saturation['rejected']} fast-fail rejected "
+            f"({saturation['rejection_rate']:.0%}); admitted p99 "
+            f"{saturation['latency_ms'].get('p99', 0.0):.1f} ms"
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # assess
 # ---------------------------------------------------------------------------
 
@@ -415,6 +508,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serve layers in compressed-domain (sparse) form")
     p.add_argument("--json", action="store_true", help="emit JSON")
     p.set_defaults(func=_cmd_serve_bench)
+
+    p = sub.add_parser(
+        "gateway-bench", help="benchmark the multi-model serving gateway"
+    )
+    p.add_argument("--models", type=int, default=2,
+                   help="number of synthetic models hosted behind the gateway")
+    p.add_argument("--synthetic", default=_DEFAULT_SPEC,
+                   help="synthetic layer spec for each model (seed varies per model)")
+    p.add_argument("--error-bound", type=float, default=1e-3,
+                   help="absolute error bound for the synthetic layers")
+    p.add_argument("--replicas", default="1,2,4",
+                   help="comma-separated replica counts to sweep")
+    p.add_argument("--clients", type=int, default=4,
+                   help="closed-loop client threads")
+    p.add_argument("--requests", type=int, default=64,
+                   help="requests per client per sweep point")
+    p.add_argument("--policy", default="round-robin",
+                   choices=["round-robin", "least-loaded", "consistent-hash"],
+                   help="shard policy for every model")
+    p.add_argument("--sparse", default="mixed", choices=["none", "mixed", "all"],
+                   help="serve models dense, mixed (odd models sparse), or all sparse")
+    p.add_argument("--batch-size", type=int, default=16,
+                   help="replica server dynamic-batching size")
+    p.add_argument("--queue-depth", type=int, default=8,
+                   help="admission queue depth for the saturation burst")
+    p.add_argument("--workers", type=int, default=1, help="encode pool workers")
+    p.add_argument("--seed", type=int, default=0, help="synthetic weight seed")
+    p.add_argument("--json", action="store_true", help="emit JSON")
+    p.set_defaults(func=_cmd_gateway_bench)
 
     p = sub.add_parser(
         "assess", help="run the Step 2 error-bound assessment on a zoo model"

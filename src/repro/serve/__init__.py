@@ -1,4 +1,4 @@
-"""On-demand model serving: decoded-layer cache, runtime, and server.
+"""On-demand model serving: cache, runtime, server, and multi-model gateway.
 
 * :mod:`repro.serve.cache` — :class:`LRUCache`, the byte-bounded,
   thread-safe, single-flight LRU for decoded dense layers;
@@ -7,11 +7,30 @@
   pool;
 * :mod:`repro.serve.server` — :class:`Server`, the dynamic-batching
   inference front-end with throughput / latency-percentile reporting;
-* :mod:`repro.serve.bench` — the cold/warm/concurrency measurement harness
-  behind ``python -m repro serve-bench`` and ``benchmarks/bench_serving.py``.
+* :mod:`repro.serve.gateway` — :class:`Gateway`, the multi-model,
+  multi-replica front door: pluggable shard policies (round-robin,
+  least-loaded, consistent-hash), bounded-queue admission control with
+  fast-fail :class:`~repro.utils.errors.GatewayOverloaded` rejection, and
+  fleet-wide stats;
+* :mod:`repro.serve.bench` — the cold/warm/concurrency and gateway-scaling
+  measurement harnesses behind ``python -m repro serve-bench`` /
+  ``gateway-bench`` and ``benchmarks/bench_serving.py``.
 """
 
 from repro.serve.cache import CacheStats, LRUCache
+from repro.serve.gateway import (
+    ArchiveMLP,
+    ConsistentHashPolicy,
+    Gateway,
+    GatewayStats,
+    LeastLoadedPolicy,
+    ModelStats,
+    Replica,
+    ReplicaStats,
+    RoundRobinPolicy,
+    ShardPolicy,
+    resolve_policy,
+)
 from repro.serve.runtime import (
     DEFAULT_CACHE_BYTES,
     ModelRuntime,
@@ -29,4 +48,15 @@ __all__ = [
     "decode_compressed_layer",
     "Server",
     "ServerStats",
+    "ArchiveMLP",
+    "ConsistentHashPolicy",
+    "Gateway",
+    "GatewayStats",
+    "LeastLoadedPolicy",
+    "ModelStats",
+    "Replica",
+    "ReplicaStats",
+    "RoundRobinPolicy",
+    "ShardPolicy",
+    "resolve_policy",
 ]

@@ -1,8 +1,10 @@
-"""Measurement harness for the serving runtime.
+"""Measurement harnesses for the serving runtime and the gateway.
 
-One function, :func:`serving_benchmark`, produces the numbers the serving
-story is judged on, shared by ``python -m repro serve-bench`` and
+Two functions produce the numbers the serving story is judged on, shared by
+``python -m repro serve-bench`` / ``gateway-bench`` and
 ``benchmarks/bench_serving.py``:
+
+:func:`serving_benchmark` measures one runtime:
 
 * **cold full decode** — a fresh runtime decoding every layer up front (the
   v1 monolithic experience);
@@ -11,26 +13,228 @@ story is judged on, shared by ``python -m repro serve-bench`` and
 * **warm layer access** — mean per-access latency once the decoded-layer
   cache is hot (must be orders of magnitude below cold full decode);
 * **layer-access throughput** at several thread counts against the warm
-  cache (the cache is the serving hot path; this measures its contention).
+  cache (the cache is the serving hot path; this measures its contention);
+* optionally a **gateway replica sweep** (``gateway_replicas=(1, 2, 4)``)
+  over the same archive, reporting end-to-end request throughput per
+  replica count.
+
+:func:`gateway_benchmark` drives a whole :class:`~repro.serve.Gateway`
+under closed-loop client load (every client waits for each response before
+sending the next), then optionally slams it with an open-loop burst against
+a deliberately tiny admission queue to measure how overload degrades:
+bounded-queue rejections and stable latency for the admitted requests, not
+a latency collapse.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.serve.gateway import Gateway
 from repro.serve.runtime import DEFAULT_CACHE_BYTES, ModelRuntime
+from repro.store.archive import ModelArchive
+from repro.utils.errors import GatewayOverloaded, ValidationError
 
-__all__ = ["serving_benchmark"]
+__all__ = ["serving_benchmark", "gateway_benchmark"]
 
 
 def _fresh_runtime(source, cache_bytes: int, sparse: bool) -> ModelRuntime:
     # bytes are re-wrapped per run; paths are re-opened (and re-mmapped),
     # so every "cold" measurement really starts from the container.
     return ModelRuntime(source, cache_bytes=cache_bytes, sparse=sparse)
+
+
+def _archive_input_dim(source: Union[str, bytes]) -> int:
+    """The in-features of a chained archive's first fc layer (request width)."""
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        archive = ModelArchive.from_bytes(source)
+    else:
+        archive = ModelArchive.open(source)
+    try:
+        first = archive.layer_names[0]
+        return int(archive.manifest.layers[first].shape[1])
+    finally:
+        archive.close()
+
+
+def gateway_benchmark(
+    sources: Dict[str, Union[str, bytes]],
+    *,
+    replicas: int = 1,
+    clients: int = 4,
+    requests_per_client: int = 64,
+    burst: int = 1,
+    policy: str = "round-robin",
+    sparse: Union[bool, Dict[str, bool]] = False,
+    batch_size: int = 16,
+    max_batch_delay: float = 0.002,
+    max_concurrency: Optional[int] = None,
+    cache_bytes: int = DEFAULT_CACHE_BYTES,
+    seed: int = 0,
+    saturation_queue_depth: Optional[int] = 8,
+) -> Dict:
+    """Drive a multi-model gateway under closed-loop load, then saturate it.
+
+    ``sources`` maps model names to archive paths/bytes; every model gets
+    ``replicas`` replicas and the same shard ``policy``.  ``sparse`` is a
+    bool for all models or a per-model dict.  ``clients`` threads each send
+    ``requests_per_client`` requests round-robin across the models, waiting
+    for every response (closed loop), which measures sustainable aggregate
+    throughput rather than queue growth.  ``burst`` submits that many
+    samples per round before waiting (a client with a camera roll, not a
+    single frame): outstanding requests ≈ ``clients * burst``, which is
+    what keeps a replica pool busy and lets dynamic batching coalesce.
+
+    With ``saturation_queue_depth`` set, a second gateway with that tiny
+    admission queue (and one in-service slot per replica) takes an
+    open-loop burst of ~6x its capacity per model; the report shows how
+    many requests were fast-fail rejected versus admitted, and the p99 of
+    the admitted ones — bounded-queue overload, not latency collapse.
+    Returns a JSON-ready dict.
+    """
+    if not sources:
+        raise ValidationError("gateway_benchmark needs at least one model source")
+    if int(clients) < 1 or int(requests_per_client) < 1:
+        raise ValidationError("clients and requests_per_client must be >= 1")
+    if int(burst) < 1:
+        raise ValidationError("burst must be >= 1")
+    names = list(sources)
+    sparse_by_name = (
+        dict(sparse) if isinstance(sparse, dict) else {name: bool(sparse) for name in names}
+    )
+    input_dims = {name: _archive_input_dim(src) for name, src in sources.items()}
+
+    def build(max_queue_depth: int, concurrency_cap: Optional[int]) -> Gateway:
+        gateway = Gateway()
+        for name, src in sources.items():
+            gateway.add_model(
+                name,
+                src,
+                replicas=replicas,
+                sparse=sparse_by_name.get(name, False),
+                policy=policy,
+                max_queue_depth=max_queue_depth,
+                max_concurrency=concurrency_cap,
+                batch_size=batch_size,
+                max_batch_delay=max_batch_delay,
+                cache_bytes=cache_bytes,
+            )
+        return gateway
+
+    # -- closed-loop load phase --------------------------------------------
+    total_requests = int(clients) * int(requests_per_client)
+    gateway = build(max_queue_depth=total_requests + 1, concurrency_cap=max_concurrency)
+    rng = np.random.default_rng(seed)
+    inputs = {
+        name: rng.standard_normal((1, dim)).astype(np.float32)[0]
+        for name, dim in input_dims.items()
+    }
+    errors: list = []
+    barrier = threading.Barrier(int(clients) + 1)
+
+    def client(client_index: int) -> None:
+        try:
+            barrier.wait()
+            sent = 0
+            round_no = 0
+            while sent < int(requests_per_client):
+                name = names[(client_index + round_no) % len(names)]
+                size = min(int(burst), int(requests_per_client) - sent)
+                futures = [
+                    gateway.submit(name, inputs[name], key=f"client-{client_index}")
+                    for _ in range(size)
+                ]
+                for future in futures:
+                    future.result(timeout=120)
+                sent += size
+                round_no += 1
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    try:
+        gateway.start()
+        threads = [
+            threading.Thread(target=client, args=(i,), name=f"gw-client-{i}")
+            for i in range(int(clients))
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        stats = gateway.stats()
+    finally:
+        gateway.close()
+    if errors:
+        raise errors[0]
+
+    results: Dict = {
+        "models": len(names),
+        "replicas": int(replicas),
+        "policy": policy,
+        "clients": int(clients),
+        "burst": int(burst),
+        "requests": total_requests,
+        "completed": stats.completed,
+        "failures": stats.failures,
+        "rejected": stats.rejected,
+        "elapsed_s": elapsed,
+        "throughput_rps": total_requests / elapsed if elapsed else 0.0,
+        "latency_ms": dict(stats.latencies_ms),
+        "cache_bytes": stats.cache_bytes,
+        "per_model": {
+            name: {
+                "completed": model.completed,
+                "throughput_rps": model.throughput_rps,
+                "latency_ms": dict(model.latencies_ms),
+                "cache_bytes": model.cache_bytes,
+                "dispatched": [replica.dispatched for replica in model.replicas],
+            }
+            for name, model in stats.models.items()
+        },
+    }
+
+    # -- open-loop saturation phase ----------------------------------------
+    if saturation_queue_depth is not None:
+        depth = int(saturation_queue_depth)
+        concurrency_cap = max(1, int(replicas))
+        burst_per_model = 6 * (depth + concurrency_cap)
+        gateway = build(max_queue_depth=depth, concurrency_cap=concurrency_cap)
+        admitted = []
+        rejected = 0
+        try:
+            gateway.start()
+            start = time.perf_counter()
+            for name in names:
+                for _ in range(burst_per_model):
+                    try:
+                        admitted.append(gateway.submit(name, inputs[name]))
+                    except GatewayOverloaded:
+                        rejected += 1
+            for future in admitted:
+                future.result(timeout=120)
+            burst_elapsed = time.perf_counter() - start
+            saturation_stats = gateway.stats()
+        finally:
+            gateway.close()
+        offered = burst_per_model * len(names)
+        results["saturation"] = {
+            "queue_depth_limit": depth,
+            "max_concurrency": concurrency_cap,
+            "offered": offered,
+            "admitted": len(admitted),
+            "rejected": rejected,
+            "rejection_rate": rejected / offered if offered else 0.0,
+            "elapsed_s": burst_elapsed,
+            "latency_ms": dict(saturation_stats.latencies_ms),
+        }
+    return results
 
 
 def serving_benchmark(
@@ -42,12 +246,18 @@ def serving_benchmark(
     cache_bytes: int = DEFAULT_CACHE_BYTES,
     seed: int = 0,
     sparse: bool = False,
+    gateway_replicas: Optional[Sequence[int]] = None,
+    gateway_clients: int = 4,
+    gateway_requests_per_client: int = 48,
 ) -> Dict:
     """Benchmark cold/warm layer access and concurrent throughput.
 
     ``source`` is a ``.dsz`` archive path or its raw bytes.  ``sparse``
     serves layers in compressed-domain form (``decoded_bytes`` then reports
     the resident CSC footprint the cache is charged, not dense bytes).
+    ``gateway_replicas`` additionally sweeps a single-model gateway over
+    the archive at those replica counts (end-to-end request throughput;
+    chained-MLP archives only) into a ``"gateway"`` section.
     Returns a JSON-ready dict (see the module docstring for the metrics).
     """
     # -- cold: full-model decode on a fresh runtime -------------------------
@@ -105,7 +315,7 @@ def serving_benchmark(
     finally:
         runtime.close()
 
-    return {
+    results = {
         "layers": len(layer_names),
         "sparse": bool(sparse),
         "archive_bytes": archive_size,
@@ -119,3 +329,22 @@ def serving_benchmark(
         "throughput_accesses_per_s": throughput,
         "cache": cache_stats,
     }
+
+    if gateway_replicas:
+        counts = sorted({int(r) for r in gateway_replicas if int(r) >= 1})
+        sweep: Dict[str, Dict] = {}
+        for count in counts:
+            sweep[str(count)] = gateway_benchmark(
+                {"model": source},
+                replicas=count,
+                clients=gateway_clients,
+                requests_per_client=gateway_requests_per_client,
+                sparse=sparse,
+                cache_bytes=cache_bytes,
+                seed=seed,
+                # One saturation probe per sweep (at the largest pool) is
+                # enough to characterise overload behaviour.
+                saturation_queue_depth=8 if count == counts[-1] else None,
+            )
+        results["gateway"] = sweep
+    return results

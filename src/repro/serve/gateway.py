@@ -1,0 +1,839 @@
+"""Multi-model, multi-replica serving gateway with admission control.
+
+The :class:`~repro.serve.server.Server` answers requests for *one* model on
+*one* runtime.  A production node hosts a fleet: many named models, each
+backed by a pool of replicas, behind one front door that decides which
+replica takes a request and — just as important — which requests never get
+in.  :class:`Gateway` is that front door:
+
+* **models** are added by name, resolved either from a raw archive source
+  (path / bytes / :class:`~repro.store.ModelArchive`) or from a
+  :class:`~repro.store.ModelStore` by content digest (prefixes accepted via
+  :meth:`ModelStore.resolve`), each with its own replica count, shard
+  policy, and admission limits;
+* **replicas** are full serving stacks: an independent
+  :class:`~repro.serve.runtime.ModelRuntime` (own mmap + decoded-layer
+  cache, dense or compressed-domain sparse) plus a dynamic-batching
+  :class:`Server`.  A model without a ``network_factory`` serves through
+  :class:`ArchiveMLP`, a feed-forward stack straight over the archive's fc
+  layers — what the synthetic benchmarks use;
+* **sharding** is pluggable via :class:`ShardPolicy`: ``round-robin``
+  (fair, stateful), ``least-loaded`` (reads each replica's in-flight
+  gauge), and ``consistent-hash`` (stable key → replica mapping that
+  keeps a client's requests on one replica's warm cache);
+* **admission control** keeps overload predictable: each model has a
+  bounded gateway queue (``max_queue_depth``) with *fast-fail* rejection —
+  a full queue raises :class:`~repro.utils.errors.GatewayOverloaded`
+  (429-style) instead of stretching everyone's latency — and a
+  ``max_concurrency`` cap on requests in service across the model's
+  replicas, enforced by the per-model dispatcher;
+* **stats** aggregate the whole fleet: per-model throughput and latency
+  percentiles (measured submit→resolve, queue wait included), rejection
+  rates and live queue depth, per-replica dispatch counts, in-flight
+  gauges, decode counts and resident cache bytes.
+
+Lifecycle mirrors :class:`Server`: ``start()`` spins up every replica
+server and one dispatcher thread per model, ``stop()`` closes admission,
+drains every queued and in-flight request (every accepted future resolves),
+and freezes the stats clock; a stopped gateway restarts cleanly with fresh
+queues and counters.  ``close()`` additionally releases the replica
+runtimes (after which the gateway cannot be restarted).
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import queue
+import threading
+import time
+from bisect import bisect_right
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.encoder import CompressedModel
+from repro.nn.sparse import SparseWeight
+from repro.serve.runtime import DEFAULT_CACHE_BYTES, ModelRuntime
+from repro.serve.server import Server, ServerStats, latency_percentiles
+from repro.store.archive import archive_bytes
+from repro.utils.errors import GatewayOverloaded, ValidationError
+
+__all__ = [
+    "ShardPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "ConsistentHashPolicy",
+    "resolve_policy",
+    "ArchiveMLP",
+    "Replica",
+    "ReplicaStats",
+    "ModelStats",
+    "GatewayStats",
+    "Gateway",
+]
+
+def _hash64(text: str) -> int:
+    """Stable 64-bit point on the hash ring (first 8 bytes of SHA-256)."""
+    return int.from_bytes(hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
+
+
+# ---------------------------------------------------------------------------
+# shard policies
+# ---------------------------------------------------------------------------
+
+
+class ShardPolicy(abc.ABC):
+    """Chooses which replica of a model takes the next request.
+
+    One policy instance belongs to one model (policies may hold state);
+    :meth:`bind` is called once with the model's replica ids — in index
+    order — before any :meth:`choose`.  ``choose`` runs on the model's
+    single dispatcher thread, so implementations only need locks if they
+    are also queried from outside (``Gateway.stats`` never calls them).
+    """
+
+    name: str = "?"
+
+    def bind(self, replica_ids: Sequence[str]) -> None:  # noqa: B027 - optional hook
+        """Learn the replica topology (default: nothing to precompute)."""
+
+    @abc.abstractmethod
+    def choose(self, replicas: Sequence["Replica"], key: Optional[str] = None) -> int:
+        """Index of the replica that takes the request."""
+
+
+class RoundRobinPolicy(ShardPolicy):
+    """Cycle through replicas in index order — fair and cheap."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._next = 0
+
+    def choose(self, replicas: Sequence["Replica"], key: Optional[str] = None) -> int:
+        with self._lock:
+            index = self._next % len(replicas)
+            self._next += 1
+        return index
+
+
+class LeastLoadedPolicy(ShardPolicy):
+    """Send the request to the replica with the fewest in-flight requests.
+
+    Reads each replica server's :attr:`~repro.serve.server.Server.inflight`
+    gauge (queued + batching, not yet resolved); ties break to the lowest
+    index so the choice is deterministic under equal load.
+    """
+
+    name = "least-loaded"
+
+    def choose(self, replicas: Sequence["Replica"], key: Optional[str] = None) -> int:
+        return min(range(len(replicas)), key=lambda i: (replicas[i].inflight, i))
+
+
+class ConsistentHashPolicy(ShardPolicy):
+    """Stable key → replica mapping over a virtual-node hash ring.
+
+    Each replica id is hashed onto ``vnodes`` ring positions; a keyed
+    request lands on the first position at or after its own hash.  The
+    mapping depends only on the replica ids (``"<model>/<index>"``) and the
+    key, so it is reproducible across gateway instances and restarts, and
+    adding a replica remaps only ~``1/n`` of the key space.  Keyless
+    requests fall back to round-robin.
+    """
+
+    name = "consistent-hash"
+
+    def __init__(self, vnodes: int = 64) -> None:
+        if int(vnodes) < 1:
+            raise ValidationError("vnodes must be >= 1")
+        self._vnodes = int(vnodes)
+        self._ring: List[tuple[int, int]] = []
+        self._points: List[int] = []
+        self._fallback = RoundRobinPolicy()
+
+    def bind(self, replica_ids: Sequence[str]) -> None:
+        ring = [
+            (_hash64(f"{replica_id}#{v}"), index)
+            for index, replica_id in enumerate(replica_ids)
+            for v in range(self._vnodes)
+        ]
+        ring.sort()
+        self._ring = ring
+        self._points = [point for point, _ in ring]
+
+    def replica_for(self, key: str) -> int:
+        """The replica index a key maps to (pure function of bind() + key)."""
+        if not self._ring:
+            raise ValidationError("policy is not bound to a replica set yet")
+        slot = bisect_right(self._points, _hash64(key)) % len(self._ring)
+        return self._ring[slot][1]
+
+    def choose(self, replicas: Sequence["Replica"], key: Optional[str] = None) -> int:
+        if key is None:
+            return self._fallback.choose(replicas)
+        return self.replica_for(key)
+
+
+_POLICIES: Dict[str, Callable[[], ShardPolicy]] = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+    ConsistentHashPolicy.name: ConsistentHashPolicy,
+}
+
+
+def resolve_policy(policy: Union[str, ShardPolicy]) -> ShardPolicy:
+    """A fresh policy instance from a name, or the caller's own instance."""
+    if isinstance(policy, ShardPolicy):
+        return policy
+    try:
+        return _POLICIES[str(policy)]()
+    except KeyError:
+        raise ValidationError(
+            f"unknown shard policy {policy!r}; available: {sorted(_POLICIES)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# default replica network
+# ---------------------------------------------------------------------------
+
+
+class ArchiveMLP:
+    """Feed-forward stack straight over a runtime's archived fc layers.
+
+    The default replica network when a gateway model ships without a
+    ``network_factory`` — synthetic archives have weights but no trained
+    zoo network.  Layers apply in manifest order as ``h @ W.T`` (each
+    stored matrix is ``(out_features, in_features)``) with ReLU between
+    layers and a linear head; sparse-mode runtimes serve
+    :class:`~repro.nn.sparse.SparseWeight` operands and the stack runs the
+    compressed-domain CSC matmul instead.  Weights are pulled through the
+    runtime's decoded-layer cache on every forward pass, so the gateway's
+    cache-byte stats reflect real serving traffic.
+    """
+
+    def __init__(self, runtime: ModelRuntime) -> None:
+        self._runtime = runtime
+        self._names = list(runtime.layer_names)
+        if not self._names:
+            raise ValidationError("archive has no layers to serve")
+        shapes = [tuple(runtime.archive.manifest.layers[n].shape) for n in self._names]
+        for i in range(1, len(shapes)):
+            if shapes[i][1] != shapes[i - 1][0]:
+                raise ValidationError(
+                    f"archive layers do not chain into an MLP: "
+                    f"{self._names[i - 1]!r} is {shapes[i - 1][0]}x{shapes[i - 1][1]} "
+                    f"but {self._names[i]!r} expects {shapes[i][1]} inputs "
+                    f"({shapes[i][0]}x{shapes[i][1]})"
+                )
+        self._input_dim = int(shapes[0][1])
+        self._output_dim = int(shapes[-1][0])
+
+    @property
+    def input_dim(self) -> int:
+        return self._input_dim
+
+    @property
+    def output_dim(self) -> int:
+        return self._output_dim
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        h = np.asarray(x, dtype=np.float32)
+        if h.ndim == 1:
+            h = h[None, :]
+        last = len(self._names) - 1
+        for i, name in enumerate(self._names):
+            weight = self._runtime.layer(name)
+            if isinstance(weight, SparseWeight):
+                h = weight.matmul(h)
+            else:
+                h = h @ weight.T
+            if i != last:
+                np.maximum(h, 0.0, out=h)
+        return h
+
+
+# ---------------------------------------------------------------------------
+# replicas and per-model state
+# ---------------------------------------------------------------------------
+
+
+class Replica:
+    """One serving copy of a model: runtime + network + batching server.
+
+    Each replica owns an independent :class:`ModelRuntime` (its own archive
+    handle and decoded-layer cache) so replicas never contend on a shared
+    cache lock, and an independent :class:`Server` whose batching loop is
+    the replica's execution thread.
+    """
+
+    def __init__(
+        self,
+        model_name: str,
+        index: int,
+        runtime: ModelRuntime,
+        network,
+        *,
+        batch_size: int,
+        max_batch_delay: float,
+        install_weights: bool,
+    ) -> None:
+        self.id = f"{model_name}/{index}"
+        self.index = index
+        self.runtime = runtime
+        self.network = network
+        # ArchiveMLP pulls weights through the runtime cache per forward;
+        # factory networks get the decoded weights installed at start().
+        self.server = Server(
+            network,
+            runtime if install_weights else None,
+            batch_size=batch_size,
+            max_batch_delay=max_batch_delay,
+        )
+        self.dispatched = 0  # guarded by the owning model's lock
+
+    @property
+    def inflight(self) -> int:
+        return self.server.inflight
+
+
+@dataclass
+class _GatewayRequest:
+    x: np.ndarray
+    key: Optional[str]
+    future: Future
+    enqueued: float
+
+
+class _Model:
+    """Per-model gateway state: replicas, policy, admission, dispatcher."""
+
+    def __init__(
+        self,
+        name: str,
+        replicas: List[Replica],
+        policy: ShardPolicy,
+        *,
+        max_queue_depth: int,
+        max_concurrency: int,
+    ) -> None:
+        self.name = name
+        self.replicas = replicas
+        self.policy = policy
+        self.max_queue_depth = max_queue_depth
+        self.max_concurrency = max_concurrency
+        self.lock = threading.Lock()
+        self.accepting = False
+        self.queue: "queue.SimpleQueue[Optional[_GatewayRequest]]" = queue.SimpleQueue()
+        self.semaphore = threading.BoundedSemaphore(max_concurrency)
+        self.dispatcher: Optional[threading.Thread] = None
+        self.queued = 0  # admitted, not yet handed to a replica server
+        self.submitted = 0
+        self.completed = 0
+        self.failures = 0
+        self.rejected = 0
+        self.latencies: List[float] = []
+
+    def reset_for_run(self) -> None:
+        """Fresh queue/semaphore/counters for a new gateway run (stats are
+        per run, exactly like :class:`Server`'s)."""
+        self.queue = queue.SimpleQueue()
+        self.semaphore = threading.BoundedSemaphore(self.max_concurrency)
+        self.queued = 0
+        self.submitted = 0
+        self.completed = 0
+        self.failures = 0
+        self.rejected = 0
+        self.latencies = []
+        for replica in self.replicas:
+            replica.dispatched = 0
+        self.accepting = True
+
+
+# ---------------------------------------------------------------------------
+# statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReplicaStats:
+    """One replica's share of a model's traffic plus its serving internals."""
+
+    id: str
+    dispatched: int
+    inflight: int
+    cache_bytes: int
+    decodes: int
+    server: ServerStats
+
+    def as_dict(self) -> dict:
+        out = dict(self.__dict__)
+        out["server"] = self.server.as_dict()
+        return out
+
+
+@dataclass
+class ModelStats:
+    """One hosted model's admission, latency, and replica breakdown."""
+
+    name: str
+    policy: str
+    submitted: int = 0
+    completed: int = 0
+    failures: int = 0
+    rejected: int = 0
+    queue_depth: int = 0
+    max_queue_depth: int = 0
+    max_concurrency: int = 0
+    elapsed_seconds: float = 0.0
+    latencies_ms: Dict[str, float] = field(default_factory=dict)
+    replicas: List[ReplicaStats] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    @property
+    def rejection_rate(self) -> float:
+        offered = self.submitted + self.rejected
+        return self.rejected / offered if offered else 0.0
+
+    @property
+    def cache_bytes(self) -> int:
+        return int(sum(r.cache_bytes for r in self.replicas))
+
+    def as_dict(self) -> dict:
+        out = {k: v for k, v in self.__dict__.items() if k != "replicas"}
+        out["replicas"] = [r.as_dict() for r in self.replicas]
+        out["throughput_rps"] = self.throughput_rps
+        out["rejection_rate"] = self.rejection_rate
+        out["cache_bytes"] = self.cache_bytes
+        return out
+
+
+@dataclass
+class GatewayStats:
+    """Fleet-wide aggregates plus the per-model breakdown."""
+
+    elapsed_seconds: float = 0.0
+    submitted: int = 0
+    completed: int = 0
+    failures: int = 0
+    rejected: int = 0
+    cache_bytes: int = 0
+    latencies_ms: Dict[str, float] = field(default_factory=dict)
+    models: Dict[str, ModelStats] = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    @property
+    def rejection_rate(self) -> float:
+        offered = self.submitted + self.rejected
+        return self.rejected / offered if offered else 0.0
+
+    def as_dict(self) -> dict:
+        out = {k: v for k, v in self.__dict__.items() if k != "models"}
+        out["models"] = {name: m.as_dict() for name, m in self.models.items()}
+        out["throughput_rps"] = self.throughput_rps
+        out["rejection_rate"] = self.rejection_rate
+        return out
+
+
+# ---------------------------------------------------------------------------
+# the gateway
+# ---------------------------------------------------------------------------
+
+
+class Gateway:
+    """Multi-model serving front door with sharding and admission control.
+
+    Parameters
+    ----------
+    store:
+        Optional default :class:`~repro.store.ModelStore` that
+        ``add_model(digest=...)`` resolves content digests against.
+
+    Usage::
+
+        gateway = Gateway(store=store)
+        gateway.add_model("ranker", digest="ab12cd34", replicas=4,
+                          policy="least-loaded", max_queue_depth=128)
+        gateway.add_model("embedder", source="embedder.dsz", sparse=True,
+                          policy="consistent-hash")
+        with gateway:
+            future = gateway.submit("ranker", x, key=user_id)
+            probs = future.result()
+    """
+
+    def __init__(self, *, store=None) -> None:
+        self._store = store
+        self._models: Dict[str, _Model] = {}
+        self._gate_lock = threading.Lock()
+        self._running = False
+        self._closed = False
+        self._started_at = 0.0
+        self._stopped_at: Optional[float] = None
+
+    # -- model management --------------------------------------------------
+    def add_model(
+        self,
+        name: str,
+        source: Union[str, bytes, object, None] = None,
+        *,
+        digest: Optional[str] = None,
+        store=None,
+        replicas: int = 1,
+        sparse: bool = False,
+        network_factory: Optional[Callable[[], object]] = None,
+        policy: Union[str, ShardPolicy] = "round-robin",
+        max_queue_depth: int = 64,
+        max_concurrency: Optional[int] = None,
+        batch_size: int = 32,
+        max_batch_delay: float = 0.002,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        verify: bool = True,
+    ) -> None:
+        """Host a model behind the gateway under ``name``.
+
+        Exactly one of ``source`` (archive path / bytes / open archive /
+        :class:`CompressedModel`) or ``digest`` (resolved against a
+        :class:`ModelStore` — full digest or unique prefix, ``sha256:``
+        scheme accepted) must be given.  ``network_factory`` builds one
+        fresh network per replica (the replica's server installs the
+        decoded archive weights into it at start); without it the replica
+        serves an :class:`ArchiveMLP` directly over the archive.
+        ``max_concurrency`` defaults to two requests in service per
+        replica.  Models can only be added while the gateway is stopped.
+        """
+        if int(replicas) < 1:
+            raise ValidationError("replicas must be >= 1")
+        if int(max_queue_depth) < 1:
+            raise ValidationError("max_queue_depth must be >= 1")
+        if max_concurrency is None:
+            max_concurrency = 2 * int(replicas)
+        if int(max_concurrency) < 1:
+            raise ValidationError("max_concurrency must be >= 1")
+        if (source is None) == (digest is None):
+            raise ValidationError("pass exactly one of source= or digest=")
+        with self._gate_lock:
+            if self._closed:
+                raise ValidationError("gateway is closed")
+            if self._running:
+                raise ValidationError(
+                    "cannot add models while the gateway is running (stop() first)"
+                )
+            if name in self._models:
+                raise ValidationError(f"gateway already hosts a model named {name!r}")
+
+            if digest is not None:
+                resolved_store = store if store is not None else self._store
+                if resolved_store is None:
+                    raise ValidationError(
+                        "digest= needs a store (Gateway(store=...) or add_model(store=...))"
+                    )
+                source = resolved_store.get_bytes(resolved_store.resolve(digest))
+            if isinstance(source, CompressedModel):
+                # Encode the container once, not once per replica.
+                source = archive_bytes(source)
+
+            pool: List[Replica] = []
+            try:
+                for index in range(int(replicas)):
+                    runtime = ModelRuntime(
+                        source, cache_bytes=cache_bytes, verify=verify, sparse=sparse
+                    )
+                    network = (
+                        network_factory() if network_factory is not None
+                        else ArchiveMLP(runtime)
+                    )
+                    pool.append(
+                        Replica(
+                            name,
+                            index,
+                            runtime,
+                            network,
+                            batch_size=batch_size,
+                            max_batch_delay=max_batch_delay,
+                            install_weights=network_factory is not None,
+                        )
+                    )
+            except BaseException:
+                for replica in pool:
+                    replica.runtime.close()
+                raise
+
+            shard_policy = resolve_policy(policy)
+            shard_policy.bind([replica.id for replica in pool])
+            self._models[name] = _Model(
+                name,
+                pool,
+                shard_policy,
+                max_queue_depth=int(max_queue_depth),
+                max_concurrency=int(max_concurrency),
+            )
+
+    def models(self) -> List[str]:
+        with self._gate_lock:
+            return list(self._models)
+
+    def _model(self, name: str) -> _Model:
+        try:
+            return self._models[name]
+        except KeyError:
+            raise ValidationError(
+                f"gateway hosts no model named {name!r}; "
+                f"available: {sorted(self._models)}"
+            ) from None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "Gateway":
+        """Start every replica server and one dispatcher thread per model."""
+        with self._gate_lock:
+            if self._closed:
+                raise ValidationError("gateway is closed")
+            if self._running:
+                return self
+            if not self._models:
+                raise ValidationError("gateway hosts no models (call add_model())")
+            started: List[Server] = []
+            try:
+                for entry in self._models.values():
+                    for replica in entry.replicas:
+                        replica.server.start()
+                        started.append(replica.server)
+            except BaseException:
+                # A failed weight install leaves the gateway cleanly
+                # stopped; start() can be retried.
+                for server in started:
+                    server.stop()
+                raise
+            for entry in self._models.values():
+                entry.reset_for_run()
+                entry.dispatcher = threading.Thread(
+                    target=self._dispatch_loop,
+                    args=(entry,),
+                    name=f"repro-gateway-{entry.name}",
+                    daemon=True,
+                )
+                entry.dispatcher.start()
+            self._running = True
+            self._started_at = time.perf_counter()
+            self._stopped_at = None
+        return self
+
+    def stop(self) -> None:
+        """Close admission, drain every accepted request, stop the fleet.
+
+        The shutdown sentinel enters each model's queue under the same lock
+        ``submit`` enqueues under, so every accepted request sits ahead of
+        it; dispatchers hand their backlog to the replica servers before
+        exiting, and ``Server.stop`` drains those — every future returned
+        by ``submit`` resolves.
+        """
+        with self._gate_lock:
+            if not self._running:
+                return
+            self._running = False
+            entries = list(self._models.values())
+        for entry in entries:
+            with entry.lock:
+                entry.accepting = False
+                entry.queue.put(None)
+        for entry in entries:
+            if entry.dispatcher is not None:
+                entry.dispatcher.join()
+                entry.dispatcher = None
+        for entry in entries:
+            for replica in entry.replicas:
+                replica.server.stop()
+        self._stopped_at = time.perf_counter()
+
+    def close(self) -> None:
+        """Stop (if running) and release every replica runtime."""
+        self.stop()
+        with self._gate_lock:
+            if self._closed:
+                return
+            self._closed = True
+            for entry in self._models.values():
+                for replica in entry.replicas:
+                    replica.runtime.close()
+
+    def __enter__(self) -> "Gateway":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- request path ------------------------------------------------------
+    def submit(self, model: str, x: np.ndarray, *, key: Optional[str] = None) -> Future:
+        """Enqueue one sample for ``model``; the future resolves to its
+        output row.
+
+        ``key`` is the shard key (consistent-hash policies route by it;
+        others ignore it).  Raises :class:`GatewayOverloaded` immediately —
+        never blocks — when the model's bounded queue is full, and
+        :class:`ValidationError` when the gateway is not running.
+        """
+        entry = self._model(model)
+        request = _GatewayRequest(
+            x=np.asarray(x, dtype=np.float32),
+            key=key,
+            future=Future(),
+            enqueued=time.perf_counter(),
+        )
+        with entry.lock:
+            if not entry.accepting:
+                raise ValidationError("gateway is not running (call start())")
+            if entry.queued >= entry.max_queue_depth:
+                entry.rejected += 1
+                raise GatewayOverloaded(
+                    f"model {model!r} is saturated: gateway queue is at its "
+                    f"depth limit of {entry.max_queue_depth}; retry with "
+                    "backoff or shed load"
+                )
+            entry.queued += 1
+            entry.submitted += 1
+            # Enqueue under the admission lock so no request can land
+            # behind stop()'s shutdown sentinel.
+            entry.queue.put(request)
+        return request.future
+
+    def submit_many(
+        self,
+        model: str,
+        xs: Sequence[np.ndarray],
+        *,
+        keys: Optional[Sequence[Optional[str]]] = None,
+    ) -> List[Future]:
+        """Enqueue a sequence of samples (``keys`` parallels ``xs``)."""
+        if keys is not None and len(keys) != len(xs):
+            raise ValidationError("keys must parallel xs")
+        return [
+            self.submit(model, x, key=keys[i] if keys is not None else None)
+            for i, x in enumerate(xs)
+        ]
+
+    def infer(
+        self, model: str, x: np.ndarray, *, key: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Synchronous single-sample inference through the gateway."""
+        return self.submit(model, x, key=key).result(timeout=timeout)
+
+    def queue_depth(self, model: str) -> int:
+        """Requests admitted for ``model`` but not yet handed to a replica."""
+        entry = self._model(model)
+        with entry.lock:
+            return entry.queued
+
+    # -- dispatch ----------------------------------------------------------
+    def _dispatch_loop(self, entry: _Model) -> None:
+        # One dispatcher per model: pops admitted requests, waits for a
+        # concurrency slot, routes by the shard policy, and hands off to
+        # the replica's batching server.  Exits only via the sentinel, so
+        # everything admitted before stop() is dispatched before it dies.
+        while True:
+            request = entry.queue.get()
+            if request is None:
+                return
+            entry.semaphore.acquire()
+            dequeued = False
+            try:
+                index = int(entry.policy.choose(entry.replicas, request.key))
+                replica = entry.replicas[index]
+                with entry.lock:
+                    entry.queued -= 1
+                    replica.dispatched += 1
+                dequeued = True
+                inner = replica.server.submit(request.x)
+            except BaseException as exc:
+                # A failing shard policy (or replica submit) must not leak
+                # the admission counter, or the model saturates forever.
+                with entry.lock:
+                    entry.failures += 1
+                    if not dequeued:
+                        entry.queued -= 1
+                entry.semaphore.release()
+                request.future.set_exception(exc)
+                continue
+            inner.add_done_callback(
+                lambda f, req=request, e=entry: self._complete(e, req, f)
+            )
+
+    def _complete(self, entry: _Model, request: _GatewayRequest, inner: Future) -> None:
+        done = time.perf_counter()
+        exc = inner.exception()
+        with entry.lock:
+            entry.latencies.append(done - request.enqueued)
+            if exc is None:
+                entry.completed += 1
+            else:
+                entry.failures += 1
+        # Free the concurrency slot before waking the caller so a resolved
+        # future's owner can immediately submit into the freed capacity.
+        entry.semaphore.release()
+        if exc is None:
+            request.future.set_result(inner.result())
+        else:
+            request.future.set_exception(exc)
+
+    # -- statistics --------------------------------------------------------
+    def stats(self) -> GatewayStats:
+        end = self._stopped_at if self._stopped_at is not None else time.perf_counter()
+        elapsed = max(end - self._started_at, 0.0) if self._started_at else 0.0
+        total = GatewayStats(elapsed_seconds=elapsed)
+        all_latencies: List[float] = []
+        with self._gate_lock:
+            entries = list(self._models.values())
+        for entry in entries:
+            with entry.lock:
+                latencies = list(entry.latencies)
+                model = ModelStats(
+                    name=entry.name,
+                    policy=entry.policy.name,
+                    submitted=entry.submitted,
+                    completed=entry.completed,
+                    failures=entry.failures,
+                    rejected=entry.rejected,
+                    queue_depth=entry.queued,
+                    max_queue_depth=entry.max_queue_depth,
+                    max_concurrency=entry.max_concurrency,
+                    elapsed_seconds=elapsed,
+                )
+                dispatched = [replica.dispatched for replica in entry.replicas]
+            model.latencies_ms = latency_percentiles(latencies)
+            model.replicas = [
+                ReplicaStats(
+                    id=replica.id,
+                    dispatched=count,
+                    inflight=replica.inflight,
+                    cache_bytes=replica.runtime.resident_bytes,
+                    decodes=replica.runtime.stats().decodes,
+                    server=replica.server.stats(),
+                )
+                for replica, count in zip(entry.replicas, dispatched)
+            ]
+            all_latencies.extend(latencies)
+            total.models[entry.name] = model
+            total.submitted += model.submitted
+            total.completed += model.completed
+            total.failures += model.failures
+            total.rejected += model.rejected
+            total.cache_bytes += model.cache_bytes
+        total.latencies_ms = latency_percentiles(all_latencies)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ", ".join(
+            f"{name}x{len(entry.replicas)}" for name, entry in self._models.items()
+        )
+        state = "running" if self._running else ("closed" if self._closed else "stopped")
+        return f"<Gateway {state} [{names}]>"

@@ -139,6 +139,13 @@ class ModelRuntime:
     def layer_names(self) -> list[str]:
         return self._archive.layer_names
 
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently held by the decoded-layer cache (dense ``nbytes``
+        or true CSC footprint in sparse mode) — what a serving gateway
+        reports as this replica's memory cost."""
+        return int(self._cache.current_bytes)
+
     def stats(self) -> RuntimeStats:
         with self._stats_lock:
             return RuntimeStats(

@@ -34,9 +34,20 @@ import numpy as np
 from repro.serve.runtime import ModelRuntime
 from repro.utils.errors import ValidationError
 
-__all__ = ["ServerStats", "Server"]
+__all__ = ["ServerStats", "Server", "latency_percentiles"]
 
 _PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def latency_percentiles(latencies_s: Sequence[float]) -> Dict[str, float]:
+    """p50/p90/p99 of per-request latencies, in milliseconds.
+
+    The one formatting of latency distributions every serving stats surface
+    (server, gateway models, gateway aggregate) reports."""
+    if not latencies_s:
+        return {}
+    values = np.percentile(np.asarray(latencies_s) * 1e3, _PERCENTILES)
+    return {f"p{int(p)}": float(v) for p, v in zip(_PERCENTILES, values)}
 
 
 @dataclass
@@ -108,6 +119,7 @@ class Server:
         self._latencies: List[float] = []
         self._batch_sizes: List[int] = []
         self._failures = 0
+        self._inflight = 0
         self._started_at = 0.0
         self._stopped_at: Optional[float] = None
 
@@ -139,6 +151,7 @@ class Server:
             self._latencies = []
             self._batch_sizes = []
             self._failures = 0
+            self._inflight = 0
             self._started_at = time.perf_counter()
             self._stopped_at = None
             self._worker = threading.Thread(
@@ -186,6 +199,7 @@ class Server:
         with self._lock:
             if not self._running:
                 raise ValidationError("server is not running (call start())")
+            self._inflight += 1
             self._queue.put(request)
         return request.future
 
@@ -261,6 +275,16 @@ class Server:
     def _record_latency(self, req: _Request, done: float) -> None:
         with self._lock:
             self._latencies.append(done - req.enqueued)
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        """Accepted requests not yet resolved (queued + in the current batch).
+
+        The load signal a multi-replica gateway's least-loaded shard policy
+        reads; sampled without joining the worker, so it is advisory."""
+        with self._lock:
+            return self._inflight
 
     # -- statistics --------------------------------------------------------
     def stats(self) -> ServerStats:
@@ -270,12 +294,7 @@ class Server:
             failures = self._failures
         end = self._stopped_at if self._stopped_at is not None else time.perf_counter()
         elapsed = max(end - self._started_at, 0.0) if self._started_at else 0.0
-        percentiles: Dict[str, float] = {}
-        if latencies:
-            values = np.percentile(np.asarray(latencies) * 1e3, _PERCENTILES)
-            percentiles = {
-                f"p{int(p)}": float(v) for p, v in zip(_PERCENTILES, values)
-            }
+        percentiles = latency_percentiles(latencies)
         return ServerStats(
             requests=len(latencies),
             batches=len(batch_sizes),

@@ -238,6 +238,31 @@ class ModelStore:
                 )
             ]
 
+    def resolve(self, prefix: str) -> str:
+        """Expand a digest prefix to the unique full digest it names.
+
+        Serving front-ends address models by digest, and humans hand those
+        around truncated (``sha256:ab12cd…``); this resolves a prefix of at
+        least 4 hex chars, raising when it matches no object or more than
+        one.  An optional ``sha256:`` scheme prefix is accepted and
+        stripped.
+        """
+        prefix = prefix.lower().removeprefix("sha256:")
+        if len(prefix) < 4 or not all(c in "0123456789abcdef" for c in prefix):
+            raise ValidationError(
+                f"digest prefix must be >= 4 hex chars, got {prefix!r}"
+            )
+        with self._lock:
+            matches = [d for d in self._index if d.startswith(prefix)]
+        if not matches:
+            raise ValidationError(f"store has no object with digest prefix {prefix!r}")
+        if len(matches) > 1:
+            raise ValidationError(
+                f"digest prefix {prefix!r} is ambiguous: "
+                f"{', '.join(d[:16] + '…' for d in sorted(matches))}"
+            )
+        return matches[0]
+
     def _touch_locked(self, digest: str) -> None:
         """Bump an object's recency; persist the index at most once per
         second (touches are hot-path metadata — losing the last second of

@@ -36,6 +36,18 @@ class IntegrityError(DecompressionError):
     catches it; raised by the content-addressed store and archive readers."""
 
 
+class GatewayOverloaded(ReproError, RuntimeError):
+    """Admission control rejected a request because the target model's queue
+    is full — the serving gateway's ``429 Too Many Requests``.
+
+    Raised *synchronously* by :meth:`repro.serve.Gateway.submit` so callers
+    can back off or shed load instead of piling latency onto a saturated
+    model; :attr:`status_code` carries the HTTP-style code for front-ends
+    that translate gateway errors into wire responses."""
+
+    status_code = 429
+
+
 class TrainingError(ReproError, RuntimeError):
     """Neural-network training diverged or was mis-configured."""
 

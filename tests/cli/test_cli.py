@@ -105,6 +105,55 @@ class TestCommands:
         assert main(["verify", str(archive_path), "--checksums-only"]) == 0
         assert "crc ok" in capsys.readouterr().out
 
+    def test_gateway_bench_json(self, capsys):
+        code = main(
+            [
+                "gateway-bench",
+                "--models", "2",
+                "--synthetic", "fc6=48x80:0.1,fc7=32x48:0.2",
+                "--replicas", "1,2",
+                "--clients", "2",
+                "--requests", "8",
+                "--sparse", "mixed",
+                "--queue-depth", "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        sweep = json.loads(capsys.readouterr().out)
+        assert set(sweep) == {"1", "2"}
+        for result in sweep.values():
+            assert result["completed"] == 16
+            assert result["models"] == 2
+        # The saturation burst runs at the largest pool only, and a depth-2
+        # queue must shed most of an open-loop burst.
+        assert "saturation" not in sweep["1"]
+        assert sweep["2"]["saturation"]["rejected"] > 0
+
+    def test_gateway_bench_table(self, capsys):
+        code = main(
+            [
+                "gateway-bench",
+                "--models", "1",
+                "--synthetic", "fc6=48x80:0.1,fc7=32x48:0.2",
+                "--replicas", "1",
+                "--clients", "1",
+                "--requests", "4",
+                "--sparse", "all",
+                "--policy", "consistent-hash",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "gateway: 1 sparse model(s)" in out
+        assert "saturation @ queue depth" in out
+
+    def test_gateway_bench_validation(self, capsys):
+        assert main(["gateway-bench", "--models", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert main(["gateway-bench", "--replicas", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
+
     def test_error_exit_code(self, tmp_path, capsys):
         missing = tmp_path / "nope.dsz"
         assert main(["inspect", str(missing)]) == 1

@@ -1,0 +1,57 @@
+"""Shared fixtures and synchronisation helpers for the serve test suite.
+
+Concurrency tests in this package must never synchronise on fixed
+``time.sleep`` waits — a loaded CI runner turns every "sleep long enough"
+constant into a flake.  The two sanctioned tools are:
+
+* :func:`poll_until` — poll a predicate against a hard deadline (available
+  directly or via the ``wait_until`` fixture);
+* ``threading.Event`` gates inside test doubles (see the gateway tests'
+  blocking network), so a test *controls* when work proceeds instead of
+  guessing how long it takes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import pytest
+
+from repro.store import archive_bytes
+
+
+def poll_until(
+    predicate: Callable[[], object],
+    *,
+    timeout: float = 10.0,
+    interval: float = 0.002,
+    message: str = "condition",
+):
+    """Poll ``predicate`` until truthy; raise AssertionError at the deadline.
+
+    Returns the first truthy value, so it doubles as a fetch: e.g.
+    ``stats = poll_until(lambda: s if s.requests == 3 else None)``.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                f"timed out after {timeout:.1f}s waiting for {message}"
+            )
+        time.sleep(interval)
+
+
+@pytest.fixture()
+def wait_until():
+    """The deadline-polling helper, as a fixture for convenience."""
+    return poll_until
+
+
+@pytest.fixture(scope="module")
+def archive_blob(small_compressed_model):
+    """The session model as archive bytes (chained fc6->fc7->fc8 MLP)."""
+    return archive_bytes(small_compressed_model)

@@ -63,6 +63,43 @@ class TestPutGet:
         assert reopened.get_bytes(digest) == blob
 
 
+class TestResolve:
+    def test_prefix_resolves_to_full_digest(self, tmp_path, blob):
+        store = ModelStore(tmp_path / "store")
+        digest = store.put_bytes(blob)
+        assert store.resolve(digest) == digest
+        assert store.resolve(digest[:8]) == digest
+        assert store.resolve(f"sha256:{digest[:12]}") == digest
+        assert store.resolve(digest[:8].upper()) == digest
+
+    def test_unknown_and_invalid_prefixes(self, tmp_path, blob):
+        store = ModelStore(tmp_path / "store")
+        digest = store.put_bytes(blob)
+        missing = ("0000" if not digest.startswith("0000") else "ffff")
+        with pytest.raises(ValidationError, match="no object"):
+            store.resolve(missing)
+        with pytest.raises(ValidationError, match=">= 4 hex chars"):
+            store.resolve(digest[:3])
+        with pytest.raises(ValidationError, match=">= 4 hex chars"):
+            store.resolve("not-hex!")
+
+    def test_ambiguous_prefix(self, tmp_path, blob):
+        store = ModelStore(tmp_path / "store")
+        digest = store.put_bytes(blob)
+        # A second object sharing the first 4 hex chars makes that prefix
+        # ambiguous; fake the sibling through the index (contents are
+        # irrelevant to prefix matching).
+        sibling = digest[:4] + ("0" * 60 if digest[4] != "0" else "f" * 60)
+        path = store._object_path(sibling)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"sibling")
+        store._index[sibling] = store._index[digest]
+        with pytest.raises(ValidationError, match="ambiguous"):
+            store.resolve(digest[:4])
+        # Longer prefixes that only one object matches still resolve.
+        assert store.resolve(digest[:8]) == digest
+
+
 class TestIntegrity:
     def test_corrupted_object_detected_on_read(self, tmp_path, blob):
         store = ModelStore(tmp_path / "store")
