@@ -13,14 +13,20 @@ multi-layer model:
 
 A second experiment drives the multi-model :class:`repro.serve.Gateway`
 over a chained synthetic MLP and sweeps the replica pool 1 -> 2 -> 4 under
-closed-loop client load.  On a machine with >= 4 cores the aggregate
-throughput must rise monotonically and reach >=
-``REPRO_GATEWAY_MIN_SCALING``x (default 2.0) at 4 replicas; on smaller
-machines the bar auto-relaxes (replica threads cannot beat the core count)
-down to a non-collapse check.  The sweep ends with an open-loop saturation
-burst against a depth-8 admission queue, asserting that overload produces
-*fast-fail rejections* (bounded queue) rather than unbounded latency for
-the admitted requests.
+closed-loop client load.  The sweep runs on the ``REPRO_GATEWAY_BACKEND``
+replica backend — default ``process``: worker processes serving zero-copy
+from the shared-memory weight cache, the configuration whose throughput
+can actually rise with the pool because replicas stop sharing one GIL.
+When the primary sweep is process-backed, a second ``thread``-backend
+sweep runs under identical load for the thread-vs-process comparison (and
+so the thread numbers stay gated against their own baseline).  On a
+machine with >= 4 cores the aggregate throughput must rise monotonically
+and reach >= ``REPRO_GATEWAY_MIN_SCALING``x (default 2.0) at 4 replicas;
+on smaller machines the bar auto-relaxes (replica workers cannot beat the
+core count) down to a non-collapse check.  The sweep ends with an
+open-loop saturation burst against a depth-8 admission queue, asserting
+that overload produces *fast-fail rejections* (bounded queue) rather than
+unbounded latency for the admitted requests.
 
 Results are rendered to ``benchmarks/results/bench_serving.txt`` and the raw
 numbers to ``benchmarks/results/bench_serving.json``.  ``REPRO_SCALE=full``
@@ -98,19 +104,22 @@ def _usable_cores() -> int:
     return os.cpu_count() or 1  # macOS/Windows
 
 
-def bench_gateway_scaling() -> dict:
-    """Sweep gateway replicas 1 -> 4; assert scaling + bounded overload."""
-    cores = _usable_cores()
-    clients = 4 if _smoke() else 8
-    requests_per_client = 32 if _smoke() else 96
-    burst = 16
-    # Two models, one dense and one compressed-domain sparse, to exercise
-    # the multi-model path under the same load the assertions read.
-    sources = {"dense": _gateway_archive(seed=1), "sparse": _gateway_archive(seed=2)}
-    sparse_flags = {"dense": False, "sparse": True}
+def _gateway_backend() -> str:
+    backend = os.environ.get("REPRO_GATEWAY_BACKEND", "process")
+    if backend not in ("thread", "process"):
+        raise SystemExit(
+            f"REPRO_GATEWAY_BACKEND={backend!r} is not one of: thread, process"
+        )
+    return backend
 
+
+def _replica_sweep(
+    sources, sparse_flags, *, backend, clients, requests_per_client, burst,
+    saturate_last=True,
+) -> dict:
     sweep: dict = {}
     for count in _REPLICA_SWEEP:
+        saturate = saturate_last and count == _REPLICA_SWEEP[-1]
         sweep[str(count)] = gateway_benchmark(
             sources,
             replicas=count,
@@ -120,12 +129,32 @@ def bench_gateway_scaling() -> dict:
             policy="round-robin",
             sparse=sparse_flags,
             batch_size=16,
+            backend=backend,
             # The sweep varies replicas only: a generous in-service cap
             # keeps admission control out of the scaling measurement.
             max_concurrency=clients * burst,
             seed=0,
-            saturation_queue_depth=8 if count == _REPLICA_SWEEP[-1] else None,
+            saturation_queue_depth=8 if saturate else None,
         )
+    return sweep
+
+
+def bench_gateway_scaling() -> dict:
+    """Sweep gateway replicas 1 -> 4; assert scaling + bounded overload."""
+    cores = _usable_cores()
+    backend = _gateway_backend()
+    clients = 4 if _smoke() else 8
+    requests_per_client = 32 if _smoke() else 96
+    burst = 16
+    # Two models, one dense and one compressed-domain sparse, to exercise
+    # the multi-model path under the same load the assertions read.
+    sources = {"dense": _gateway_archive(seed=1), "sparse": _gateway_archive(seed=2)}
+    sparse_flags = {"dense": False, "sparse": True}
+
+    sweep = _replica_sweep(
+        sources, sparse_flags, backend=backend,
+        clients=clients, requests_per_client=requests_per_client, burst=burst,
+    )
 
     rates = [sweep[str(count)]["throughput_rps"] for count in _REPLICA_SWEEP]
     scaling = rates[-1] / rates[0] if rates[0] else 0.0
@@ -145,8 +174,8 @@ def bench_gateway_scaling() -> dict:
         ["replicas", "aggregate throughput", "p50", "p99"],
         rows,
         title=(
-            f"gateway scaling: 2 models (dense + sparse), {clients} clients, "
-            f"{cores} core(s)"
+            f"gateway scaling [{backend} backend]: 2 models (dense + sparse), "
+            f"{clients} clients, {cores} core(s)"
         ),
     )
     text += (
@@ -201,7 +230,8 @@ def bench_gateway_scaling() -> dict:
         f"admitted-request p99 exploded under saturation: {saturation}"
     )
 
-    return {
+    result = {
+        "backend": backend,
         "cores": cores,
         "clients": clients,
         "requests_per_client": requests_per_client,
@@ -211,6 +241,35 @@ def bench_gateway_scaling() -> dict:
         "saturation": saturation,
         "sweep": sweep,
     }
+
+    # Thread-vs-process comparison: when the primary sweep is process-backed
+    # the thread backend re-runs under identical load, report-only (no
+    # scaling asserts — it shares one GIL by design) but still extracted to
+    # gated baseline metrics so the thread path keeps its current numbers.
+    if backend == "process":
+        thread_sweep = _replica_sweep(
+            sources, sparse_flags, backend="thread",
+            clients=clients, requests_per_client=requests_per_client,
+            burst=burst, saturate_last=False,
+        )
+        thread_rates = [
+            thread_sweep[str(count)]["throughput_rps"] for count in _REPLICA_SWEEP
+        ]
+        thread_scaling = thread_rates[-1] / thread_rates[0] if thread_rates[0] else 0.0
+        result["thread_comparison"] = {
+            "throughput_rps": {
+                str(c): r for c, r in zip(_REPLICA_SWEEP, thread_rates)
+            },
+            "scaling_4v1": thread_scaling,
+        }
+        top = _REPLICA_SWEEP[-1]
+        ratio = rates[-1] / thread_rates[-1] if thread_rates[-1] else 0.0
+        print(
+            f"process vs thread @ {top} replicas: {rates[-1]:,.0f} vs "
+            f"{thread_rates[-1]:,.0f} req/s ({ratio:.2f}x) on {cores} core(s)"
+        )
+
+    return result
 
 
 def bench_serving_cold_vs_warm() -> None:

@@ -16,6 +16,15 @@ the CI job runs with a generous threshold that still catches collapse-class
 regressions, while a local run against baselines recorded on the same
 machine uses the tight default.
 
+Parallelism-dependent metrics (the baseline's ``core_scaled`` map, e.g.
+the gateway 4-replica scaling ratio) additionally honour the ``host_cores``
+stamp both artifacts carry: when the fresh run had fewer usable cores than
+the recording machine, the expectation is scaled down by
+``min(fresh_cores, cap) / min(baseline_cores, cap)``.  The adjustment only
+ever *relaxes* (factor capped at 1.0) — a fresh run on a bigger machine is
+still compared against the recorded baseline, never held to an
+extrapolated one.
+
 Exit status: 0 when every gated metric is within the threshold, 1 otherwise
 (or when a fresh artifact is missing entirely).
 """
@@ -47,6 +56,9 @@ def compare_suite(
     gate = set(baseline.get("gate", []))
     directions = baseline.get("directions", {})
     fresh_metrics = fresh.get("metrics", {})
+    core_scaled = baseline.get("core_scaled", {})
+    base_cores = baseline.get("host_cores")
+    fresh_cores = fresh.get("host_cores")
     rows: List[list] = []
     failures: List[str] = []
     for name, base_value in sorted(baseline.get("metrics", {}).items()):
@@ -56,9 +68,19 @@ def compare_suite(
                 rows.append([name, base_value, None, None, "MISSING"])
             continue
         fresh_value = fresh_metrics[name]
-        if base_value:
+        expected = base_value
+        core_adjusted = False
+        if name in core_scaled and base_cores and fresh_cores:
+            # Relax-only core scaling: a parallelism metric recorded on a
+            # big reference machine cannot materialise on a small runner.
+            cap = core_scaled[name]
+            factor = min(1.0, min(fresh_cores, cap) / min(base_cores, cap))
+            if factor < 1.0:
+                expected = base_value * factor
+                core_adjusted = True
+        if expected:
             # Positive delta = improvement in the metric's own direction.
-            change = (fresh_value - base_value) / abs(base_value) * 100.0
+            change = (fresh_value - expected) / abs(expected) * 100.0
             if directions.get(name, "higher") == "lower":
                 change = -change
             delta = change
@@ -67,11 +89,18 @@ def compare_suite(
         gated = name in gate
         regressed = gated and delta < -threshold_pct
         verdict = "FAIL" if regressed else ("ok" if gated else "info")
+        if core_adjusted:
+            verdict += f" (core-adj x{factor:.2f})"
         rows.append([name, base_value, fresh_value, delta, verdict])
         if regressed:
+            adjusted_note = (
+                f" [expectation core-scaled to {expected:.4g} for "
+                f"{fresh_cores} core(s)]" if core_adjusted else ""
+            )
             failures.append(
                 f"{name}: {base_value:.4g} -> {fresh_value:.4g} "
                 f"({delta:+.1f}% vs the -{threshold_pct:.0f}% limit)"
+                f"{adjusted_note}"
             )
     return rows, failures
 

@@ -28,7 +28,9 @@ Subcommands
     policy, under closed-loop client load — swept over a list of replica
     counts — followed by an open-loop saturation burst against a tiny
     admission queue that shows bounded-queue rejection instead of latency
-    collapse.
+    collapse.  ``--backend process`` runs the replicas as GIL-free worker
+    processes over the shared-memory weight cache (``both`` prints a
+    thread-vs-process comparison).
 ``assess``
     Run Step 2 (error-bound assessment, Algorithm 1) on a zoo model with
     the parallel activation-reuse engine and print the per-layer
@@ -287,41 +289,51 @@ def _cmd_gateway_bench(args: argparse.Namespace) -> int:
             args.sparse == "mixed" and index % 2 == 1
         )
 
-    sweep: Dict[str, Dict] = {}
-    for count in replica_counts:
-        sweep[str(count)] = gateway_benchmark(
-            sources,
-            replicas=count,
-            clients=args.clients,
-            requests_per_client=args.requests,
-            policy=args.policy,
-            sparse=sparse_flags,
-            batch_size=args.batch_size,
-            seed=args.seed,
-            saturation_queue_depth=(
-                args.queue_depth if count == replica_counts[-1] else None
-            ),
-        )
+    backends = ["thread", "process"] if args.backend == "both" else [args.backend]
+    by_backend: Dict[str, Dict[str, Dict]] = {}
+    for backend in backends:
+        sweep: Dict[str, Dict] = {}
+        for count in replica_counts:
+            sweep[str(count)] = gateway_benchmark(
+                sources,
+                replicas=count,
+                clients=args.clients,
+                requests_per_client=args.requests,
+                policy=args.policy,
+                sparse=sparse_flags,
+                batch_size=args.batch_size,
+                seed=args.seed,
+                backend=backend,
+                saturation_queue_depth=(
+                    args.queue_depth if count == replica_counts[-1] else None
+                ),
+            )
+        by_backend[backend] = sweep
 
     if args.json:
-        print(json.dumps(sweep, indent=2, sort_keys=True))
+        # Single-backend output keeps the historical {replicas: result}
+        # shape; --backend both nests it per backend.
+        payload = by_backend[backends[0]] if len(backends) == 1 else by_backend
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
 
     mode = {"none": "dense", "all": "sparse", "mixed": "mixed dense/sparse"}[args.sparse]
     rows = []
-    for count, result in sweep.items():
-        rows.append(
-            [
-                count,
-                f"{result['throughput_rps']:,.0f} req/s",
-                f"{result['latency_ms'].get('p50', 0.0):.2f} ms",
-                f"{result['latency_ms'].get('p99', 0.0):.2f} ms",
-                format_bytes(result["cache_bytes"]),
-            ]
-        )
+    for backend in backends:
+        for count, result in by_backend[backend].items():
+            rows.append(
+                [
+                    backend,
+                    count,
+                    f"{result['throughput_rps']:,.0f} req/s",
+                    f"{result['latency_ms'].get('p50', 0.0):.2f} ms",
+                    f"{result['latency_ms'].get('p99', 0.0):.2f} ms",
+                    format_bytes(result["cache_bytes"] + result.get("shared_bytes", 0)),
+                ]
+            )
     print(
         render_table(
-            ["replicas", "throughput", "p50", "p99", "resident cache"],
+            ["backend", "replicas", "throughput", "p50", "p99", "resident"],
             rows,
             title=(
                 f"gateway: {args.models} {mode} model(s), policy {args.policy!r}, "
@@ -329,15 +341,27 @@ def _cmd_gateway_bench(args: argparse.Namespace) -> int:
             ),
         )
     )
-    saturation = sweep[str(replica_counts[-1])].get("saturation")
-    if saturation:
+    if len(backends) == 2:
+        # Thread-vs-process headline: the speedup at the largest pool.
+        top = str(replica_counts[-1])
+        thread_rps = by_backend["thread"][top]["throughput_rps"]
+        process_rps = by_backend["process"][top]["throughput_rps"]
+        ratio = process_rps / thread_rps if thread_rps else float("inf")
         print(
-            f"saturation @ queue depth {saturation['queue_depth_limit']}: "
-            f"{saturation['offered']} offered -> {saturation['admitted']} admitted, "
-            f"{saturation['rejected']} fast-fail rejected "
-            f"({saturation['rejection_rate']:.0%}); admitted p99 "
-            f"{saturation['latency_ms'].get('p99', 0.0):.1f} ms"
+            f"process vs thread @ {top} replicas: "
+            f"{process_rps:,.0f} vs {thread_rps:,.0f} req/s ({ratio:.2f}x)"
         )
+    for backend in backends:
+        saturation = by_backend[backend][str(replica_counts[-1])].get("saturation")
+        if saturation:
+            print(
+                f"[{backend}] saturation @ queue depth "
+                f"{saturation['queue_depth_limit']}: "
+                f"{saturation['offered']} offered -> {saturation['admitted']} admitted, "
+                f"{saturation['rejected']} fast-fail rejected "
+                f"({saturation['rejection_rate']:.0%}); admitted p99 "
+                f"{saturation['latency_ms'].get('p99', 0.0):.1f} ms"
+            )
     return 0
 
 
@@ -529,6 +553,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard policy for every model")
     p.add_argument("--sparse", default="mixed", choices=["none", "mixed", "all"],
                    help="serve models dense, mixed (odd models sparse), or all sparse")
+    p.add_argument("--backend", default="thread",
+                   choices=["thread", "process", "both"],
+                   help="replica backend: in-process threads, GIL-free worker "
+                        "processes over the shared-memory weight cache, or "
+                        "both for a side-by-side comparison")
     p.add_argument("--batch-size", type=int, default=16,
                    help="replica server dynamic-batching size")
     p.add_argument("--queue-depth", type=int, default=8,

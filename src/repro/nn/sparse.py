@@ -78,6 +78,36 @@ class SparseWeight:
         return cls(sparse_to_scipy(layer, data=layer.data if data is None else data))
 
     @classmethod
+    def from_csc_arrays(
+        cls,
+        data: np.ndarray,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+        *,
+        shape: tuple[int, int],
+    ) -> "SparseWeight":
+        """Wrap pre-built CSC arrays **without copying** them.
+
+        The shared-memory serving path reconstructs weights in worker
+        processes from read-only views over a host-wide segment; going
+        through ``__init__`` would defensively copy them, defeating the
+        zero-copy design.  The arrays must already be what
+        :class:`SparseWeight` produces — float32 data, sorted indices —
+        which holds by construction when they were serialized from one.
+        """
+        matrix = sp.csc_matrix((data, indices, indptr), shape=shape, copy=False)
+        if matrix.dtype != np.float32:
+            raise ValidationError(
+                f"shared CSC data must be float32, got {matrix.dtype}"
+            )
+        # The source matrix had sort_indices() applied before serialization;
+        # asserting it here would write (and the views are read-only).
+        matrix.has_sorted_indices = True
+        self = object.__new__(cls)
+        self.matrix = matrix
+        return self
+
+    @classmethod
     def from_dense(cls, weights: np.ndarray) -> "SparseWeight":
         """Build from a (pruned) dense matrix — test/tooling convenience."""
         weights = np.asarray(weights, dtype=np.float32)

@@ -7,11 +7,20 @@
   pool;
 * :mod:`repro.serve.server` — :class:`Server`, the dynamic-batching
   inference front-end with throughput / latency-percentile reporting;
+* :mod:`repro.serve.shm` — :class:`SharedWeightStore` /
+  :class:`SharedRuntime`, the once-per-host shared-memory weight cache:
+  decode a model's layers into one ``multiprocessing.shared_memory``
+  segment and reconstruct zero-copy read-only views in worker processes;
+* :mod:`repro.serve.worker` — :class:`ProcessServer`, the process-backed
+  replica: a worker process running the dynamic-batching loop over pipes,
+  with crash containment (:class:`~repro.utils.errors.ReplicaCrashed`) and
+  automatic respawn;
 * :mod:`repro.serve.gateway` — :class:`Gateway`, the multi-model,
   multi-replica front door: pluggable shard policies (round-robin,
-  least-loaded, consistent-hash), bounded-queue admission control with
-  fast-fail :class:`~repro.utils.errors.GatewayOverloaded` rejection, and
-  fleet-wide stats;
+  least-loaded, consistent-hash), thread- or process-backed replica pools
+  (``replica_backend=``), bounded-queue admission control with fast-fail
+  :class:`~repro.utils.errors.GatewayOverloaded` rejection, and fleet-wide
+  stats;
 * :mod:`repro.serve.bench` — the cold/warm/concurrency and gateway-scaling
   measurement harnesses behind ``python -m repro serve-bench`` /
   ``gateway-bench`` and ``benchmarks/bench_serving.py``.
@@ -19,6 +28,7 @@
 
 from repro.serve.cache import CacheStats, LRUCache
 from repro.serve.gateway import (
+    REPLICA_BACKENDS,
     ArchiveMLP,
     ConsistentHashPolicy,
     Gateway,
@@ -38,6 +48,13 @@ from repro.serve.runtime import (
     decode_compressed_layer,
 )
 from repro.serve.server import Server, ServerStats
+from repro.serve.shm import (
+    SharedModelWeights,
+    SharedRuntime,
+    SharedWeightStore,
+    shared_weight_store,
+)
+from repro.serve.worker import ProcessServer
 
 __all__ = [
     "CacheStats",
@@ -48,6 +65,12 @@ __all__ = [
     "decode_compressed_layer",
     "Server",
     "ServerStats",
+    "SharedModelWeights",
+    "SharedRuntime",
+    "SharedWeightStore",
+    "shared_weight_store",
+    "ProcessServer",
+    "REPLICA_BACKENDS",
     "ArchiveMLP",
     "ConsistentHashPolicy",
     "Gateway",

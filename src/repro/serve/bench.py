@@ -76,6 +76,7 @@ def gateway_benchmark(
     cache_bytes: int = DEFAULT_CACHE_BYTES,
     seed: int = 0,
     saturation_queue_depth: Optional[int] = 8,
+    backend: str = "thread",
 ) -> Dict:
     """Drive a multi-model gateway under closed-loop load, then saturate it.
 
@@ -94,7 +95,9 @@ def gateway_benchmark(
     open-loop burst of ~6x its capacity per model; the report shows how
     many requests were fast-fail rejected versus admitted, and the p99 of
     the admitted ones — bounded-queue overload, not latency collapse.
-    Returns a JSON-ready dict.
+    ``backend`` selects the replica execution backend (``"thread"`` keeps
+    everything in-process; ``"process"`` runs GIL-free worker processes
+    over the shared-memory weight cache).  Returns a JSON-ready dict.
     """
     if not sources:
         raise ValidationError("gateway_benchmark needs at least one model source")
@@ -109,7 +112,7 @@ def gateway_benchmark(
     input_dims = {name: _archive_input_dim(src) for name, src in sources.items()}
 
     def build(max_queue_depth: int, concurrency_cap: Optional[int]) -> Gateway:
-        gateway = Gateway()
+        gateway = Gateway(replica_backend=backend)
         for name, src in sources.items():
             gateway.add_model(
                 name,
@@ -177,6 +180,7 @@ def gateway_benchmark(
     results: Dict = {
         "models": len(names),
         "replicas": int(replicas),
+        "backend": backend,
         "policy": policy,
         "clients": int(clients),
         "burst": int(burst),
@@ -188,6 +192,7 @@ def gateway_benchmark(
         "throughput_rps": total_requests / elapsed if elapsed else 0.0,
         "latency_ms": dict(stats.latencies_ms),
         "cache_bytes": stats.cache_bytes,
+        "shared_bytes": stats.shared_bytes,
         "per_model": {
             name: {
                 "completed": model.completed,
@@ -249,6 +254,7 @@ def serving_benchmark(
     gateway_replicas: Optional[Sequence[int]] = None,
     gateway_clients: int = 4,
     gateway_requests_per_client: int = 48,
+    gateway_backend: str = "thread",
 ) -> Dict:
     """Benchmark cold/warm layer access and concurrent throughput.
 
@@ -257,7 +263,8 @@ def serving_benchmark(
     the resident CSC footprint the cache is charged, not dense bytes).
     ``gateway_replicas`` additionally sweeps a single-model gateway over
     the archive at those replica counts (end-to-end request throughput;
-    chained-MLP archives only) into a ``"gateway"`` section.
+    chained-MLP archives only) into a ``"gateway"`` section, running
+    replicas on ``gateway_backend`` (``"thread"`` or ``"process"``).
     Returns a JSON-ready dict (see the module docstring for the metrics).
     """
     # -- cold: full-model decode on a fresh runtime -------------------------
@@ -342,6 +349,7 @@ def serving_benchmark(
                 sparse=sparse,
                 cache_bytes=cache_bytes,
                 seed=seed,
+                backend=gateway_backend,
                 # One saturation probe per sweep (at the largest pool) is
                 # enough to characterise overload behaviour.
                 saturation_queue_depth=8 if count == counts[-1] else None,

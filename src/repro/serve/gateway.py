@@ -11,12 +11,18 @@ in.  :class:`Gateway` is that front door:
   :class:`~repro.store.ModelStore` by content digest (prefixes accepted via
   :meth:`ModelStore.resolve`), each with its own replica count, shard
   policy, and admission limits;
-* **replicas** are full serving stacks: an independent
+* **replicas** are full serving stacks behind one of two backends.  The
+  default ``thread`` backend keeps everything in-process: an independent
   :class:`~repro.serve.runtime.ModelRuntime` (own mmap + decoded-layer
   cache, dense or compressed-domain sparse) plus a dynamic-batching
-  :class:`Server`.  A model without a ``network_factory`` serves through
-  :class:`ArchiveMLP`, a feed-forward stack straight over the archive's fc
-  layers — what the synthetic benchmarks use;
+  :class:`Server`.  The ``process`` backend breaks the GIL: each replica
+  is a worker **process** (:class:`~repro.serve.worker.ProcessServer`)
+  whose forward passes run on their own interpreter, reconstructing the
+  model's weights zero-copy from a host-wide shared-memory segment the
+  gateway decodes **once** per model
+  (:mod:`repro.serve.shm`).  A model without a ``network_factory`` serves
+  through :class:`ArchiveMLP`, a feed-forward stack straight over the
+  archive's fc layers — what the synthetic benchmarks use;
 * **sharding** is pluggable via :class:`ShardPolicy`: ``round-robin``
   (fair, stateful), ``least-loaded`` (reads each replica's in-flight
   gauge), and ``consistent-hash`` (stable key → replica mapping that
@@ -50,6 +56,7 @@ import time
 from bisect import bisect_right
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -58,10 +65,13 @@ from repro.core.encoder import CompressedModel
 from repro.nn.sparse import SparseWeight
 from repro.serve.runtime import DEFAULT_CACHE_BYTES, ModelRuntime
 from repro.serve.server import Server, ServerStats, latency_percentiles
+from repro.serve.shm import shared_weight_store
+from repro.serve.worker import ProcessServer
 from repro.store.archive import archive_bytes
 from repro.utils.errors import GatewayOverloaded, ValidationError
 
 __all__ = [
+    "REPLICA_BACKENDS",
     "ShardPolicy",
     "RoundRobinPolicy",
     "LeastLoadedPolicy",
@@ -75,9 +85,23 @@ __all__ = [
     "Gateway",
 ]
 
+#: Replica execution backends a gateway model can run on.
+REPLICA_BACKENDS = ("thread", "process")
+
+
 def _hash64(text: str) -> int:
     """Stable 64-bit point on the hash ring (first 8 bytes of SHA-256)."""
     return int.from_bytes(hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
+
+
+def _resolve_backend(backend: Optional[str], default: str) -> str:
+    resolved = default if backend is None else str(backend)
+    if resolved not in REPLICA_BACKENDS:
+        raise ValidationError(
+            f"unknown replica backend {resolved!r}; "
+            f"available: {list(REPLICA_BACKENDS)}"
+        )
+    return resolved
 
 
 # ---------------------------------------------------------------------------
@@ -124,9 +148,13 @@ class RoundRobinPolicy(ShardPolicy):
 class LeastLoadedPolicy(ShardPolicy):
     """Send the request to the replica with the fewest in-flight requests.
 
-    Reads each replica server's :attr:`~repro.serve.server.Server.inflight`
-    gauge (queued + batching, not yet resolved); ties break to the lowest
-    index so the choice is deterministic under equal load.
+    Reads each replica server's ``inflight`` gauge (queued + batching, not
+    yet resolved) — a plain counter on a thread-backed
+    :class:`~repro.serve.server.Server`, a cross-process shared
+    ``multiprocessing.Value`` on a
+    :class:`~repro.serve.worker.ProcessServer`, so the signal stays correct
+    when replicas run in worker processes.  Ties break to the lowest index
+    so the choice is deterministic under equal load.
     """
 
     name = "least-loaded"
@@ -215,14 +243,20 @@ class ArchiveMLP:
     compressed-domain CSC matmul instead.  Weights are pulled through the
     runtime's decoded-layer cache on every forward pass, so the gateway's
     cache-byte stats reflect real serving traffic.
+
+    The runtime only needs the serving slice of the
+    :class:`ModelRuntime` surface (``layer`` / ``layer_names`` /
+    ``layer_shape``), so the same class runs over a
+    :class:`~repro.serve.shm.SharedRuntime` inside a process-backed
+    replica's worker.
     """
 
-    def __init__(self, runtime: ModelRuntime) -> None:
+    def __init__(self, runtime) -> None:
         self._runtime = runtime
         self._names = list(runtime.layer_names)
         if not self._names:
             raise ValidationError("archive has no layers to serve")
-        shapes = [tuple(runtime.archive.manifest.layers[n].shape) for n in self._names]
+        shapes = [runtime.layer_shape(n) for n in self._names]
         for i in range(1, len(shapes)):
             if shapes[i][1] != shapes[i - 1][0]:
                 raise ValidationError(
@@ -264,42 +298,55 @@ class ArchiveMLP:
 
 
 class Replica:
-    """One serving copy of a model: runtime + network + batching server.
+    """One serving copy of a model behind either backend.
 
-    Each replica owns an independent :class:`ModelRuntime` (its own archive
-    handle and decoded-layer cache) so replicas never contend on a shared
-    cache lock, and an independent :class:`Server` whose batching loop is
-    the replica's execution thread.
+    A thread replica owns an independent :class:`ModelRuntime` (its own
+    archive handle and decoded-layer cache, so replicas never contend on a
+    shared cache lock) plus a :class:`Server` whose batching loop is the
+    replica's execution thread.  A process replica owns no runtime at all —
+    its server is a :class:`~repro.serve.worker.ProcessServer` handle and
+    the weights live in the model's host-wide shared segment; the stats
+    properties below make both shapes answer the same questions.
     """
 
     def __init__(
         self,
         model_name: str,
         index: int,
-        runtime: ModelRuntime,
-        network,
+        server,
         *,
-        batch_size: int,
-        max_batch_delay: float,
-        install_weights: bool,
+        runtime: Optional[ModelRuntime] = None,
+        network=None,
     ) -> None:
         self.id = f"{model_name}/{index}"
         self.index = index
         self.runtime = runtime
         self.network = network
-        # ArchiveMLP pulls weights through the runtime cache per forward;
-        # factory networks get the decoded weights installed at start().
-        self.server = Server(
-            network,
-            runtime if install_weights else None,
-            batch_size=batch_size,
-            max_batch_delay=max_batch_delay,
-        )
+        self.server = server
         self.dispatched = 0  # guarded by the owning model's lock
 
     @property
     def inflight(self) -> int:
         return self.server.inflight
+
+    @property
+    def cache_bytes(self) -> int:
+        """Private decoded bytes this replica holds (0 for process replicas:
+        their weights alias the shared segment, counted once per model)."""
+        return int(self.runtime.resident_bytes) if self.runtime is not None else 0
+
+    @property
+    def decodes(self) -> int:
+        """Weight decodes this replica performed itself.  Process replicas
+        report the worker's counter — 0 by construction, which is the
+        once-per-host decode property made observable."""
+        if self.runtime is not None:
+            return int(self.runtime.stats().decodes)
+        return int(self.server.worker_decodes)
+
+    def close_runtime(self) -> None:
+        if self.runtime is not None:
+            self.runtime.close()
 
 
 @dataclass
@@ -321,12 +368,23 @@ class _Model:
         *,
         max_queue_depth: int,
         max_concurrency: int,
+        backend: str = "thread",
+        source_bytes: Optional[bytes] = None,
+        sparse: bool = False,
     ) -> None:
         self.name = name
         self.replicas = replicas
         self.policy = policy
         self.max_queue_depth = max_queue_depth
         self.max_concurrency = max_concurrency
+        self.backend = backend
+        # Process backend: the archive bytes the shared segment is decoded
+        # from at every start() (released/unlinked at stop()), plus the
+        # live handle and the last-known segment size for post-stop stats.
+        self.source_bytes = source_bytes
+        self.sparse = sparse
+        self.shared = None
+        self.shared_bytes = 0
         self.lock = threading.Lock()
         self.accepting = False
         self.queue: "queue.SimpleQueue[Optional[_GatewayRequest]]" = queue.SimpleQueue()
@@ -383,6 +441,8 @@ class ModelStats:
 
     name: str
     policy: str
+    backend: str = "thread"
+    shared_bytes: int = 0
     submitted: int = 0
     completed: int = 0
     failures: int = 0
@@ -426,6 +486,7 @@ class GatewayStats:
     failures: int = 0
     rejected: int = 0
     cache_bytes: int = 0
+    shared_bytes: int = 0
     latencies_ms: Dict[str, float] = field(default_factory=dict)
     models: Dict[str, ModelStats] = field(default_factory=dict)
 
@@ -459,6 +520,13 @@ class Gateway:
     store:
         Optional default :class:`~repro.store.ModelStore` that
         ``add_model(digest=...)`` resolves content digests against.
+    replica_backend:
+        Default execution backend for hosted models: ``"thread"`` (replicas
+        share the gateway's interpreter — the PR-5 behaviour and still the
+        default) or ``"process"`` (each replica is a worker process serving
+        zero-copy from a shared-memory weight segment decoded once per
+        model; scales past the GIL).  Per-model override via
+        ``add_model(replica_backend=...)``.
 
     Usage::
 
@@ -472,8 +540,9 @@ class Gateway:
             probs = future.result()
     """
 
-    def __init__(self, *, store=None) -> None:
+    def __init__(self, *, store=None, replica_backend: str = "thread") -> None:
         self._store = store
+        self._default_backend = _resolve_backend(replica_backend, "thread")
         self._models: Dict[str, _Model] = {}
         self._gate_lock = threading.Lock()
         self._running = False
@@ -499,6 +568,7 @@ class Gateway:
         max_batch_delay: float = 0.002,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         verify: bool = True,
+        replica_backend: Optional[str] = None,
     ) -> None:
         """Host a model behind the gateway under ``name``.
 
@@ -511,6 +581,15 @@ class Gateway:
         serves an :class:`ArchiveMLP` directly over the archive.
         ``max_concurrency`` defaults to two requests in service per
         replica.  Models can only be added while the gateway is stopped.
+
+        ``replica_backend`` overrides the gateway default (``None`` keeps
+        it).  Process-backed models need a re-shareable source — path,
+        bytes, ``CompressedModel``, or ``digest`` (an already-open
+        :class:`ModelArchive` cannot cross process boundaries) — and a
+        *picklable* ``network_factory`` (a module-level function, not a
+        closure) since the factory runs inside each worker; ``cache_bytes``
+        is ignored there because workers serve zero-copy from the shared
+        segment instead of a private decoded-layer cache.
         """
         if int(replicas) < 1:
             raise ValidationError("replicas must be >= 1")
@@ -522,6 +601,7 @@ class Gateway:
             raise ValidationError("max_concurrency must be >= 1")
         if (source is None) == (digest is None):
             raise ValidationError("pass exactly one of source= or digest=")
+        backend = _resolve_backend(replica_backend, self._default_backend)
         with self._gate_lock:
             if self._closed:
                 raise ValidationError("gateway is closed")
@@ -543,30 +623,63 @@ class Gateway:
                 # Encode the container once, not once per replica.
                 source = archive_bytes(source)
 
+            source_bytes: Optional[bytes] = None
             pool: List[Replica] = []
             try:
-                for index in range(int(replicas)):
-                    runtime = ModelRuntime(
-                        source, cache_bytes=cache_bytes, verify=verify, sparse=sparse
-                    )
-                    network = (
-                        network_factory() if network_factory is not None
-                        else ArchiveMLP(runtime)
-                    )
-                    pool.append(
-                        Replica(
-                            name,
-                            index,
-                            runtime,
-                            network,
+                if backend == "process":
+                    if isinstance(source, (str, Path)):
+                        source_bytes = Path(source).read_bytes()
+                    elif isinstance(source, (bytes, bytearray, memoryview)):
+                        source_bytes = bytes(source)
+                    else:
+                        raise ValidationError(
+                            "process-backed models need a re-shareable source "
+                            "(path, bytes, CompressedModel, or digest=); an "
+                            f"open {type(source).__name__} cannot cross "
+                            "process boundaries"
+                        )
+                    # Validate the archive (and, for the default network,
+                    # the MLP chain) now — add_model is where a bad source
+                    # should fail, not inside a worker at start().
+                    with ModelRuntime(
+                        source_bytes, cache_bytes=1, verify=False, sparse=sparse
+                    ) as probe:
+                        if network_factory is None:
+                            ArchiveMLP(probe)
+                    for index in range(int(replicas)):
+                        server = ProcessServer(
+                            f"{name}/{index}",
                             batch_size=batch_size,
                             max_batch_delay=max_batch_delay,
-                            install_weights=network_factory is not None,
+                            network_factory=network_factory,
                         )
-                    )
+                        pool.append(Replica(name, index, server))
+                else:
+                    for index in range(int(replicas)):
+                        runtime = ModelRuntime(
+                            source, cache_bytes=cache_bytes, verify=verify,
+                            sparse=sparse,
+                        )
+                        network = (
+                            network_factory() if network_factory is not None
+                            else ArchiveMLP(runtime)
+                        )
+                        # ArchiveMLP pulls weights through the runtime cache
+                        # per forward; factory networks get the decoded
+                        # weights installed at start().
+                        server = Server(
+                            network,
+                            runtime if network_factory is not None else None,
+                            batch_size=batch_size,
+                            max_batch_delay=max_batch_delay,
+                        )
+                        pool.append(
+                            Replica(name, index, server, runtime=runtime,
+                                    network=network)
+                        )
             except BaseException:
                 for replica in pool:
-                    replica.runtime.close()
+                    replica.close_runtime()
                 raise
 
             shard_policy = resolve_policy(policy)
@@ -577,6 +690,9 @@ class Gateway:
                 shard_policy,
                 max_queue_depth=int(max_queue_depth),
                 max_concurrency=int(max_concurrency),
+                backend=backend,
+                source_bytes=source_bytes,
+                sparse=bool(sparse),
             )
 
     def models(self) -> List[str]:
@@ -602,17 +718,31 @@ class Gateway:
                 return self
             if not self._models:
                 raise ValidationError("gateway hosts no models (call add_model())")
-            started: List[Server] = []
+            started: List = []
+            acquired: List[_Model] = []
             try:
                 for entry in self._models.values():
+                    if entry.backend == "process":
+                        # Decode once per (model, host): first acquire for
+                        # these bytes builds the segment, replicas share it.
+                        entry.shared = shared_weight_store().acquire(
+                            entry.source_bytes, sparse=entry.sparse
+                        )
+                        entry.shared_bytes = entry.shared.total_bytes
+                        acquired.append(entry)
+                        for replica in entry.replicas:
+                            replica.server.set_shared(entry.shared)
                     for replica in entry.replicas:
                         replica.server.start()
                         started.append(replica.server)
             except BaseException:
-                # A failed weight install leaves the gateway cleanly
-                # stopped; start() can be retried.
+                # A failed weight install / worker spawn leaves the gateway
+                # cleanly stopped; start() can be retried.
                 for server in started:
                     server.stop()
+                for entry in acquired:
+                    shared_weight_store().release(entry.shared)
+                    entry.shared = None
                 raise
             for entry in self._models.values():
                 entry.reset_for_run()
@@ -653,6 +783,12 @@ class Gateway:
         for entry in entries:
             for replica in entry.replicas:
                 replica.server.stop()
+            if entry.shared is not None:
+                # Workers are gone; dropping the gateway's reference unlinks
+                # the segment once no other model/gateway shares it.  A
+                # restart re-acquires (and, if needed, re-decodes) cleanly.
+                shared_weight_store().release(entry.shared)
+                entry.shared = None
         self._stopped_at = time.perf_counter()
 
     def close(self) -> None:
@@ -664,7 +800,7 @@ class Gateway:
             self._closed = True
             for entry in self._models.values():
                 for replica in entry.replicas:
-                    replica.runtime.close()
+                    replica.close_runtime()
 
     def __enter__(self) -> "Gateway":
         return self.start()
@@ -799,6 +935,8 @@ class Gateway:
                 model = ModelStats(
                     name=entry.name,
                     policy=entry.policy.name,
+                    backend=entry.backend,
+                    shared_bytes=entry.shared_bytes,
                     submitted=entry.submitted,
                     completed=entry.completed,
                     failures=entry.failures,
@@ -815,8 +953,8 @@ class Gateway:
                     id=replica.id,
                     dispatched=count,
                     inflight=replica.inflight,
-                    cache_bytes=replica.runtime.resident_bytes,
-                    decodes=replica.runtime.stats().decodes,
+                    cache_bytes=replica.cache_bytes,
+                    decodes=replica.decodes,
                     server=replica.server.stats(),
                 )
                 for replica, count in zip(entry.replicas, dispatched)
@@ -828,6 +966,7 @@ class Gateway:
             total.failures += model.failures
             total.rejected += model.rejected
             total.cache_bytes += model.cache_bytes
+            total.shared_bytes += model.shared_bytes
         total.latencies_ms = latency_percentiles(all_latencies)
         return total
 

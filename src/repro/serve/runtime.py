@@ -139,6 +139,19 @@ class ModelRuntime:
     def layer_names(self) -> list[str]:
         return self._archive.layer_names
 
+    def layer_shape(self, name: str) -> tuple[int, int]:
+        """A layer's dense (rows, cols) shape, straight from the manifest.
+
+        Shape questions must not cost a decode; serving networks
+        (:class:`~repro.serve.gateway.ArchiveMLP`) and the shared-memory
+        builder validate topologies through this instead of reaching into
+        the archive, so a :class:`~repro.serve.shm.SharedRuntime` can
+        answer the same question without any archive at all.
+        """
+        self._archive_check(name)
+        shape = self._archive.manifest.layers[name].shape
+        return (int(shape[0]), int(shape[1]))
+
     @property
     def resident_bytes(self) -> int:
         """Bytes currently held by the decoded-layer cache (dense ``nbytes``

@@ -1,0 +1,553 @@
+"""Process-backed replica: a worker process plus its parent-side handle.
+
+A thread replica keeps everything in the gateway process — which is exactly
+why thread pools stop scaling: every forward pass serializes on the one
+interpreter's GIL.  A *process* replica moves the hot loop out:
+
+* :func:`_worker_main` is the child entry point.  It reconstructs the
+  model's weights **zero-copy** from the host's shared-memory segment
+  (:class:`~repro.serve.shm.SharedRuntime` — no archive read, no codec
+  pass, no private weight copy), builds the serving network (the default
+  :class:`~repro.serve.gateway.ArchiveMLP`, or a picklable
+  ``network_factory``), and runs a dynamic-batching loop over the request
+  pipe: a batch closes when it is full or when the oldest request has
+  waited ``max_batch_delay`` — the same policy as the in-process
+  :class:`~repro.serve.server.Server` — then one forward pass answers the
+  whole batch with a single response message.
+* :class:`ProcessServer` is the parent-side handle with the same surface a
+  :class:`~repro.serve.gateway.Replica` expects from a ``Server``
+  (``start/stop/submit/infer/inflight/stats``), so the gateway's dispatch,
+  draining, and stats code is backend-agnostic.  Requests travel as
+  ``(id, sample)`` tuples over a one-way pipe; responses come back batched.
+  The in-flight gauge is a shared ``multiprocessing.Value`` — readable
+  from any process, which keeps :class:`LeastLoadedPolicy` correct no
+  matter where it runs — and batch counters flow back the same way.
+
+**Crash containment.**  If the worker dies (OOM-kill, segfault, ``kill
+-9``), the parent's receiver thread sees the pipe break, fails exactly the
+requests that were pending on that replica with
+:class:`~repro.utils.errors.ReplicaCrashed` (a retryable 503), respawns
+the worker against the still-live shared segment, and keeps serving.
+After ``max_respawns`` consecutive crashes the replica stays down and
+rejects submissions instead of crash-looping.  Workers never own the
+shared segment, so no crash can leak ``/dev/shm``.
+
+**Start method.**  Workers default to ``spawn``: ``fork`` from a gateway
+that already runs receiver/dispatcher threads inherits locks in unknown
+states (the same reason the codec registry documents spawn semantics), and
+spawn behaves identically across platforms.  The decoded weights cross via
+shared memory, so spawn's re-import is the only startup cost;
+``REPRO_WORKER_START_METHOD=fork`` opts into faster starts where safe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.serve.server import ServerStats, latency_percentiles
+from repro.utils.errors import ReplicaCrashed, ValidationError
+
+__all__ = ["ProcessServer", "WorkerSpec", "resolve_start_method"]
+
+_READY_TIMEOUT_S = 120.0  # spawn imports numpy/scipy; slow CI boxes need slack
+
+
+def resolve_start_method(override: Optional[str] = None) -> str:
+    """``spawn`` unless overridden (argument > REPRO_WORKER_START_METHOD)."""
+    method = override or os.environ.get("REPRO_WORKER_START_METHOD") or "spawn"
+    if method not in multiprocessing.get_all_start_methods():
+        raise ValidationError(
+            f"start method {method!r} not available here; "
+            f"choose from {multiprocessing.get_all_start_methods()}"
+        )
+    return method
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a worker needs, small enough to pickle through spawn.
+
+    The weights themselves never cross: ``manifest`` is the shared-memory
+    layout manifest (segment name + per-layer dtype/shape/offsets), a few
+    hundred bytes regardless of model size.
+    """
+
+    replica_id: str
+    manifest: dict
+    batch_size: int
+    max_batch_delay: float
+    network_factory: Optional[Callable[[], object]] = None
+
+
+# ---------------------------------------------------------------------------
+# child process
+# ---------------------------------------------------------------------------
+
+
+def _send_safely(conn, message) -> None:
+    try:
+        conn.send(message)
+    except Exception:  # parent gone; nothing left to tell
+        pass
+
+
+def _worker_main(spec: WorkerSpec, request_conn, response_conn, gauges) -> None:
+    """Child entry: attach shared weights, answer batched requests."""
+    # Imported lazily: the parent-side module must stay importable without
+    # pulling the gateway (gateway imports this module for ProcessServer).
+    from repro.serve.gateway import ArchiveMLP
+    from repro.serve.shm import SharedRuntime
+
+    runtime = None
+    try:
+        runtime = SharedRuntime(spec.manifest)
+        if spec.network_factory is not None:
+            network = spec.network_factory()
+            runtime.load_into(network)
+        else:
+            network = ArchiveMLP(runtime)
+    except BaseException as exc:
+        _send_safely(response_conn, ("failed", f"{type(exc).__name__}: {exc}"))
+        if runtime is not None:
+            runtime.close()
+        return
+    _send_safely(response_conn, ("ready", runtime.shared_bytes))
+
+    batches, batch_items = gauges["batches"], gauges["batch_items"]
+    try:
+        stopping = False
+        while not stopping:
+            message = request_conn.recv()
+            if message is None:
+                break
+            batch = [message]
+            deadline = time.perf_counter() + spec.max_batch_delay
+            while len(batch) < spec.batch_size:
+                remaining = deadline - time.perf_counter()
+                # Past the deadline, still drain what is already in the
+                # pipe (backlog from the previous forward pass); only
+                # *waiting* for more requests is bounded by the delay.
+                if not request_conn.poll(max(0.0, remaining)):
+                    break
+                message = request_conn.recv()
+                if message is None:
+                    stopping = True
+                    break
+                batch.append(message)
+            ids = [req_id for req_id, _ in batch]
+            try:
+                inputs = np.stack([x for _, x in batch])
+                outputs = np.asarray(network.forward(inputs, training=False))
+            except BaseException as exc:
+                try:
+                    response_conn.send(("err", ids, exc))
+                except Exception:
+                    _send_safely(
+                        response_conn,
+                        ("err", ids, f"{type(exc).__name__}: {exc}"),
+                    )
+                continue
+            finally:
+                with batches.get_lock():
+                    batches.value += 1
+                with batch_items.get_lock():
+                    batch_items.value += len(ids)
+            _send_safely(response_conn, ("ok", ids, outputs))
+        _send_safely(response_conn, ("bye",))
+    except (EOFError, OSError):  # parent died; exit quietly
+        pass
+    finally:
+        runtime.close()
+
+
+# ---------------------------------------------------------------------------
+# parent-side handle
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Pending:
+    future: Future
+    enqueued: float
+
+
+@dataclass
+class _Link:
+    """One spawned worker: process + pipes (replaced on respawn)."""
+
+    process: multiprocessing.process.BaseProcess
+    request_conn: object
+    response_conn: object
+    shared_bytes: int = 0
+    generation: int = 0
+    pending: Dict[int, _Pending] = field(default_factory=dict)
+
+
+class ProcessServer:
+    """Parent-side handle of a replica worker process.
+
+    Server-compatible surface (``start/stop/submit/infer/inflight/stats``)
+    over a request pipe + response pipe + shared gauge counters.  Call
+    :meth:`set_shared` with the model's
+    :class:`~repro.serve.shm.SharedModelWeights` before each
+    :meth:`start` — the gateway acquires the segment per run and releases
+    (unlinks) it on stop, so a restarted gateway re-shares cleanly.
+    """
+
+    def __init__(
+        self,
+        replica_id: str,
+        *,
+        batch_size: int = 32,
+        max_batch_delay: float = 0.002,
+        network_factory: Optional[Callable[[], object]] = None,
+        start_method: Optional[str] = None,
+        max_respawns: int = 3,
+    ) -> None:
+        if int(batch_size) < 1:
+            raise ValidationError("batch_size must be >= 1")
+        if float(max_batch_delay) < 0:
+            raise ValidationError("max_batch_delay must be >= 0")
+        if int(max_respawns) < 0:
+            raise ValidationError("max_respawns must be >= 0")
+        self._replica_id = replica_id
+        self._batch_size = int(batch_size)
+        self._max_batch_delay = float(max_batch_delay)
+        self._network_factory = network_factory
+        self._ctx = multiprocessing.get_context(resolve_start_method(start_method))
+        self._max_respawns = int(max_respawns)
+        self._shared = None
+        self._lock = threading.Lock()
+        self._running = False
+        self._dead = False
+        self._link: Optional[_Link] = None
+        self._receiver: Optional[threading.Thread] = None
+        self._next_id = 0
+        self._crashes = 0
+        self._latencies: List[float] = []
+        self._failures = 0
+        self._started_at = 0.0
+        self._stopped_at: Optional[float] = None
+        # Shared gauges: readable from any process (the cross-process
+        # in-flight signal least-loaded sharding reads) and writable by the
+        # worker (batch accounting).  Created once; reset per run.
+        self._inflight = self._ctx.Value("q", 0)
+        self._gauges = {
+            "batches": self._ctx.Value("q", 0),
+            "batch_items": self._ctx.Value("q", 0),
+        }
+
+    # -- wiring ------------------------------------------------------------
+    def set_shared(self, shared) -> None:
+        """Point the next start() at a model's shared weight segment."""
+        self._shared = shared
+
+    @property
+    def shared_bytes(self) -> int:
+        """Size of the shared segment this replica serves from."""
+        link = self._link
+        return int(link.shared_bytes) if link is not None else 0
+
+    @property
+    def worker_pid(self) -> Optional[int]:
+        """PID of the current worker process (changes across respawns)."""
+        link = self._link
+        return link.process.pid if link is not None else None
+
+    @property
+    def worker_decodes(self) -> int:
+        """Per-worker weight decodes after warmup — 0 by construction.
+
+        The worker reconstructs views over the pre-decoded shared segment;
+        it has no decoder to run.  Kept as an explicit stat so gateway
+        stats can *prove* the no-per-worker-decode property.
+        """
+        return 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "ProcessServer":
+        with self._lock:
+            if self._running:
+                return self
+            if self._shared is None:
+                raise ValidationError(
+                    "no shared weights attached (call set_shared() first)"
+                )
+            link = self._spawn(generation=0)
+            self._link = link
+            self._running = True
+            self._dead = False
+            self._crashes = 0
+            self._latencies = []
+            self._failures = 0
+            with self._inflight.get_lock():
+                self._inflight.value = 0
+            for gauge in self._gauges.values():
+                with gauge.get_lock():
+                    gauge.value = 0
+            self._started_at = time.perf_counter()
+            self._stopped_at = None
+            self._receiver = threading.Thread(
+                target=self._recv_loop,
+                args=(link,),
+                name=f"repro-replica-{self._replica_id}",
+                daemon=True,
+            )
+            self._receiver.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain the worker (sentinel behind every accepted request), stop it."""
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
+            link = self._link
+            receiver, self._receiver = self._receiver, None
+            if link is not None:
+                try:
+                    link.request_conn.send(None)
+                except Exception:  # worker already dead; receiver winds down
+                    pass
+        if receiver is not None:
+            receiver.join()
+        if link is not None:
+            link.process.join(timeout=30.0)
+            if link.process.is_alive():  # pragma: no cover - hung worker
+                link.process.terminate()
+                link.process.join(timeout=10.0)
+            self._fail_pending(link, "replica worker stopped with requests pending")
+            self._close_link(link)
+        self._stopped_at = time.perf_counter()
+
+    def close(self) -> None:
+        self.stop()
+
+    def __enter__(self) -> "ProcessServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- request path ------------------------------------------------------
+    def submit(self, x: np.ndarray) -> Future:
+        """Enqueue one sample; the future resolves to its output row."""
+        sample = np.asarray(x, dtype=np.float32)
+        future: Future = Future()
+        with self._lock:
+            if not self._running:
+                raise ValidationError("server is not running (call start())")
+            if self._dead:
+                raise ReplicaCrashed(
+                    f"replica {self._replica_id} is down after "
+                    f"{self._crashes} crash(es); not respawning"
+                )
+            link = self._link
+            req_id = self._next_id
+            self._next_id += 1
+            link.pending[req_id] = _Pending(future, time.perf_counter())
+            try:
+                link.request_conn.send((req_id, sample))
+            except Exception:
+                # Worker just died; the receiver's crash handling will fail
+                # (or re-route nothing for) this pending entry.
+                pass
+        with self._inflight.get_lock():
+            self._inflight.value += 1
+        return future
+
+    def infer(self, x: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
+        return self.submit(x).result(timeout=timeout)
+
+    @property
+    def inflight(self) -> int:
+        """Accepted requests not yet resolved — a cross-process gauge."""
+        return int(self._inflight.value)
+
+    # -- worker management -------------------------------------------------
+    def _spawn(self, generation: int) -> _Link:
+        request_recv, request_send = self._ctx.Pipe(duplex=False)
+        response_recv, response_send = self._ctx.Pipe(duplex=False)
+        spec = WorkerSpec(
+            replica_id=self._replica_id,
+            manifest=self._shared.manifest,
+            batch_size=self._batch_size,
+            max_batch_delay=self._max_batch_delay,
+            network_factory=self._network_factory,
+        )
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(spec, request_recv, response_send, self._gauges),
+            name=f"repro-worker-{self._replica_id}",
+            daemon=True,
+        )
+        process.start()
+        # The child owns its pipe ends now; closing the parent's copies is
+        # what makes recv() raise EOFError the moment the worker dies.
+        request_recv.close()
+        response_send.close()
+        link = _Link(
+            process=process,
+            request_conn=request_send,
+            response_conn=response_recv,
+            generation=generation,
+        )
+        deadline = time.monotonic() + _READY_TIMEOUT_S
+        try:
+            while not link.response_conn.poll(min(1.0, _READY_TIMEOUT_S)):
+                if time.monotonic() >= deadline:
+                    raise ValidationError(
+                        f"replica {self._replica_id} worker did not become "
+                        f"ready within {_READY_TIMEOUT_S:.0f}s"
+                    )
+                if not process.is_alive():
+                    raise ValidationError(
+                        f"replica {self._replica_id} worker died during startup"
+                    )
+            try:
+                message = link.response_conn.recv()
+            except (EOFError, OSError):
+                raise ValidationError(
+                    f"replica {self._replica_id} worker died during startup "
+                    f"(exit code {process.exitcode}); with the spawn start "
+                    "method the main module must be import-safe"
+                ) from None
+        except BaseException:
+            self._close_link(link, terminate=True)
+            raise
+        if message[0] != "ready":
+            self._close_link(link, terminate=True)
+            raise ValidationError(
+                f"replica {self._replica_id} worker failed to start: {message[1]}"
+            )
+        link.shared_bytes = int(message[1])
+        return link
+
+    @staticmethod
+    def _close_link(link: _Link, *, terminate: bool = False) -> None:
+        if terminate and link.process.is_alive():
+            link.process.terminate()
+            link.process.join(timeout=10.0)
+        for conn in (link.request_conn, link.response_conn):
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+    def _recv_loop(self, link: _Link) -> None:
+        while True:
+            try:
+                message = link.response_conn.recv()
+            except (EOFError, OSError):
+                replacement = self._handle_crash(link)
+                if replacement is None:
+                    return
+                link = replacement
+                continue
+            kind = message[0]
+            if kind == "ok":
+                self._resolve(link, message[1], results=message[2])
+            elif kind == "err":
+                self._resolve(link, message[1], error=message[2])
+            elif kind == "bye":
+                return
+
+    def _handle_crash(self, link: _Link) -> Optional[_Link]:
+        """Fail this worker's pending requests; respawn unless exhausted.
+
+        Returns the replacement link (receiver keeps reading), or ``None``
+        when the server is stopping / the replica is staying down.
+        """
+        with self._lock:
+            if not self._running or self._link is not link:
+                return None  # stop() in progress, or an already-replaced link
+            self._crashes += 1
+            exit_code = link.process.exitcode
+            respawn = self._crashes <= self._max_respawns
+            replacement: Optional[_Link] = None
+            if respawn:
+                try:
+                    replacement = self._spawn(generation=link.generation + 1)
+                except BaseException:
+                    replacement = None
+            if replacement is None:
+                self._dead = True
+            else:
+                self._link = replacement
+        self._fail_pending(
+            link,
+            f"replica {self._replica_id} worker died (exit code {exit_code}) "
+            f"with the request in flight",
+        )
+        self._close_link(link, terminate=True)
+        return replacement
+
+    def _fail_pending(self, link: _Link, reason: str) -> None:
+        with self._lock:
+            pending = list(link.pending.values())
+            link.pending.clear()
+            done = time.perf_counter()
+            for item in pending:
+                self._latencies.append(done - item.enqueued)
+            self._failures += len(pending)
+        if pending:
+            with self._inflight.get_lock():
+                self._inflight.value -= len(pending)
+            error = ReplicaCrashed(reason)
+            for item in pending:
+                item.future.set_exception(error)
+
+    def _resolve(self, link: _Link, ids, results=None, error=None) -> None:
+        done = time.perf_counter()
+        if error is not None and not isinstance(error, BaseException):
+            error = RuntimeError(str(error))
+        resolved: List[tuple[_Pending, Optional[np.ndarray]]] = []
+        with self._lock:
+            for position, req_id in enumerate(ids):
+                item = link.pending.pop(req_id, None)
+                if item is None:  # already failed by a crash handler
+                    continue
+                self._latencies.append(done - item.enqueued)
+                if error is not None:
+                    self._failures += 1
+                resolved.append(
+                    (item, results[position] if results is not None else None)
+                )
+        if resolved:
+            with self._inflight.get_lock():
+                self._inflight.value -= len(resolved)
+        for item, row in resolved:
+            if error is not None:
+                item.future.set_exception(error)
+            else:
+                item.future.set_result(row)
+
+    # -- statistics --------------------------------------------------------
+    def stats(self) -> ServerStats:
+        with self._lock:
+            latencies = list(self._latencies)
+            failures = self._failures
+        batches = int(self._gauges["batches"].value)
+        items = int(self._gauges["batch_items"].value)
+        end = self._stopped_at if self._stopped_at is not None else time.perf_counter()
+        elapsed = max(end - self._started_at, 0.0) if self._started_at else 0.0
+        return ServerStats(
+            requests=len(latencies),
+            batches=batches,
+            failures=failures,
+            elapsed_seconds=elapsed,
+            latencies_ms=latency_percentiles(latencies),
+            mean_batch_size=items / batches if batches else 0.0,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self._running else "stopped"
+        return f"<ProcessServer {self._replica_id} {state}>"

@@ -48,6 +48,17 @@ class GatewayOverloaded(ReproError, RuntimeError):
     status_code = 429
 
 
+class ReplicaCrashed(ReproError, RuntimeError):
+    """A process-backed replica died while requests were in flight.
+
+    Raised into the futures of exactly the requests that were pending on
+    the crashed worker — the gateway respawns the worker and later
+    requests are unaffected, so callers should treat this as a retryable
+    ``503``; :attr:`status_code` carries the HTTP-style code."""
+
+    status_code = 503
+
+
 class TrainingError(ReproError, RuntimeError):
     """Neural-network training diverged or was mis-configured."""
 

@@ -1,0 +1,88 @@
+"""Benchmark-gate tooling: core-scaled expectation relaxation.
+
+``compare_baselines.py`` is a script, not part of the ``repro`` package,
+but its core-scaling arithmetic gates every CI run: a bug here either
+flakes small runners or waves real collapses through.  These tests import
+the script directly from ``benchmarks/`` and pin the contract.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+sys.path.insert(0, str(BENCH_DIR))
+
+compare_baselines = pytest.importorskip("compare_baselines")
+
+
+def _baseline(**overrides):
+    base = {
+        "host_cores": 8,
+        "metrics": {"gateway_scaling_4v1": 3.2, "gateway_rps_4": 8000.0},
+        "gate": ["gateway_scaling_4v1", "gateway_rps_4"],
+        "directions": {
+            "gateway_scaling_4v1": "higher",
+            "gateway_rps_4": "higher",
+        },
+        "core_scaled": {"gateway_scaling_4v1": 4, "gateway_rps_4": 4},
+    }
+    base.update(overrides)
+    return base
+
+
+class TestCoreScaledGate:
+    def test_small_runner_expectation_is_relaxed(self):
+        # min(1, 4) / min(8, 4) = 0.25: an 8-core baseline asks a 1-core
+        # runner for only a quarter of the recorded number.
+        fresh = {
+            "host_cores": 1,
+            "metrics": {"gateway_scaling_4v1": 0.9, "gateway_rps_4": 2100.0},
+        }
+        rows, failures = compare_baselines.compare_suite(_baseline(), fresh, 30.0)
+        assert failures == []
+        verdicts = {row[0]: row[4] for row in rows}
+        assert verdicts["gateway_scaling_4v1"] == "ok (core-adj x0.25)"
+        assert verdicts["gateway_rps_4"] == "ok (core-adj x0.25)"
+
+    def test_bigger_runner_is_never_held_to_extrapolation(self):
+        # Relax-only: a 16-core fresh run compares against the raw 8-core
+        # baseline, not a 2x-scaled fantasy of it.
+        fresh = {
+            "host_cores": 16,
+            "metrics": {"gateway_scaling_4v1": 3.0, "gateway_rps_4": 7900.0},
+        }
+        rows, failures = compare_baselines.compare_suite(_baseline(), fresh, 30.0)
+        assert failures == []
+        assert all("core-adj" not in row[4] for row in rows)
+
+    def test_collapse_on_small_runner_still_fails(self):
+        fresh = {
+            "host_cores": 1,
+            "metrics": {"gateway_scaling_4v1": 0.2, "gateway_rps_4": 500.0},
+        }
+        _, failures = compare_baselines.compare_suite(_baseline(), fresh, 30.0)
+        assert len(failures) == 2
+        assert any("core-scaled" in message for message in failures)
+
+    def test_no_host_cores_means_no_adjustment(self):
+        # Old artifacts without the stamp keep the pre-existing behaviour.
+        fresh = {"metrics": {"gateway_scaling_4v1": 0.9, "gateway_rps_4": 2100.0}}
+        rows, failures = compare_baselines.compare_suite(
+            _baseline(host_cores=None), fresh, 30.0
+        )
+        assert len(failures) == 2
+        assert all("core-adj" not in row[4] for row in rows)
+
+    def test_uncapped_metrics_are_untouched(self):
+        baseline = _baseline(core_scaled={})
+        fresh = {
+            "host_cores": 1,
+            "metrics": {"gateway_scaling_4v1": 3.1, "gateway_rps_4": 7800.0},
+        }
+        rows, failures = compare_baselines.compare_suite(baseline, fresh, 30.0)
+        assert failures == []
+        assert all("core-adj" not in row[4] for row in rows)

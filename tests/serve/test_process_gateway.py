@@ -1,0 +1,258 @@
+"""Process-backed replica pools: parity, shm lifecycle, crash containment.
+
+The worker processes here are real (spawned via the default ``spawn`` start
+method), so this file is the cross-process counterpart of ``test_shm.py``:
+it proves the gateway serves identical outputs from worker processes
+reconstructing weights out of the shared segment, that segments are created
+once per model and provably unlinked on ``stop()`` — including after a
+``SIGKILL``ed worker — and that a crash fails only the requests that were
+in flight on the dead replica.
+
+No fixed sleeps: synchronisation goes through ``poll_until`` and the
+replica servers' cross-process ``inflight`` gauges.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, ReLU
+from repro.nn.network import Network
+from repro.serve.gateway import Gateway
+from repro.serve.shm import shared_weight_store
+from repro.serve.worker import ProcessServer
+from repro.utils.errors import ReplicaCrashed, ValidationError
+
+_INPUT_DIM = 160  # fc6 of the session model is 96x160
+
+
+def _repro_segments() -> set:
+    return {f for f in os.listdir("/dev/shm") if f.startswith(("repro_", "psm_"))}
+
+
+def make_session_network() -> Network:
+    """Module-level so it pickles into spawn-started workers by reference."""
+    return Network(
+        [
+            Dense("fc6", 160, 96), ReLU("relu6"),
+            Dense("fc7", 96, 64), ReLU("relu7"),
+            Dense("fc8", 64, 32),
+        ],
+        name="session-mlp",
+    )
+
+
+@pytest.fixture()
+def inputs():
+    rng = np.random.default_rng(11)
+    return rng.standard_normal((24, _INPUT_DIM)).astype(np.float32)
+
+
+def _run_gateway(archive_blob, inputs, backend, **model_kwargs):
+    gateway = Gateway(replica_backend=backend)
+    gateway.add_model("m", archive_blob, **model_kwargs)
+    with gateway:
+        futures = [gateway.submit("m", x) for x in inputs]
+        outputs = np.stack([f.result(timeout=60) for f in futures])
+        stats = gateway.stats()
+    gateway.close()
+    return outputs, stats
+
+
+class TestProcessBackendParity:
+    @pytest.mark.parametrize("sparse", [False, True], ids=["dense", "sparse"])
+    def test_outputs_match_thread_backend(self, archive_blob, inputs, sparse):
+        before = _repro_segments()
+        thread_out, thread_stats = _run_gateway(
+            archive_blob, inputs, "thread", replicas=2, sparse=sparse
+        )
+        process_out, process_stats = _run_gateway(
+            archive_blob, inputs, "process", replicas=2, sparse=sparse,
+            policy="least-loaded",
+        )
+        # Same weights, same kernels — only dynamic-batch composition may
+        # differ between runs, which perturbs GEMM summation order at the
+        # last-ulp level.
+        np.testing.assert_allclose(process_out, thread_out, rtol=1e-5, atol=1e-7)
+
+        model = process_stats.models["m"]
+        assert model.backend == "process"
+        assert thread_stats.models["m"].backend == "thread"
+        assert model.completed == len(inputs)
+        assert model.shared_bytes > 0
+        assert process_stats.shared_bytes == model.shared_bytes
+        for replica in model.replicas:
+            assert replica.decodes == 0  # workers never decode
+            assert replica.cache_bytes == 0  # weights alias the segment
+            assert replica.inflight == 0
+        assert sum(r.server.requests for r in model.replicas) == len(inputs)
+        # stop() released the gateway's reference: segment unlinked.
+        assert _repro_segments() == before
+
+    def test_network_factory_runs_inside_workers(self, archive_blob, inputs):
+        thread_out, _ = _run_gateway(
+            archive_blob, inputs, "thread",
+            replicas=1, network_factory=make_session_network,
+        )
+        process_out, _ = _run_gateway(
+            archive_blob, inputs, "process",
+            replicas=1, network_factory=make_session_network,
+        )
+        np.testing.assert_allclose(process_out, thread_out, rtol=1e-5, atol=1e-7)
+
+    def test_stats_dict_is_json_ready(self, archive_blob, inputs):
+        import json
+
+        _, stats = _run_gateway(archive_blob, inputs, "process", replicas=1)
+        payload = json.loads(json.dumps(stats.as_dict()))
+        assert payload["models"]["m"]["backend"] == "process"
+        assert payload["models"]["m"]["shared_bytes"] > 0
+
+
+class TestSharedSegmentLifecycle:
+    def test_segment_created_once_per_model(self, archive_blob, inputs, wait_until):
+        before = _repro_segments()
+        gateway = Gateway(replica_backend="process")
+        gateway.add_model("m", archive_blob, replicas=3)
+        with gateway:
+            live = _repro_segments() - before
+            # Three replicas, one segment: decode happened once per model.
+            assert len(live) == 1
+            assert live == set(shared_weight_store().active_segments())
+            gateway.infer("m", inputs[0], timeout=60)
+        gateway.close()
+        assert _repro_segments() == before
+
+    def test_restart_reacquires_segment(self, archive_blob, inputs):
+        before = _repro_segments()
+        gateway = Gateway(replica_backend="process")
+        gateway.add_model("m", archive_blob, replicas=1)
+        for _ in range(2):
+            with gateway:
+                out = gateway.infer("m", inputs[0], timeout=60)
+                assert np.asarray(out).shape[-1] == 32
+            # Unlinked between runs; the next start() re-acquires cleanly.
+            assert _repro_segments() == before
+        gateway.close()
+
+    def test_submit_after_stop_raises(self, archive_blob, inputs):
+        gateway = Gateway(replica_backend="process")
+        gateway.add_model("m", archive_blob, replicas=1)
+        with gateway:
+            gateway.infer("m", inputs[0], timeout=60)
+        with pytest.raises(ValidationError, match="not running"):
+            gateway.submit("m", inputs[0])
+        gateway.close()
+
+    def test_open_archive_source_is_rejected(self, archive_blob):
+        from repro.store.archive import ModelArchive
+
+        gateway = Gateway(replica_backend="process")
+        with pytest.raises(ValidationError, match="re-shareable"):
+            gateway.add_model("m", ModelArchive.from_bytes(archive_blob))
+        gateway.close()
+
+    def test_unknown_backend_is_rejected(self, archive_blob):
+        with pytest.raises(ValidationError, match="unknown replica backend"):
+            Gateway(replica_backend="greenlet")
+        gateway = Gateway()
+        with pytest.raises(ValidationError, match="unknown replica backend"):
+            gateway.add_model("m", archive_blob, replica_backend="fiber")
+        gateway.close()
+
+
+class TestCrashContainment:
+    def test_killed_worker_fails_only_its_inflight_requests(
+        self, archive_blob, inputs, wait_until
+    ):
+        before = _repro_segments()
+        gateway = Gateway(replica_backend="process")
+        # Batches larger than the traffic plus a long batch delay park the
+        # requests inside the workers, holding a deterministic kill window
+        # open; round-robin splits them 2/2 across the replicas.
+        gateway.add_model(
+            "m", archive_blob, replicas=2, policy="round-robin",
+            batch_size=8, max_batch_delay=1.5,
+        )
+        with gateway:
+            servers = [r.server for r in gateway._models["m"].replicas]
+            futures = [gateway.submit("m", x) for x in inputs[:4]]
+            wait_until(
+                lambda: all(s.inflight == 2 for s in servers),
+                message="two requests parked on each replica",
+            )
+            victim_pid = servers[0].worker_pid
+            os.kill(victim_pid, signal.SIGKILL)
+
+            survived, crashed = [], 0
+            for future in futures:
+                try:
+                    survived.append(future.result(timeout=60))
+                except ReplicaCrashed:
+                    crashed += 1
+            # Exactly the two requests parked on the killed replica fail;
+            # the survivor's batch completes untouched.
+            assert crashed == 2
+            assert len(survived) == 2
+            assert survived[0].shape == (32,)
+
+            # The replica respawned against the still-live segment and
+            # serves again — no re-decode, same shared weights.
+            wait_until(
+                lambda: servers[0].worker_pid not in (None, victim_pid),
+                message="replica respawn",
+            )
+            retry = [gateway.submit("m", x) for x in inputs[4:8]]
+            for future in retry:
+                assert future.result(timeout=60).shape == (32,)
+
+            stats = gateway.stats().models["m"]
+            assert stats.failures == 2
+            assert stats.completed == 6
+        gateway.close()
+        # A crashed-and-respawned run must still unlink everything.
+        assert _repro_segments() == before
+
+    def test_respawn_budget_exhaustion_marks_replica_dead(self, archive_blob):
+        store = shared_weight_store()
+        shared = store.acquire(archive_blob)
+        server = ProcessServer(
+            "m/0", batch_size=8, max_batch_delay=1.5, max_respawns=0
+        )
+        server.set_shared(shared)
+        try:
+            server.start()
+            x = np.ones(_INPUT_DIM, dtype=np.float32)
+            future = server.submit(x)
+            os.kill(server.worker_pid, signal.SIGKILL)
+            with pytest.raises(ReplicaCrashed, match="died"):
+                future.result(timeout=60)
+            # Budget spent (max_respawns=0): the replica stays down and
+            # rejects new work instead of crash-looping.
+            with pytest.raises(ReplicaCrashed, match="not respawning"):
+                server.submit(x)
+            assert server.inflight == 0
+        finally:
+            server.stop()
+            store.release(shared)
+
+    def test_worker_death_before_ready_raises_cleanly(self, archive_blob):
+        from types import SimpleNamespace
+
+        store = shared_weight_store()
+        shared = store.acquire(archive_blob)
+        # Point the worker at a nonexistent segment so reconstruction fails:
+        # start() must surface the worker's error, not hang or EOFError.
+        broken = dict(shared.manifest, segment="repro_does_not_exist")
+        server = ProcessServer("m/0")
+        server.set_shared(SimpleNamespace(manifest=broken))
+        try:
+            with pytest.raises(ValidationError, match="failed to start"):
+                server.start()
+        finally:
+            server.stop()
+            store.release(shared)

@@ -1,0 +1,162 @@
+"""Shared-memory weight cache: store lifecycle, manifests, zero-copy views.
+
+Everything here runs in one process — the cross-process behaviour (workers
+attaching, crash containment) lives in ``test_process_gateway.py``.  These
+tests pin the store's refcounted decode-once contract and prove the
+reconstruction really is zero-copy by checking the views alias the segment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn.sparse import SparseWeight
+from repro.serve.runtime import ModelRuntime
+from repro.serve.shm import SharedRuntime, SharedWeightStore
+from repro.utils.errors import ValidationError
+
+
+def _shm_has(segment_name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{segment_name}")
+
+
+@pytest.fixture()
+def store():
+    s = SharedWeightStore()
+    yield s
+    s.shutdown()
+
+
+class TestSharedWeightStore:
+    def test_acquire_is_refcounted_and_deduplicated(self, store, archive_blob):
+        first = store.acquire(archive_blob)
+        second = store.acquire(archive_blob)
+        assert second is first
+        assert first.refcount == 2
+        assert _shm_has(first.segment_name)
+        assert store.active_segments() == [first.segment_name]
+        # Decoded exactly once, for every layer, despite two acquires.
+        assert first.decodes == len(first.layer_names) == 3
+
+        store.release(first)
+        assert _shm_has(first.segment_name)  # one holder left
+        store.release(first)
+        assert not _shm_has(first.segment_name)
+        assert store.active_segments() == []
+
+    def test_dense_and_sparse_are_distinct_segments(self, store, archive_blob):
+        dense = store.acquire(archive_blob)
+        sparse = store.acquire(archive_blob, sparse=True)
+        assert dense is not sparse
+        assert dense.segment_name != sparse.segment_name
+        # Sparse packing stores CSC arrays, far below the dense footprint
+        # at the session model's ~10-25% densities.
+        assert 0 < sparse.total_bytes < dense.total_bytes
+        store.release(dense)
+        store.release(sparse)
+
+    def test_path_source_matches_bytes_source(self, store, archive_blob, tmp_path):
+        path = tmp_path / "model.dsz"
+        path.write_bytes(archive_blob)
+        from_bytes = store.acquire(archive_blob)
+        from_path = store.acquire(path)
+        assert from_path is from_bytes  # keyed by content digest, not source
+        store.release(from_bytes)
+        store.release(from_path)
+
+    def test_release_is_idempotent_for_stale_handles(self, store, archive_blob):
+        weights = store.acquire(archive_blob)
+        store.release(weights)
+        store.release(weights)  # already unlinked: must be a no-op
+        assert store.active_segments() == []
+
+    def test_shutdown_unlinks_everything(self, archive_blob):
+        store = SharedWeightStore()
+        weights = store.acquire(archive_blob)
+        name = weights.segment_name
+        store.shutdown()
+        assert not _shm_has(name)
+        # And a fresh acquire after shutdown builds a fresh segment.
+        again = store.acquire(archive_blob)
+        assert again is not weights
+        store.shutdown()
+
+    def test_manifest_is_json_serialisable(self, store, archive_blob):
+        weights = store.acquire(archive_blob, sparse=True)
+        roundtrip = json.loads(json.dumps(weights.manifest))
+        assert roundtrip == weights.manifest
+        with SharedRuntime(roundtrip) as runtime:
+            assert runtime.layer_names == weights.layer_names
+        store.release(weights)
+
+
+class TestSharedRuntime:
+    def test_dense_views_match_model_runtime(self, store, archive_blob):
+        weights = store.acquire(archive_blob)
+        with ModelRuntime(archive_blob) as reference, SharedRuntime(
+            weights.manifest
+        ) as shared:
+            assert shared.layer_names == reference.layer_names
+            assert not shared.sparse
+            for name in reference.layer_names:
+                assert shared.layer_shape(name) == reference.layer_shape(name)
+                view = shared.layer(name)
+                np.testing.assert_array_equal(view, reference.layer(name))
+                assert not view.flags.writeable
+                # Zero-copy: the view aliases the segment's buffer.
+                assert np.shares_memory(
+                    view, np.frombuffer(shared._segment.buf, dtype=np.uint8)
+                )
+            assert shared.resident_bytes == 0
+            assert shared.shared_bytes == weights.total_bytes > 0
+        store.release(weights)
+
+    def test_sparse_views_match_model_runtime(self, store, archive_blob):
+        weights = store.acquire(archive_blob, sparse=True)
+        rng = np.random.default_rng(3)
+        with ModelRuntime(archive_blob, sparse=True) as reference, SharedRuntime(
+            weights.manifest
+        ) as shared:
+            assert shared.sparse
+            for name in reference.layer_names:
+                view = shared.layer(name)
+                assert isinstance(view, SparseWeight)
+                ref = reference.layer(name)
+                assert view.shape == ref.shape
+                assert view.nnz == ref.nnz
+                x = rng.standard_normal((5, view.shape[1])).astype(np.float32)
+                np.testing.assert_allclose(
+                    view.matmul(x), ref.matmul(x), rtol=1e-6, atol=1e-6
+                )
+                # CSC data aliases the segment — no per-process copy.
+                assert np.shares_memory(
+                    view.matrix.data,
+                    np.frombuffer(shared._segment.buf, dtype=np.uint8),
+                )
+        store.release(weights)
+
+    def test_unknown_layer_raises(self, store, archive_blob):
+        weights = store.acquire(archive_blob)
+        with SharedRuntime(weights.manifest) as shared:
+            with pytest.raises(ValidationError, match="no layer"):
+                shared.layer("nope")
+            with pytest.raises(ValidationError, match="no layer"):
+                shared.layer_shape("nope")
+        store.release(weights)
+
+    def test_archive_mlp_runs_over_shared_runtime(self, store, archive_blob):
+        from repro.serve.gateway import ArchiveMLP
+
+        weights = store.acquire(archive_blob)
+        x = np.random.default_rng(4).standard_normal((7, 160)).astype(np.float32)
+        with ModelRuntime(archive_blob) as reference, SharedRuntime(
+            weights.manifest
+        ) as shared:
+            expected = ArchiveMLP(reference).forward(x)
+            actual = ArchiveMLP(shared).forward(x)
+        np.testing.assert_array_equal(actual, expected)
+        store.release(weights)
