@@ -28,6 +28,13 @@ open-loop saturation burst against a depth-8 admission queue, asserting
 that overload produces *fast-fail rejections* (bounded queue) rather than
 unbounded latency for the admitted requests.
 
+A final A/B experiment measures the cost of the observability layer
+itself: the same closed-loop gateway load runs with instrumentation
+enabled (the default) and disabled (``repro.obs.metrics.set_enabled``),
+arms interleaved, best-of-three per arm.  With no exporter attached the
+enabled arm must stay within ``REPRO_OBS_MAX_OVERHEAD_PCT`` (default 2%)
+of the disabled arm's throughput.
+
 Results are rendered to ``benchmarks/results/bench_serving.txt`` and the raw
 numbers to ``benchmarks/results/bench_serving.json``.  ``REPRO_SCALE=full``
 grows the synthetic layers to paper-ish sizes; ``REPRO_BENCH_SMOKE=1``
@@ -272,6 +279,65 @@ def bench_gateway_scaling() -> dict:
     return result
 
 
+def bench_obs_overhead() -> dict:
+    """A/B the gateway hot path with observability enabled vs disabled.
+
+    The obs layer's contract is "free when nobody is looking": with no
+    exporter attached and no scrape in flight, the instrumentation must
+    cost <= ``REPRO_OBS_MAX_OVERHEAD_PCT`` (default 2%) of end-to-end
+    throughput.  Arms are interleaved and the best of three runs per arm
+    is compared, so a noisy-neighbour blip in one run cannot manufacture
+    a phantom overhead.
+    """
+    from repro.obs import metrics as obs_metrics
+
+    source = {"model": _gateway_archive(seed=3)}
+    requests_per_client = 24 if _smoke() else 64
+
+    def throughput() -> float:
+        out = gateway_benchmark(
+            source,
+            replicas=2,
+            clients=4,
+            requests_per_client=requests_per_client,
+            burst=2,
+            backend="thread",
+            seed=0,
+            saturation_queue_depth=None,
+        )
+        return out["throughput_rps"]
+
+    enabled_rps, disabled_rps = [], []
+    for _ in range(3):
+        assert obs_metrics.is_enabled(), "obs must start enabled (the default)"
+        enabled_rps.append(throughput())
+        obs_metrics.set_enabled(False)
+        try:
+            disabled_rps.append(throughput())
+        finally:
+            obs_metrics.set_enabled(True)
+
+    best_on, best_off = max(enabled_rps), max(disabled_rps)
+    overhead_pct = (best_off - best_on) / best_off * 100.0 if best_off else 0.0
+    max_pct = float(os.environ.get("REPRO_OBS_MAX_OVERHEAD_PCT", "2.0"))
+    print(
+        f"obs overhead: enabled {best_on:,.0f} vs disabled {best_off:,.0f} req/s "
+        f"-> {overhead_pct:+.2f}% (limit {max_pct:.1f}%)"
+    )
+    assert overhead_pct <= max_pct, (
+        f"observability overhead {overhead_pct:+.2f}% exceeds the "
+        f"{max_pct:.1f}% limit: enabled best {best_on:.0f} req/s vs "
+        f"disabled best {best_off:.0f} req/s "
+        f"(enabled runs {enabled_rps}, disabled runs {disabled_rps})"
+    )
+    return {
+        "enabled_rps": best_on,
+        "disabled_rps": best_off,
+        "overhead_pct": overhead_pct,
+        "max_overhead_pct": max_pct,
+    }
+
+
 def bench_serving_cold_vs_warm() -> None:
     blob = _synthetic_archive()
     results = serving_benchmark(
@@ -281,6 +347,7 @@ def bench_serving_cold_vs_warm() -> None:
         warm_repeats=50,
     )
     results["gateway_sweep"] = bench_gateway_scaling()
+    results["obs_overhead"] = bench_obs_overhead()
 
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / "bench_serving.json").write_text(

@@ -6,7 +6,7 @@ subprocess of its existing script, so this runner cannot drift from what
 the scripts measure), reads the raw ``results/*.json`` each script wrote,
 and distills a *stable-schema* artifact per suite::
 
-    {"schema_version": 1, "suite": "serving", "mode": "smoke",
+    {"schema_version": 2, "suite": "serving", "mode": "smoke",
      "host_cores": <usable cores on the recording machine>,
      "metrics": {...flat name -> number...},
      "gate": [...metric names the perf-regression gate enforces...],
@@ -51,7 +51,9 @@ REPO_ROOT = BENCH_DIR.parent
 RESULTS_DIR = BENCH_DIR / "results"
 BASELINE_DIR = BENCH_DIR / "baselines"
 
-SCHEMA_VERSION = 1
+# v2: decode-stage timings, cache hit rate, and the observability
+# overhead measurement joined the serving metrics (all info-only).
+SCHEMA_VERSION = 2
 
 
 def _extract_serving(raw: dict) -> dict:
@@ -67,6 +69,17 @@ def _extract_serving(raw: dict) -> dict:
     }
     for count, rate in sweep["throughput_rps"].items():
         metrics[f"gateway_rps_{count}"] = rate
+    # Observability stamps (info-only: never gated — stage timings track
+    # codec work that legitimately moves, the overhead delta is noise-sized
+    # by design, and the hit rate depends on the access pattern).
+    for stage, seconds in raw.get("decode_stages", {}).items():
+        metrics[f"decode_stage_{stage}_ms"] = seconds * 1e3
+    cache = raw.get("cache", {})
+    if "hit_rate" in cache:
+        metrics["cache_hit_rate"] = cache["hit_rate"]
+    obs = raw.get("obs_overhead", {})
+    if "overhead_pct" in obs:
+        metrics["obs_overhead_pct"] = obs["overhead_pct"]
     gate = [
         "warm_vs_cold_speedup",
         "layer_access_rps_4",
@@ -154,6 +167,7 @@ def _suite_env(smoke: bool) -> dict:
     env.setdefault("REPRO_ASSESS_MIN_SPEEDUP", "1.0")
     env.setdefault("REPRO_SPARSE_MIN_SPEEDUP", "1.0")
     env.setdefault("REPRO_GATEWAY_MIN_SCALING", "0")
+    env.setdefault("REPRO_OBS_MAX_OVERHEAD_PCT", "100")
     return env
 
 

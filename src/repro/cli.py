@@ -31,6 +31,12 @@ Subcommands
     collapse.  ``--backend process`` runs the replicas as GIL-free worker
     processes over the shared-memory weight cache (``both`` prints a
     thread-vs-process comparison).
+``metrics``
+    Render a metrics dump produced by ``gateway-bench --metrics-out`` (or
+    any :meth:`~repro.obs.metrics.MetricsRegistry` exposition written to a
+    file): one-shot by default, ``--watch SECONDS`` to re-render as the
+    file is rewritten.  Prometheus text (``.prom``) and JSON dumps are both
+    understood.
 ``assess``
     Run Step 2 (error-bound assessment, Algorithm 1) on a zoo model with
     the parallel activation-reuse engine and print the per-layer
@@ -289,6 +295,11 @@ def _cmd_gateway_bench(args: argparse.Namespace) -> int:
             args.sparse == "mixed" and index % 2 == 1
         )
 
+    trace_sample = float(args.trace_sample)
+    trace_out = args.trace_out
+    if trace_sample > 0.0 and trace_out is None:
+        trace_out = "gateway_trace.jsonl"
+
     backends = ["thread", "process"] if args.backend == "both" else [args.backend]
     by_backend: Dict[str, Dict[str, Dict]] = {}
     for backend in backends:
@@ -307,6 +318,12 @@ def _cmd_gateway_bench(args: argparse.Namespace) -> int:
                 saturation_queue_depth=(
                     args.queue_depth if count == replica_counts[-1] else None
                 ),
+                # Traces append across the sweep; the metrics dump is
+                # rewritten per run, so the file ends up with the final
+                # (largest-pool, last-backend) snapshot.
+                trace_sample=trace_sample,
+                trace_path=trace_out,
+                metrics_path=args.metrics_out,
             )
         by_backend[backend] = sweep
 
@@ -363,6 +380,71 @@ def _cmd_gateway_bench(args: argparse.Namespace) -> int:
                 f"{saturation['latency_ms'].get('p99', 0.0):.1f} ms"
             )
     return 0
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+
+def _metrics_rows(path, fmt: str) -> List[List[str]]:
+    """Table rows (name, kind, labels, value) from a metrics dump file."""
+    from pathlib import Path as _Path
+
+    from repro.obs.metrics import parse_prometheus
+
+    path = _Path(path)
+    text = path.read_text(encoding="utf-8")
+    if fmt == "auto":
+        fmt = "prom" if path.suffix == ".prom" else "json"
+    rows: List[List[str]] = []
+    if fmt == "json":
+        payload = json.loads(text)
+        for name, family in sorted(payload.get("metrics", {}).items()):
+            for sample in family.get("samples", []):
+                labels = ",".join(
+                    f"{k}={v}" for k, v in sorted(sample.get("labels", {}).items())
+                )
+                hist = sample.get("histogram")
+                if hist is not None:
+                    value = f"count={hist['count']} sum={hist['sum']:.6g}"
+                else:
+                    value = f"{sample['value']:.6g}"
+                rows.append([name, family.get("kind", "?"), labels, value])
+    else:
+        for name, series in sorted(parse_prometheus(text).items()):
+            for labels, value in series["samples"]:
+                label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                rows.append([name, series["type"] or "?", label_text, f"{value:.6g}"])
+    return rows
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import time
+    from pathlib import Path as _Path
+
+    def render_once() -> int:
+        path = _Path(args.path)
+        if not path.exists():
+            print(f"(waiting for {path} to appear)")
+            return 1
+        rows = _metrics_rows(path, args.format)
+        print(render_table(["metric", "kind", "labels", "value"], rows,
+                           title=str(path)))
+        return 0
+
+    if args.watch is None:
+        missing = render_once()
+        if missing:
+            print(f"error: no metrics dump at {args.path}", file=sys.stderr)
+        return missing
+    try:
+        while True:
+            print(f"--- {time.strftime('%H:%M:%S')} ---")
+            render_once()
+            time.sleep(max(0.1, float(args.watch)))
+    except KeyboardInterrupt:
+        return 0
 
 
 # ---------------------------------------------------------------------------
@@ -564,8 +646,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="admission queue depth for the saturation burst")
     p.add_argument("--workers", type=int, default=1, help="encode pool workers")
     p.add_argument("--seed", type=int, default=0, help="synthetic weight seed")
+    p.add_argument("--trace-sample", type=float, default=0.0,
+                   help="trace this fraction of closed-loop requests "
+                        "(span JSONL; 1.0 = every request)")
+    p.add_argument("--trace-out", default=None,
+                   help="span JSONL output path (default gateway_trace.jsonl "
+                        "when --trace-sample > 0)")
+    p.add_argument("--metrics-out", default=None,
+                   help="dump the metrics registry here after the closed-loop "
+                        "phase (.prom = Prometheus text, else JSON)")
     p.add_argument("--json", action="store_true", help="emit JSON")
     p.set_defaults(func=_cmd_gateway_bench)
+
+    p = sub.add_parser(
+        "metrics", help="render a metrics dump (one-shot or --watch)"
+    )
+    p.add_argument("path", help="metrics dump file (.prom or .json)")
+    p.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                   help="re-render every SECONDS until interrupted")
+    p.add_argument("--format", default="auto", choices=["auto", "prom", "json"],
+                   help="dump format (auto = by file suffix)")
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser(
         "assess", help="run the Step 2 error-bound assessment on a zoo model"

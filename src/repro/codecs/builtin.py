@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.codecs.base import Codec, CodecInfo
 from repro.codecs.registry import register_codec
+from repro.obs import profile
 from repro.sz import lossless as sz_lossless
 from repro.sz.compressor import SZCompressionResult, SZCompressor
 from repro.sz.config import SZConfig
@@ -143,7 +144,10 @@ class LosslessByteCodec(Codec):
         return self._backend.compress(bytes(data))
 
     def decompress(self, payload: bytes, **_options) -> bytes:
-        return self._backend.decompress(payload)
+        # Registry-path lossless decodes (e.g. a layer's index array) count
+        # toward the same "lossless" decode stage as the SZ-internal pass.
+        with profile.stage("lossless"):
+            return self._backend.decompress(payload)
 
 
 def _register_lossless(backend: sz_lossless.LosslessBackend) -> None:

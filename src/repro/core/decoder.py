@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.codecs import Codec, get_codec
 from repro.core.encoder import CompressedModel
+from repro.obs import profile
 from repro.nn.network import Network
 from repro.nn.sparse import SparseWeight
 from repro.parallel.pool import TaskPool
@@ -124,7 +125,8 @@ def decode_compressed_layer(layer) -> np.ndarray:
         shape=layer.shape,
         nnz=layer.nnz,
     )
-    return decode_sparse(skeleton, data=data)
+    with profile.stage("build"):
+        return decode_sparse(skeleton, data=data)
 
 
 def decode_compressed_layer_sparse(layer) -> SparseLayer:

@@ -1,0 +1,53 @@
+"""Structured logging for the serving stack.
+
+The serve layer used to swallow cleanup anomalies (``except Exception:
+pass`` around pipe sends and shm unlinks), which made worker crashes and
+segment-cleanup bugs invisible.  Every such site now reports through a
+``repro.*`` stdlib logger obtained here.
+
+By default the ``repro`` logger tree carries only a ``NullHandler`` — a
+library must not write to stderr uninvited — so the cost of a swallowed
+anomaly is one disabled ``logger.debug()`` call.  Applications can attach
+their own handlers, and setting ``REPRO_LOG=<level>`` (e.g. ``REPRO_LOG=
+debug``) attaches a stderr handler for ad-hoc troubleshooting.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+
+__all__ = ["get_logger"]
+
+_ROOT_NAME = "repro"
+_ENV_VAR = "REPRO_LOG"
+
+_setup_lock = threading.Lock()
+_configured = False
+
+
+def _ensure_configured() -> None:
+    global _configured
+    with _setup_lock:
+        if _configured:
+            return
+        _configured = True
+        root = logging.getLogger(_ROOT_NAME)
+        root.addHandler(logging.NullHandler())
+        level = os.environ.get(_ENV_VAR, "").strip()
+        if level:
+            handler = logging.StreamHandler()
+            handler.setFormatter(
+                logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+            )
+            root.addHandler(handler)
+            root.setLevel(level.upper())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` tree (``get_logger("serve.worker")``)."""
+    _ensure_configured()
+    if name.startswith(_ROOT_NAME + ".") or name == _ROOT_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

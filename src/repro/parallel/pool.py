@@ -34,6 +34,7 @@ import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, List, Sequence, TypeVar
 
+from repro.obs import metrics as _obs_metrics
 from repro.utils.errors import ValidationError
 
 __all__ = ["WORKERS_ENV", "resolve_workers", "in_pool_worker", "TaskPool"]
@@ -126,6 +127,14 @@ class TaskPool:
         identical results because tasks are pure functions of their inputs.
         """
         tasks: Sequence[T] = list(items)
+        if _obs_metrics.is_enabled():
+            # Counted on the submitting side (pool workers may be separate
+            # processes whose registries are throwaway).
+            _obs_metrics.registry().counter(
+                "repro_taskpool_tasks_total",
+                "Tasks submitted through TaskPool.map, by pool mode.",
+                labels=("mode",),
+            ).labels(mode=self.mode).inc(len(tasks))
         if self.workers == 1 or len(tasks) <= 1 or in_pool_worker():
             if initializer is not None:
                 initializer(*initargs)

@@ -30,16 +30,39 @@ from __future__ import annotations
 
 import threading
 import time
+from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.obs.metrics import registry as metrics_registry
+from repro.obs.trace import JsonlSpanExporter, Tracer
 from repro.serve.gateway import Gateway
 from repro.serve.runtime import DEFAULT_CACHE_BYTES, ModelRuntime
 from repro.store.archive import ModelArchive
 from repro.utils.errors import GatewayOverloaded, ValidationError
 
-__all__ = ["serving_benchmark", "gateway_benchmark"]
+__all__ = ["serving_benchmark", "gateway_benchmark", "dump_metrics"]
+
+
+def dump_metrics(path: Union[str, Path]) -> Path:
+    """Write the process-wide metrics registry to ``path``.
+
+    ``.prom`` suffix selects Prometheus text exposition; anything else gets
+    the JSON form.  Returns the written path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".prom":
+        path.write_text(metrics_registry().to_prometheus(), encoding="utf-8")
+    else:
+        import json
+
+        path.write_text(
+            json.dumps(metrics_registry().to_json(), indent=2, sort_keys=True),
+            encoding="utf-8",
+        )
+    return path
 
 
 def _fresh_runtime(source, cache_bytes: int, sparse: bool) -> ModelRuntime:
@@ -77,6 +100,9 @@ def gateway_benchmark(
     seed: int = 0,
     saturation_queue_depth: Optional[int] = 8,
     backend: str = "thread",
+    trace_sample: float = 0.0,
+    trace_path: Optional[Union[str, Path]] = None,
+    metrics_path: Optional[Union[str, Path]] = None,
 ) -> Dict:
     """Drive a multi-model gateway under closed-loop load, then saturate it.
 
@@ -97,7 +123,12 @@ def gateway_benchmark(
     the admitted ones — bounded-queue overload, not latency collapse.
     ``backend`` selects the replica execution backend (``"thread"`` keeps
     everything in-process; ``"process"`` runs GIL-free worker processes
-    over the shared-memory weight cache).  Returns a JSON-ready dict.
+    over the shared-memory weight cache).
+
+    ``trace_sample`` > 0 (with ``trace_path``) traces that fraction of the
+    closed-loop requests into a span JSONL file; ``metrics_path`` dumps the
+    metrics registry after the closed-loop phase (``.prom`` → Prometheus
+    text, else JSON).  Returns a JSON-ready dict.
     """
     if not sources:
         raise ValidationError("gateway_benchmark needs at least one model source")
@@ -105,14 +136,25 @@ def gateway_benchmark(
         raise ValidationError("clients and requests_per_client must be >= 1")
     if int(burst) < 1:
         raise ValidationError("burst must be >= 1")
+    if float(trace_sample) > 0.0 and trace_path is None:
+        raise ValidationError("trace_sample > 0 needs a trace_path to export to")
     names = list(sources)
     sparse_by_name = (
         dict(sparse) if isinstance(sparse, dict) else {name: bool(sparse) for name in names}
     )
     input_dims = {name: _archive_input_dim(src) for name, src in sources.items()}
+    exporter: Optional[JsonlSpanExporter] = None
+    tracer: Optional[Tracer] = None
+    if float(trace_sample) > 0.0:
+        exporter = JsonlSpanExporter(trace_path)
+        tracer = Tracer(float(trace_sample), exporter, seed=seed)
 
-    def build(max_queue_depth: int, concurrency_cap: Optional[int]) -> Gateway:
-        gateway = Gateway(replica_backend=backend)
+    def build(
+        max_queue_depth: int,
+        concurrency_cap: Optional[int],
+        gw_tracer: Optional[Tracer] = None,
+    ) -> Gateway:
+        gateway = Gateway(replica_backend=backend, tracer=gw_tracer)
         for name, src in sources.items():
             gateway.add_model(
                 name,
@@ -130,7 +172,11 @@ def gateway_benchmark(
 
     # -- closed-loop load phase --------------------------------------------
     total_requests = int(clients) * int(requests_per_client)
-    gateway = build(max_queue_depth=total_requests + 1, concurrency_cap=max_concurrency)
+    gateway = build(
+        max_queue_depth=total_requests + 1,
+        concurrency_cap=max_concurrency,
+        gw_tracer=tracer,
+    )
     rng = np.random.default_rng(seed)
     inputs = {
         name: rng.standard_normal((1, dim)).astype(np.float32)[0]
@@ -172,8 +218,14 @@ def gateway_benchmark(
             thread.join()
         elapsed = time.perf_counter() - start
         stats = gateway.stats()
+        if metrics_path is not None:
+            # While the gateway is still running: its collector only feeds
+            # the registry between start() and stop().
+            dump_metrics(metrics_path)
     finally:
         gateway.close()
+        if tracer is not None:
+            tracer.close()
     if errors:
         raise errors[0]
 
@@ -204,6 +256,14 @@ def gateway_benchmark(
             for name, model in stats.models.items()
         },
     }
+    if exporter is not None:
+        results["trace"] = {
+            "sample_rate": float(trace_sample),
+            "path": str(trace_path),
+            "spans_exported": int(exporter.exported),
+        }
+    if metrics_path is not None:
+        results["metrics_path"] = str(metrics_path)
 
     # -- open-loop saturation phase ----------------------------------------
     if saturation_queue_depth is not None:
@@ -318,7 +378,9 @@ def serving_benchmark(
             total_accesses = workers * accesses_per_thread
             throughput[str(workers)] = total_accesses / elapsed if elapsed else 0.0
 
-        cache_stats = runtime.stats().cache.as_dict()
+        runtime_stats = runtime.stats()
+        cache_stats = runtime_stats.cache.as_dict()
+        decode_stages = dict(runtime_stats.stage_seconds)
     finally:
         runtime.close()
 
@@ -335,6 +397,9 @@ def serving_benchmark(
         ),
         "throughput_accesses_per_s": throughput,
         "cache": cache_stats,
+        # Per-codec-stage decode seconds for the warm runtime's decodes
+        # (obs profiling hooks; empty when instrumentation is disabled).
+        "decode_stages": decode_stages,
     }
 
     if gateway_replicas:

@@ -63,8 +63,12 @@ import numpy as np
 
 from repro.core.encoder import CompressedModel
 from repro.nn.sparse import SparseWeight
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile
+from repro.obs.metrics import Histogram, MetricSample, MetricsRegistry
+from repro.obs.trace import Span, Tracer
 from repro.serve.runtime import DEFAULT_CACHE_BYTES, ModelRuntime
-from repro.serve.server import Server, ServerStats, latency_percentiles
+from repro.serve.server import Server, ServerStats
 from repro.serve.shm import shared_weight_store
 from repro.serve.worker import ProcessServer
 from repro.store.archive import archive_bytes
@@ -281,8 +285,16 @@ class ArchiveMLP:
         if h.ndim == 1:
             h = h[None, :]
         last = len(self._names) - 1
+        fetch_log = profile.active_fetch_log()
         for i, name in enumerate(self._names):
-            weight = self._runtime.layer(name)
+            if fetch_log is not None:
+                # A traced/profiled batch: time each weight fetch (a cache
+                # hit, a decode-on-demand, or a shared-segment view lookup).
+                fetch_start = time.time()
+                weight = self._runtime.layer(name)
+                profile.record_fetch(name, fetch_start, time.time())
+            else:
+                weight = self._runtime.layer(name)
             if isinstance(weight, SparseWeight):
                 h = weight.matmul(h)
             else:
@@ -355,6 +367,8 @@ class _GatewayRequest:
     key: Optional[str]
     future: Future
     enqueued: float
+    span: Optional[Span] = None
+    wall_enqueued: float = 0.0  # time.time() twin of enqueued, traced only
 
 
 class _Model:
@@ -395,7 +409,10 @@ class _Model:
         self.completed = 0
         self.failures = 0
         self.rejected = 0
-        self.latencies: List[float] = []
+        # Bounded replacement for the old unbounded per-request latency
+        # list: log-scale buckets for percentile exposition plus a fixed
+        # reservoir that keeps small-run percentiles exact.
+        self.latency_hist = Histogram()
 
     def reset_for_run(self) -> None:
         """Fresh queue/semaphore/counters for a new gateway run (stats are
@@ -407,7 +424,7 @@ class _Model:
         self.completed = 0
         self.failures = 0
         self.rejected = 0
-        self.latencies = []
+        self.latency_hist = Histogram()
         for replica in self.replicas:
             replica.dispatched = 0
         self.accepting = True
@@ -540,7 +557,14 @@ class Gateway:
             probs = future.result()
     """
 
-    def __init__(self, *, store=None, replica_backend: str = "thread") -> None:
+    def __init__(
+        self,
+        *,
+        store=None,
+        replica_backend: str = "thread",
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._store = store
         self._default_backend = _resolve_backend(replica_backend, "thread")
         self._models: Dict[str, _Model] = {}
@@ -549,6 +573,17 @@ class Gateway:
         self._closed = False
         self._started_at = 0.0
         self._stopped_at: Optional[float] = None
+        # Tracing: no exporter → Tracer.sample() short-circuits to False and
+        # the request path never builds a span.  Metrics: the gateway is a
+        # *collector* on the registry (registered per run), so serving hot
+        # paths write only their existing counters; metric samples are built
+        # at scrape time from the same state stats() reads.
+        self._tracer = tracer if tracer is not None else Tracer()
+        self._registry = metrics if metrics is not None else obs_metrics.registry()
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer
 
     # -- model management --------------------------------------------------
     def add_model(
@@ -756,6 +791,7 @@ class Gateway:
             self._running = True
             self._started_at = time.perf_counter()
             self._stopped_at = None
+            self._registry.register_collector(self._collect)
         return self
 
     def stop(self) -> None:
@@ -789,6 +825,7 @@ class Gateway:
                 # restart re-acquires (and, if needed, re-decodes) cleanly.
                 shared_weight_store().release(entry.shared)
                 entry.shared = None
+        self._registry.unregister_collector(self._collect)
         self._stopped_at = time.perf_counter()
 
     def close(self) -> None:
@@ -819,27 +856,41 @@ class Gateway:
         :class:`ValidationError` when the gateway is not running.
         """
         entry = self._model(model)
+        span: Optional[Span] = None
+        if self._tracer.sample():
+            span = self._tracer.start_span("gateway.request", attrs={"model": model})
+            if key is not None:
+                span.set(key=key)
         request = _GatewayRequest(
             x=np.asarray(x, dtype=np.float32),
             key=key,
             future=Future(),
             enqueued=time.perf_counter(),
+            span=span,
+            wall_enqueued=time.time() if span is not None else 0.0,
         )
-        with entry.lock:
-            if not entry.accepting:
-                raise ValidationError("gateway is not running (call start())")
-            if entry.queued >= entry.max_queue_depth:
-                entry.rejected += 1
-                raise GatewayOverloaded(
-                    f"model {model!r} is saturated: gateway queue is at its "
-                    f"depth limit of {entry.max_queue_depth}; retry with "
-                    "backoff or shed load"
-                )
-            entry.queued += 1
-            entry.submitted += 1
-            # Enqueue under the admission lock so no request can land
-            # behind stop()'s shutdown sentinel.
-            entry.queue.put(request)
+        try:
+            with entry.lock:
+                if not entry.accepting:
+                    raise ValidationError("gateway is not running (call start())")
+                if entry.queued >= entry.max_queue_depth:
+                    entry.rejected += 1
+                    raise GatewayOverloaded(
+                        f"model {model!r} is saturated: gateway queue is at its "
+                        f"depth limit of {entry.max_queue_depth}; retry with "
+                        "backoff or shed load"
+                    )
+                entry.queued += 1
+                entry.submitted += 1
+                # Enqueue under the admission lock so no request can land
+                # behind stop()'s shutdown sentinel.
+                entry.queue.put(request)
+        except BaseException as exc:
+            if span is not None:
+                status = "rejected" if isinstance(exc, GatewayOverloaded) else "error"
+                span.set(status=status)
+                span.finish()
+            raise
         return request.future
 
     def submit_many(
@@ -881,15 +932,26 @@ class Gateway:
             if request is None:
                 return
             entry.semaphore.acquire()
+            span = request.span
+            if span is not None:
+                # Admission wait: submit-time enqueue → concurrency slot.
+                span.child("gateway.admission", start_s=request.wall_enqueued).finish()
             dequeued = False
             try:
+                shard_start = time.time() if span is not None else 0.0
                 index = int(entry.policy.choose(entry.replicas, request.key))
                 replica = entry.replicas[index]
+                if span is not None:
+                    span.child(
+                        "gateway.shard",
+                        start_s=shard_start,
+                        attrs={"policy": entry.policy.name, "replica": replica.id},
+                    ).finish()
                 with entry.lock:
                     entry.queued -= 1
                     replica.dispatched += 1
                 dequeued = True
-                inner = replica.server.submit(request.x)
+                inner = replica.server.submit(request.x, span)
             except BaseException as exc:
                 # A failing shard policy (or replica submit) must not leak
                 # the admission counter, or the model saturates forever.
@@ -898,6 +960,9 @@ class Gateway:
                     if not dequeued:
                         entry.queued -= 1
                 entry.semaphore.release()
+                if span is not None:
+                    span.set(status="error")
+                    span.finish()
                 request.future.set_exception(exc)
                 continue
             inner.add_done_callback(
@@ -908,7 +973,7 @@ class Gateway:
         done = time.perf_counter()
         exc = inner.exception()
         with entry.lock:
-            entry.latencies.append(done - request.enqueued)
+            entry.latency_hist.observe(done - request.enqueued)
             if exc is None:
                 entry.completed += 1
             else:
@@ -916,6 +981,10 @@ class Gateway:
         # Free the concurrency slot before waking the caller so a resolved
         # future's owner can immediately submit into the freed capacity.
         entry.semaphore.release()
+        if request.span is not None:
+            if exc is not None:
+                request.span.set(status="error")
+            request.span.finish()
         if exc is None:
             request.future.set_result(inner.result())
         else:
@@ -926,12 +995,12 @@ class Gateway:
         end = self._stopped_at if self._stopped_at is not None else time.perf_counter()
         elapsed = max(end - self._started_at, 0.0) if self._started_at else 0.0
         total = GatewayStats(elapsed_seconds=elapsed)
-        all_latencies: List[float] = []
+        fleet_hist = Histogram()
         with self._gate_lock:
             entries = list(self._models.values())
         for entry in entries:
             with entry.lock:
-                latencies = list(entry.latencies)
+                hist = entry.latency_hist.copy()
                 model = ModelStats(
                     name=entry.name,
                     policy=entry.policy.name,
@@ -947,7 +1016,7 @@ class Gateway:
                     elapsed_seconds=elapsed,
                 )
                 dispatched = [replica.dispatched for replica in entry.replicas]
-            model.latencies_ms = latency_percentiles(latencies)
+            model.latencies_ms = hist.percentiles(scale=1e3)
             model.replicas = [
                 ReplicaStats(
                     id=replica.id,
@@ -959,7 +1028,7 @@ class Gateway:
                 )
                 for replica, count in zip(entry.replicas, dispatched)
             ]
-            all_latencies.extend(latencies)
+            fleet_hist.merge(hist)
             total.models[entry.name] = model
             total.submitted += model.submitted
             total.completed += model.completed
@@ -967,8 +1036,139 @@ class Gateway:
             total.rejected += model.rejected
             total.cache_bytes += model.cache_bytes
             total.shared_bytes += model.shared_bytes
-        total.latencies_ms = latency_percentiles(all_latencies)
+        total.latencies_ms = fleet_hist.percentiles(scale=1e3)
         return total
+
+    def _collect(self) -> List[MetricSample]:
+        """Registry collector: the serving fleet as metric samples.
+
+        Runs at scrape time only, reading the same per-model state
+        :meth:`stats` reads — the request hot path never touches the
+        registry.  Registered at :meth:`start`, unregistered at
+        :meth:`stop`.
+        """
+        samples: List[MetricSample] = []
+        with self._gate_lock:
+            entries = list(self._models.values())
+        for entry in entries:
+            with entry.lock:
+                outcomes = {
+                    "submitted": entry.submitted,
+                    "completed": entry.completed,
+                    "failed": entry.failures,
+                    "rejected": entry.rejected,
+                }
+                queued = entry.queued
+                hist = entry.latency_hist.copy()
+            for outcome, value in sorted(outcomes.items()):
+                samples.append(
+                    MetricSample(
+                        name="repro_gateway_requests_total",
+                        kind="counter",
+                        help="Gateway requests by model and outcome.",
+                        labels={"model": entry.name, "outcome": outcome},
+                        value=float(value),
+                    )
+                )
+            samples.append(
+                MetricSample(
+                    name="repro_gateway_queue_depth",
+                    kind="gauge",
+                    help="Requests admitted but not yet dispatched to a replica.",
+                    labels={"model": entry.name},
+                    value=float(queued),
+                )
+            )
+            samples.append(
+                MetricSample(
+                    name="repro_gateway_latency_seconds",
+                    kind="histogram",
+                    help="Submit-to-resolve request latency by model.",
+                    labels={"model": entry.name},
+                    histogram=hist.to_dict(),
+                )
+            )
+            cache_totals = {
+                "hits": 0,
+                "misses": 0,
+                "evictions": 0,
+                "coalesced": 0,
+            }
+            cache_resident = 0
+            for replica in entry.replicas:
+                labels = {"model": entry.name, "replica": replica.id}
+                samples.append(
+                    MetricSample(
+                        name="repro_replica_inflight",
+                        kind="gauge",
+                        help="Requests in service on a replica (queued + batching).",
+                        labels=labels,
+                        value=float(replica.inflight),
+                    )
+                )
+                samples.append(
+                    MetricSample(
+                        name="repro_replica_dispatched_total",
+                        kind="counter",
+                        help="Requests the shard policy routed to a replica.",
+                        labels=labels,
+                        value=float(replica.dispatched),
+                    )
+                )
+                if replica.runtime is not None:
+                    cache = replica.runtime.stats().cache
+                    cache_totals["hits"] += cache.hits
+                    cache_totals["misses"] += cache.misses
+                    cache_totals["evictions"] += cache.evictions
+                    cache_totals["coalesced"] += cache.coalesced
+                    cache_resident += cache.current_bytes
+                if isinstance(replica.server, ProcessServer):
+                    counters = replica.server.worker_counters()
+                    for stage, ns_slot, count_slot in (
+                        ("forward", "forward_ns", "forward_count"),
+                        ("fetch", "fetch_ns", "fetch_count"),
+                    ):
+                        samples.append(
+                            MetricSample(
+                                name="repro_worker_stage_seconds_total",
+                                kind="counter",
+                                help=(
+                                    "Worker-process time by serving stage "
+                                    "(forward pass, per-layer weight fetch)."
+                                ),
+                                labels={**labels, "stage": stage},
+                                value=counters[ns_slot] / 1e9,
+                            )
+                        )
+                        samples.append(
+                            MetricSample(
+                                name="repro_worker_stage_total",
+                                kind="counter",
+                                help="Worker-process stage executions.",
+                                labels={**labels, "stage": stage},
+                                value=float(counters[count_slot]),
+                            )
+                        )
+            for event, value in sorted(cache_totals.items()):
+                samples.append(
+                    MetricSample(
+                        name="repro_cache_events_total",
+                        kind="counter",
+                        help="Decoded-layer cache events across a model's replicas.",
+                        labels={"model": entry.name, "event": event},
+                        value=float(value),
+                    )
+                )
+            samples.append(
+                MetricSample(
+                    name="repro_cache_resident_bytes",
+                    kind="gauge",
+                    help="Decoded bytes resident across a model's replica caches.",
+                    labels={"model": entry.name},
+                    value=float(cache_resident),
+                )
+            )
+        return samples
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         names = ", ".join(

@@ -28,6 +28,7 @@ import numpy as np  # noqa: F401 - np.ndarray in docs/annotations
 from repro.core.decoder import decode_compressed_layer, decode_compressed_layer_sparse
 from repro.core.encoder import CompressedModel
 from repro.nn.sparse import SparseWeight
+from repro.obs import profile
 from repro.parallel.pool import TaskPool
 from repro.serve.cache import CacheStats, LRUCache
 from repro.store.archive import ModelArchive, archive_bytes
@@ -46,12 +47,18 @@ DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
 
 @dataclass
 class RuntimeStats:
-    """Serving-side counters: cache behaviour plus per-layer decode cost."""
+    """Serving-side counters: cache behaviour plus per-layer decode cost.
+
+    ``stage_seconds`` breaks the decode time down by codec stage
+    (:data:`repro.obs.profile.DECODE_STAGES`) — populated whenever the
+    observability instrumentation is enabled, empty otherwise.
+    """
 
     cache: CacheStats
     decodes: int = 0
     decode_seconds: Dict[str, float] = field(default_factory=dict)
     bytes_read: int = 0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_decode_seconds(self) -> float:
@@ -64,6 +71,7 @@ class RuntimeStats:
             "decode_seconds": dict(self.decode_seconds),
             "total_decode_seconds": self.total_decode_seconds,
             "bytes_read": self.bytes_read,
+            "stage_seconds": dict(self.stage_seconds),
         }
 
 
@@ -118,6 +126,7 @@ class ModelRuntime:
         self._stats_lock = threading.Lock()
         self._decodes = 0
         self._decode_seconds: Dict[str, float] = {}
+        self._stage_seconds: Dict[str, float] = {}
         self._bytes_read = 0
         self._closed = False
 
@@ -166,6 +175,7 @@ class ModelRuntime:
                 decodes=self._decodes,
                 decode_seconds=dict(self._decode_seconds),
                 bytes_read=self._bytes_read,
+                stage_seconds=dict(self._stage_seconds),
             )
 
     # -- decoding ----------------------------------------------------------
@@ -181,20 +191,24 @@ class ModelRuntime:
         return self._cache.get_or_create(name, lambda: self._decode(name))
 
     def _decode(self, name: str) -> "tuple[np.ndarray | SparseWeight, int]":
+        # The stage sink is installed *here* — inside the task — so decodes
+        # running on prefetch pool threads attribute their codec stages to
+        # this runtime exactly like request-path decodes do.
         start = time.perf_counter()
-        compressed = self._archive.read_layer(name, verify=self._verify)
-        if self._sparse:
-            # Compressed-domain fast path: stop at the two-array form and
-            # build the CSC kernel operand; the entry is charged its true
-            # data + indices + indptr footprint, not the dense nbytes.
-            value = SparseWeight.from_sparse_layer(
-                decode_compressed_layer_sparse(compressed)
-            )
-            size = value.nbytes
-        else:
-            dense = decode_compressed_layer(compressed)
-            dense.flags.writeable = False
-            value, size = dense, int(dense.nbytes)
+        with profile.stage_sink() as stages:
+            compressed = self._archive.read_layer(name, verify=self._verify)
+            if self._sparse:
+                # Compressed-domain fast path: stop at the two-array form and
+                # build the CSC kernel operand; the entry is charged its true
+                # data + indices + indptr footprint, not the dense nbytes.
+                sparse_layer = decode_compressed_layer_sparse(compressed)
+                with profile.stage("build"):
+                    value = SparseWeight.from_sparse_layer(sparse_layer)
+                size = value.nbytes
+            else:
+                dense = decode_compressed_layer(compressed)
+                dense.flags.writeable = False
+                value, size = dense, int(dense.nbytes)
         elapsed = time.perf_counter() - start
         with self._stats_lock:
             self._decodes += 1
@@ -202,6 +216,10 @@ class ModelRuntime:
                 self._decode_seconds.get(name, 0.0) + elapsed
             )
             self._bytes_read += compressed.compressed_bytes
+            for stage_name, seconds in stages.items():
+                self._stage_seconds[stage_name] = (
+                    self._stage_seconds.get(stage_name, 0.0) + seconds
+                )
         return value, size
 
     def prefetch(

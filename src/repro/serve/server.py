@@ -14,10 +14,17 @@ BLAS matmuls, or — when the weights were installed from a sparse-mode
 :class:`~repro.serve.runtime.ModelRuntime` — compressed-domain CSC matmuls
 that exploit the pruned layers' ~10% density batch after batch.
 
-Per-request latency (submit to result) and batch sizes are recorded, and
-:meth:`Server.stats` reports throughput plus latency percentiles — the
-numbers ``python -m repro serve-bench`` and ``benchmarks/bench_serving.py``
-publish.
+Per-request latency (submit to result) and batch sizes are recorded in a
+bounded :class:`~repro.obs.metrics.Histogram` (log-scale buckets plus a
+seeded reservoir — flat memory under sustained load, unlike the unbounded
+lists it replaced), and :meth:`Server.stats` reports throughput plus
+latency percentiles — the numbers ``python -m repro serve-bench`` and
+``benchmarks/bench_serving.py`` publish.
+
+Requests submitted with a live trace span (see :mod:`repro.obs.trace`) get
+``replica.queue`` / ``replica.batch`` / ``replica.forward`` child spans,
+plus one ``replica.decode`` span per decode-on-demand weight fetch the
+forward pass triggered; untraced requests pay only a ``None`` check.
 """
 
 from __future__ import annotations
@@ -31,6 +38,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import profile
+from repro.obs.metrics import Histogram
+from repro.obs.trace import Span
 from repro.serve.runtime import ModelRuntime
 from repro.utils.errors import ValidationError
 
@@ -76,6 +86,8 @@ class _Request:
     x: np.ndarray
     future: Future
     enqueued: float
+    span: Optional[Span] = None  # gateway-side root; None for untraced requests
+    wall_enqueued: float = 0.0  # wall clock, only captured when traced
 
 
 class Server:
@@ -116,8 +128,9 @@ class Server:
         self._worker: Optional[threading.Thread] = None
         self._running = False
         self._lock = threading.Lock()
-        self._latencies: List[float] = []
-        self._batch_sizes: List[int] = []
+        self._latency_hist = Histogram()
+        self._batches = 0
+        self._batch_items = 0
         self._failures = 0
         self._inflight = 0
         self._started_at = 0.0
@@ -148,8 +161,9 @@ class Server:
             # Stats cover one run ("since server start"): a restart resets
             # the counters along with the elapsed clock, or throughput
             # would divide old requests by the new run's elapsed time.
-            self._latencies = []
-            self._batch_sizes = []
+            self._latency_hist = Histogram()
+            self._batches = 0
+            self._batch_items = 0
             self._failures = 0
             self._inflight = 0
             self._started_at = time.perf_counter()
@@ -185,12 +199,19 @@ class Server:
         self.stop()
 
     # -- request path ------------------------------------------------------
-    def submit(self, x: np.ndarray) -> Future:
-        """Enqueue one sample; the future resolves to its probability row."""
+    def submit(self, x: np.ndarray, span: Optional[Span] = None) -> Future:
+        """Enqueue one sample; the future resolves to its probability row.
+
+        ``span`` is an optional live trace span (the gateway-side request
+        root): when present the batching loop emits queue/batch/forward/
+        decode child spans for this request.
+        """
         request = _Request(
             x=np.asarray(x, dtype=np.float32),
             future=Future(),
             enqueued=time.perf_counter(),
+            span=span,
+            wall_enqueued=time.time() if span is not None else 0.0,
         )
         # The running check and the put are one atomic step: stop() enqueues
         # its sentinel under the same lock, so a request can never land
@@ -254,9 +275,20 @@ class Server:
                 return
 
     def _run_batch(self, batch: Sequence[_Request]) -> None:
+        traced = [req for req in batch if req.span is not None]
+        wall_assembled = time.time() if traced else 0.0
+        fetches: List[profile.FetchRecord] = []
         try:
             inputs = np.stack([req.x for req in batch])
-            probs = self._network.forward(inputs, training=False)
+            if traced:
+                # A traced batch collects (layer, start, end) for every
+                # decode-on-demand weight fetch the forward pass triggers.
+                with profile.collect_fetches() as fetches:
+                    wall_fwd_start = time.time()
+                    probs = self._network.forward(inputs, training=False)
+                    wall_fwd_end = time.time()
+            else:
+                probs = self._network.forward(inputs, training=False)
         except BaseException as exc:  # propagate to every caller in the batch
             done = time.perf_counter()
             with self._lock:
@@ -267,14 +299,48 @@ class Server:
             return
         done = time.perf_counter()
         with self._lock:
-            self._batch_sizes.append(len(batch))
+            self._batches += 1
+            self._batch_items += len(batch)
+        if traced:
+            self._emit_spans(
+                traced, len(batch), wall_assembled, wall_fwd_start, wall_fwd_end, fetches
+            )
         for req, row in zip(batch, probs):
             self._record_latency(req, done)
             req.future.set_result(row)
 
+    @staticmethod
+    def _emit_spans(
+        traced: Sequence[_Request],
+        batch_size: int,
+        assembled_s: float,
+        fwd_start_s: float,
+        fwd_end_s: float,
+        fetches: Sequence[profile.FetchRecord],
+    ) -> None:
+        """Per traced request: queue → batch → forward (+ per-layer decode).
+
+        Decode spans are duplicated into every traced tree of the batch —
+        each request's tree stays complete on its own, which is what trace
+        tooling (and the CI validator) consume.
+        """
+        for req in traced:
+            queue_span = req.span.child("replica.queue", start_s=req.wall_enqueued)
+            queue_span.finish(assembled_s)
+            batch_span = req.span.child(
+                "replica.batch", start_s=assembled_s, attrs={"batch_size": batch_size}
+            )
+            forward = batch_span.child("replica.forward", start_s=fwd_start_s)
+            for layer, fetch_start, fetch_end in fetches:
+                forward.child(
+                    "replica.decode", start_s=fetch_start, attrs={"layer": layer}
+                ).finish(fetch_end)
+            forward.finish(fwd_end_s)
+            batch_span.finish(fwd_end_s)
+
     def _record_latency(self, req: _Request, done: float) -> None:
         with self._lock:
-            self._latencies.append(done - req.enqueued)
+            self._latency_hist.observe(done - req.enqueued)
             self._inflight -= 1
 
     @property
@@ -286,20 +352,26 @@ class Server:
         with self._lock:
             return self._inflight
 
+    def latency_histogram(self) -> Histogram:
+        """A consistent snapshot of the bounded latency histogram (seconds)."""
+        with self._lock:
+            return self._latency_hist.copy()
+
     # -- statistics --------------------------------------------------------
     def stats(self) -> ServerStats:
         with self._lock:
-            latencies = list(self._latencies)
-            batch_sizes = list(self._batch_sizes)
+            requests = self._latency_hist.count
+            percentiles = self._latency_hist.percentiles(scale=1e3)
+            batches = self._batches
+            batch_items = self._batch_items
             failures = self._failures
         end = self._stopped_at if self._stopped_at is not None else time.perf_counter()
         elapsed = max(end - self._started_at, 0.0) if self._started_at else 0.0
-        percentiles = latency_percentiles(latencies)
         return ServerStats(
-            requests=len(latencies),
-            batches=len(batch_sizes),
+            requests=requests,
+            batches=batches,
             failures=failures,
             elapsed_seconds=elapsed,
             latencies_ms=percentiles,
-            mean_batch_size=float(np.mean(batch_sizes)) if batch_sizes else 0.0,
+            mean_batch_size=batch_items / batches if batches else 0.0,
         )

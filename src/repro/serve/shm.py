@@ -53,6 +53,7 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from repro.nn.sparse import SparseWeight
+from repro.obs.log import get_logger
 from repro.utils.errors import ValidationError
 
 __all__ = [
@@ -61,6 +62,8 @@ __all__ = [
     "SharedWeightStore",
     "shared_weight_store",
 ]
+
+_log = get_logger("serve.shm")
 
 #: Segment offsets are aligned so every view starts on a cache line.
 _ALIGN = 64
@@ -159,12 +162,15 @@ class SharedModelWeights:
         """Close and unlink the segment (idempotent; creator only)."""
         try:
             self._segment.close()
-        except BufferError:  # a live view pins the mapping; unlink anyway
-            pass
+        except BufferError:
+            # A live view pins the mapping; unlink proceeds anyway and the
+            # mapping dies with the process.  Logged because a *persistent*
+            # pin here means some reader outlived its replica.
+            _log.debug("segment %s close blocked by a live view", self._segment.name)
         try:
             self._segment.unlink()
         except FileNotFoundError:
-            pass
+            _log.debug("segment %s already unlinked", self._segment.name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -229,6 +235,14 @@ class SharedWeightStore:
         with self._lock:
             entries = list(self._entries.values())
             self._entries.clear()
+        if entries:
+            # Reaching exit with live segments means some gateway skipped
+            # its release() — worth a warning, not silence.
+            _log.warning(
+                "unlinking %d shared weight segment(s) still live at shutdown: %s",
+                len(entries),
+                [entry.segment_name for entry in entries],
+            )
         for entry in entries:
             entry.unlink()
 
@@ -436,8 +450,13 @@ class SharedRuntime:
         self._layers.clear()
         try:
             self._segment.close()
-        except BufferError:  # a caller still holds a view; process exit cleans up
-            pass
+        except BufferError:
+            # A caller still holds a weight view; the mapping is released at
+            # process exit instead.  Visible under REPRO_LOG for leak hunts.
+            _log.debug(
+                "shared runtime detach from %s blocked by a live view",
+                self.manifest["segment"],
+            )
 
     def __enter__(self) -> "SharedRuntime":
         return self

@@ -18,10 +18,22 @@ interpreter's GIL.  A *process* replica moves the hot loop out:
   :class:`~repro.serve.gateway.Replica` expects from a ``Server``
   (``start/stop/submit/infer/inflight/stats``), so the gateway's dispatch,
   draining, and stats code is backend-agnostic.  Requests travel as
-  ``(id, sample)`` tuples over a one-way pipe; responses come back batched.
-  The in-flight gauge is a shared ``multiprocessing.Value`` — readable
-  from any process, which keeps :class:`LeastLoadedPolicy` correct no
-  matter where it runs — and batch counters flow back the same way.
+  ``(id, sample, trace_ctx)`` tuples over a one-way pipe; responses come
+  back batched.  The in-flight gauge is a shared ``multiprocessing.Value``
+  — readable from any process, which keeps :class:`LeastLoadedPolicy`
+  correct no matter where it runs.
+
+**Observability.**  Batch and stage counters live in a per-run
+:class:`~repro.obs.metrics.MetricsBlock` (a shared-memory slot array the
+worker single-writes and the parent reads live), created at :meth:`start`
+and unlinked at :meth:`stop` — same per-run lifecycle as the weight
+segment.  Per-request latency lands in a bounded
+:class:`~repro.obs.metrics.Histogram`.  A request submitted with a live
+trace span ships its span *context* to the worker, which builds
+queue/batch/forward/decode span dicts with wall-clock timestamps and
+returns them piggybacked on the response batch; the parent exports them
+through the span's tracer, stitching worker-process spans under the
+gateway-side root (see :mod:`repro.obs.trace`).
 
 **Crash containment.**  If the worker dies (OOM-kill, segfault, ``kill
 -9``), the parent's receiver thread sees the pipe break, fails exactly the
@@ -52,12 +64,32 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.serve.server import ServerStats, latency_percentiles
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile
+from repro.obs.log import get_logger
+from repro.obs.metrics import Histogram, MetricsBlock
+from repro.obs.trace import Span, span_dict
+from repro.serve.server import ServerStats
 from repro.utils.errors import ReplicaCrashed, ValidationError
 
 __all__ = ["ProcessServer", "WorkerSpec", "resolve_start_method"]
 
+_log = get_logger("serve.worker")
+
 _READY_TIMEOUT_S = 120.0  # spawn imports numpy/scipy; slow CI boxes need slack
+
+#: MetricsBlock slot layout shared between parent and worker.  ``fetch`` is
+#: per-layer weight-view lookup time inside the forward pass, ``forward``
+#: the whole batched network pass; both in integer nanoseconds so the slots
+#: stay plain int64 adds.
+_WORKER_SLOTS = (
+    "batches",
+    "batch_items",
+    "forward_ns",
+    "forward_count",
+    "fetch_ns",
+    "fetch_count",
+)
 
 
 def resolve_start_method(override: Optional[str] = None) -> str:
@@ -85,6 +117,7 @@ class WorkerSpec:
     batch_size: int
     max_batch_delay: float
     network_factory: Optional[Callable[[], object]] = None
+    metrics: Optional[dict] = None  # MetricsBlock manifest, when one is live
 
 
 # ---------------------------------------------------------------------------
@@ -96,10 +129,66 @@ def _send_safely(conn, message) -> None:
     try:
         conn.send(message)
     except Exception:  # parent gone; nothing left to tell
-        pass
+        _log.debug("response pipe send failed (parent gone?)", exc_info=True)
 
 
-def _worker_main(spec: WorkerSpec, request_conn, response_conn, gauges) -> None:
+def _batch_spans(batch, assembled_s, fwd_start_s, fwd_end_s, fetches) -> List[dict]:
+    """Span dicts for every traced request in one worker batch.
+
+    Each traced request gets the same sub-tree under its gateway-side root:
+    ``replica.queue`` (pipe recv → batch assembled) and ``replica.batch``
+    (assembled → forward done) as siblings, ``replica.forward`` under the
+    batch span, and one ``replica.decode`` per weight fetch under the
+    forward span.  Batch-level work is shared, so its spans are duplicated
+    per traced request — each trace tree stays self-contained.
+    """
+    spans: List[dict] = []
+    size = len(batch)
+    for _req_id, _x, ctx, recv_s in batch:
+        if ctx is None:
+            continue
+        trace_id, root_id = ctx["trace_id"], ctx["span_id"]
+        spans.append(
+            span_dict(
+                "replica.queue",
+                trace_id=trace_id,
+                parent_id=root_id,
+                start_s=recv_s,
+                end_s=assembled_s,
+            )
+        )
+        batch_span = span_dict(
+            "replica.batch",
+            trace_id=trace_id,
+            parent_id=root_id,
+            start_s=assembled_s,
+            end_s=fwd_end_s,
+            attrs={"batch_size": size},
+        )
+        spans.append(batch_span)
+        forward = span_dict(
+            "replica.forward",
+            trace_id=trace_id,
+            parent_id=batch_span["span_id"],
+            start_s=fwd_start_s,
+            end_s=fwd_end_s,
+        )
+        spans.append(forward)
+        for layer, fetch_start, fetch_end in fetches or ():
+            spans.append(
+                span_dict(
+                    "replica.decode",
+                    trace_id=trace_id,
+                    parent_id=forward["span_id"],
+                    start_s=fetch_start,
+                    end_s=fetch_end,
+                    attrs={"layer": layer},
+                )
+            )
+    return spans
+
+
+def _worker_main(spec: WorkerSpec, request_conn, response_conn) -> None:
     """Child entry: attach shared weights, answer batched requests."""
     # Imported lazily: the parent-side module must stay importable without
     # pulling the gateway (gateway imports this module for ProcessServer).
@@ -107,6 +196,7 @@ def _worker_main(spec: WorkerSpec, request_conn, response_conn, gauges) -> None:
     from repro.serve.shm import SharedRuntime
 
     runtime = None
+    block = None
     try:
         runtime = SharedRuntime(spec.manifest)
         if spec.network_factory is not None:
@@ -114,6 +204,8 @@ def _worker_main(spec: WorkerSpec, request_conn, response_conn, gauges) -> None:
             runtime.load_into(network)
         else:
             network = ArchiveMLP(runtime)
+        if spec.metrics is not None:
+            block = MetricsBlock.attach(spec.metrics)
     except BaseException as exc:
         _send_safely(response_conn, ("failed", f"{type(exc).__name__}: {exc}"))
         if runtime is not None:
@@ -121,14 +213,13 @@ def _worker_main(spec: WorkerSpec, request_conn, response_conn, gauges) -> None:
         return
     _send_safely(response_conn, ("ready", runtime.shared_bytes))
 
-    batches, batch_items = gauges["batches"], gauges["batch_items"]
     try:
         stopping = False
         while not stopping:
             message = request_conn.recv()
             if message is None:
                 break
-            batch = [message]
+            batch = [(message[0], message[1], message[2], time.time())]
             deadline = time.perf_counter() + spec.max_batch_delay
             while len(batch) < spec.batch_size:
                 remaining = deadline - time.perf_counter()
@@ -141,30 +232,56 @@ def _worker_main(spec: WorkerSpec, request_conn, response_conn, gauges) -> None:
                 if message is None:
                     stopping = True
                     break
-                batch.append(message)
-            ids = [req_id for req_id, _ in batch]
+                batch.append((message[0], message[1], message[2], time.time()))
+            ids = [req_id for req_id, _, _, _ in batch]
+            traced = any(ctx is not None for _, _, ctx, _ in batch)
+            profiled = block is not None and obs_metrics.is_enabled()
+            fetches: Optional[List[profile.FetchRecord]] = None
             try:
-                inputs = np.stack([x for _, x in batch])
-                outputs = np.asarray(network.forward(inputs, training=False))
+                inputs = np.stack([x for _, x, _, _ in batch])
+                if traced or profiled:
+                    assembled_s = time.time()
+                    fwd_tick = time.perf_counter()
+                    with profile.collect_fetches() as fetches:
+                        outputs = np.asarray(network.forward(inputs, training=False))
+                    forward_ns = int((time.perf_counter() - fwd_tick) * 1e9)
+                    fwd_end_s = time.time()
+                else:
+                    outputs = np.asarray(network.forward(inputs, training=False))
             except BaseException as exc:
                 try:
-                    response_conn.send(("err", ids, exc))
+                    response_conn.send(("err", ids, exc, []))
                 except Exception:
                     _send_safely(
                         response_conn,
-                        ("err", ids, f"{type(exc).__name__}: {exc}"),
+                        ("err", ids, f"{type(exc).__name__}: {exc}", []),
                     )
                 continue
             finally:
-                with batches.get_lock():
-                    batches.value += 1
-                with batch_items.get_lock():
-                    batch_items.value += len(ids)
-            _send_safely(response_conn, ("ok", ids, outputs))
+                if block is not None:
+                    block.add("batches", 1)
+                    block.add("batch_items", len(ids))
+            spans: List[dict] = []
+            if traced or profiled:
+                if block is not None:
+                    block.add("forward_ns", forward_ns)
+                    block.add("forward_count", 1)
+                    if fetches:
+                        fetch_ns = sum(end - start for _, start, end in fetches)
+                        block.add("fetch_ns", int(fetch_ns * 1e9))
+                        block.add("fetch_count", len(fetches))
+                if traced:
+                    # Forward wall start ≈ assembly end; one clock for spans.
+                    spans = _batch_spans(
+                        batch, assembled_s, assembled_s, fwd_end_s, fetches
+                    )
+            _send_safely(response_conn, ("ok", ids, outputs, spans))
         _send_safely(response_conn, ("bye",))
     except (EOFError, OSError):  # parent died; exit quietly
         pass
     finally:
+        if block is not None:
+            block.close()
         runtime.close()
 
 
@@ -177,6 +294,7 @@ def _worker_main(spec: WorkerSpec, request_conn, response_conn, gauges) -> None:
 class _Pending:
     future: Future
     enqueued: float
+    span: Optional[Span] = None
 
 
 @dataclass
@@ -232,18 +350,19 @@ class ProcessServer:
         self._receiver: Optional[threading.Thread] = None
         self._next_id = 0
         self._crashes = 0
-        self._latencies: List[float] = []
+        self._latency_hist = Histogram()
         self._failures = 0
         self._started_at = 0.0
         self._stopped_at: Optional[float] = None
-        # Shared gauges: readable from any process (the cross-process
-        # in-flight signal least-loaded sharding reads) and writable by the
-        # worker (batch accounting).  Created once; reset per run.
+        # Shared in-flight gauge: readable from any process (the
+        # cross-process signal least-loaded sharding reads).  Created once;
+        # reset per run.
         self._inflight = self._ctx.Value("q", 0)
-        self._gauges = {
-            "batches": self._ctx.Value("q", 0),
-            "batch_items": self._ctx.Value("q", 0),
-        }
+        # Batch/stage counters live in a per-run MetricsBlock (created at
+        # start(), snapshotted into _metrics_final and unlinked at stop())
+        # so /dev/shm stays clean between runs, same as the weight segment.
+        self._metrics: Optional[MetricsBlock] = None
+        self._metrics_final: Dict[str, int] = dict.fromkeys(_WORKER_SLOTS, 0)
 
     # -- wiring ------------------------------------------------------------
     def set_shared(self, shared) -> None:
@@ -281,18 +400,23 @@ class ProcessServer:
                 raise ValidationError(
                     "no shared weights attached (call set_shared() first)"
                 )
-            link = self._spawn(generation=0)
+            metrics = MetricsBlock.create(_WORKER_SLOTS)
+            self._metrics = metrics
+            try:
+                link = self._spawn(generation=0)
+            except BaseException:
+                self._metrics = None
+                metrics.close()
+                raise
             self._link = link
             self._running = True
             self._dead = False
             self._crashes = 0
-            self._latencies = []
+            self._latency_hist = Histogram()
+            self._metrics_final = dict.fromkeys(_WORKER_SLOTS, 0)
             self._failures = 0
             with self._inflight.get_lock():
                 self._inflight.value = 0
-            for gauge in self._gauges.values():
-                with gauge.get_lock():
-                    gauge.value = 0
             self._started_at = time.perf_counter()
             self._stopped_at = None
             self._receiver = threading.Thread(
@@ -316,7 +440,11 @@ class ProcessServer:
                 try:
                     link.request_conn.send(None)
                 except Exception:  # worker already dead; receiver winds down
-                    pass
+                    _log.debug(
+                        "replica %s: stop sentinel send failed (worker dead?)",
+                        self._replica_id,
+                        exc_info=True,
+                    )
         if receiver is not None:
             receiver.join()
         if link is not None:
@@ -326,6 +454,12 @@ class ProcessServer:
                 link.process.join(timeout=10.0)
             self._fail_pending(link, "replica worker stopped with requests pending")
             self._close_link(link)
+        with self._lock:
+            block, self._metrics = self._metrics, None
+            if block is not None:
+                self._metrics_final = block.values()
+        if block is not None:
+            block.close()  # owner: unlinks the per-run segment
         self._stopped_at = time.perf_counter()
 
     def close(self) -> None:
@@ -338,9 +472,15 @@ class ProcessServer:
         self.stop()
 
     # -- request path ------------------------------------------------------
-    def submit(self, x: np.ndarray) -> Future:
-        """Enqueue one sample; the future resolves to its output row."""
+    def submit(self, x: np.ndarray, span: Optional[Span] = None) -> Future:
+        """Enqueue one sample; the future resolves to its output row.
+
+        ``span`` (a sampled request's gateway-side root) ships its context
+        to the worker, whose replica spans come back with the response and
+        export through this span's tracer.
+        """
         sample = np.asarray(x, dtype=np.float32)
+        ctx = span.context() if span is not None else None
         future: Future = Future()
         with self._lock:
             if not self._running:
@@ -353,13 +493,17 @@ class ProcessServer:
             link = self._link
             req_id = self._next_id
             self._next_id += 1
-            link.pending[req_id] = _Pending(future, time.perf_counter())
+            link.pending[req_id] = _Pending(future, time.perf_counter(), span)
             try:
-                link.request_conn.send((req_id, sample))
+                link.request_conn.send((req_id, sample, ctx))
             except Exception:
                 # Worker just died; the receiver's crash handling will fail
                 # (or re-route nothing for) this pending entry.
-                pass
+                _log.debug(
+                    "replica %s: request send failed (worker dead?)",
+                    self._replica_id,
+                    exc_info=True,
+                )
         with self._inflight.get_lock():
             self._inflight.value += 1
         return future
@@ -376,16 +520,18 @@ class ProcessServer:
     def _spawn(self, generation: int) -> _Link:
         request_recv, request_send = self._ctx.Pipe(duplex=False)
         response_recv, response_send = self._ctx.Pipe(duplex=False)
+        metrics = self._metrics
         spec = WorkerSpec(
             replica_id=self._replica_id,
             manifest=self._shared.manifest,
             batch_size=self._batch_size,
             max_batch_delay=self._max_batch_delay,
             network_factory=self._network_factory,
+            metrics=metrics.manifest if metrics is not None else None,
         )
         process = self._ctx.Process(
             target=_worker_main,
-            args=(spec, request_recv, response_send, self._gauges),
+            args=(spec, request_recv, response_send),
             name=f"repro-worker-{self._replica_id}",
             daemon=True,
         )
@@ -440,7 +586,7 @@ class ProcessServer:
             try:
                 conn.close()
             except Exception:
-                pass
+                _log.debug("worker pipe close failed", exc_info=True)
 
     def _recv_loop(self, link: _Link) -> None:
         while True:
@@ -454,7 +600,7 @@ class ProcessServer:
                 continue
             kind = message[0]
             if kind == "ok":
-                self._resolve(link, message[1], results=message[2])
+                self._resolve(link, message[1], results=message[2], spans=message[3])
             elif kind == "err":
                 self._resolve(link, message[1], error=message[2])
             elif kind == "bye":
@@ -472,6 +618,14 @@ class ProcessServer:
             self._crashes += 1
             exit_code = link.process.exitcode
             respawn = self._crashes <= self._max_respawns
+            _log.warning(
+                "replica %s worker died (exit code %s, crash %d/%d); %s",
+                self._replica_id,
+                exit_code,
+                self._crashes,
+                self._max_respawns,
+                "respawning" if respawn else "staying down",
+            )
             replacement: Optional[_Link] = None
             if respawn:
                 try:
@@ -496,7 +650,7 @@ class ProcessServer:
             link.pending.clear()
             done = time.perf_counter()
             for item in pending:
-                self._latencies.append(done - item.enqueued)
+                self._latency_hist.observe(done - item.enqueued)
             self._failures += len(pending)
         if pending:
             with self._inflight.get_lock():
@@ -505,7 +659,7 @@ class ProcessServer:
             for item in pending:
                 item.future.set_exception(error)
 
-    def _resolve(self, link: _Link, ids, results=None, error=None) -> None:
+    def _resolve(self, link: _Link, ids, results=None, error=None, spans=None) -> None:
         done = time.perf_counter()
         if error is not None and not isinstance(error, BaseException):
             error = RuntimeError(str(error))
@@ -515,7 +669,7 @@ class ProcessServer:
                 item = link.pending.pop(req_id, None)
                 if item is None:  # already failed by a crash handler
                     continue
-                self._latencies.append(done - item.enqueued)
+                self._latency_hist.observe(done - item.enqueued)
                 if error is not None:
                     self._failures += 1
                 resolved.append(
@@ -524,6 +678,14 @@ class ProcessServer:
         if resolved:
             with self._inflight.get_lock():
                 self._inflight.value -= len(resolved)
+        if spans:
+            # Worker-built replica spans for this batch; export them through
+            # the tracer of any traced request the batch resolved (the
+            # gateway runs one tracer, so any span's tracer is *the* tracer).
+            for item, _row in resolved:
+                if item.span is not None:
+                    item.span.tracer.export_dicts(spans)
+                    break
         for item, row in resolved:
             if error is not None:
                 item.future.set_exception(error)
@@ -531,20 +693,34 @@ class ProcessServer:
                 item.future.set_result(row)
 
     # -- statistics --------------------------------------------------------
+    def worker_counters(self) -> Dict[str, int]:
+        """Live (or, after stop, final) worker MetricsBlock counters."""
+        with self._lock:
+            block = self._metrics
+            if block is not None:
+                return block.values()
+            return dict(self._metrics_final)
+
+    def latency_histogram(self) -> Histogram:
+        """Snapshot of the per-request latency histogram (seconds)."""
+        with self._lock:
+            return self._latency_hist.copy()
+
     def stats(self) -> ServerStats:
         with self._lock:
-            latencies = list(self._latencies)
+            hist = self._latency_hist.copy()
             failures = self._failures
-        batches = int(self._gauges["batches"].value)
-        items = int(self._gauges["batch_items"].value)
+        counters = self.worker_counters()
+        batches = counters["batches"]
+        items = counters["batch_items"]
         end = self._stopped_at if self._stopped_at is not None else time.perf_counter()
         elapsed = max(end - self._started_at, 0.0) if self._started_at else 0.0
         return ServerStats(
-            requests=len(latencies),
+            requests=hist.count,
             batches=batches,
             failures=failures,
             elapsed_seconds=elapsed,
-            latencies_ms=latency_percentiles(latencies),
+            latencies_ms=hist.percentiles(scale=1e3),
             mean_batch_size=items / batches if batches else 0.0,
         )
 

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import profile
 from repro.parallel.pool import TaskPool
 from repro.sz.config import PredictorKind, SZConfig
 from repro.sz.huffman import HuffmanCodec
@@ -159,26 +160,29 @@ def _decode_raw(raw_payload: bytes) -> np.ndarray:
     capacity = int(meta["capacity"])
     outlier_count = int(meta["outlier_count"])
 
-    residuals = HuffmanCodec().decode(sections["huffman"])
+    with profile.stage("huffman"):
+        residuals = HuffmanCodec().decode(sections["huffman"])
     if residuals.size != count:
         raise DecompressionError(f"decoded {residuals.size} codes, expected {count}")
     if predictor is PredictorKind.LORENZO:
-        codes = lorenzo_decode(residuals)
+        with profile.stage("predictor"):
+            codes = lorenzo_decode(residuals)
     elif predictor is PredictorKind.ADAPTIVE:
         num_blocks = int(meta["num_blocks"])
         modes = np.frombuffer(sections["block_modes"], dtype=np.uint8)
         if modes.size != num_blocks:
             raise DecompressionError("adaptive block mode table is corrupt")
         coeffs = np.frombuffer(sections["block_coeffs"], dtype="<f4").reshape(-1, 2)
-        codes = adaptive_decode(
-            AdaptivePrediction(
-                residuals=residuals,
-                modes=modes,
-                coefficients=coeffs.astype(np.float32),
-                block_size=int(meta["block_size"]),
-                count=count,
+        with profile.stage("predictor"):
+            codes = adaptive_decode(
+                AdaptivePrediction(
+                    residuals=residuals,
+                    modes=modes,
+                    coefficients=coeffs.astype(np.float32),
+                    block_size=int(meta["block_size"]),
+                    count=count,
+                )
             )
-        )
     else:
         codes = residuals
 
@@ -194,7 +198,8 @@ def _decode_raw(raw_payload: bytes) -> np.ndarray:
         outliers = None
 
     quantizer = LinearQuantizer(abs_bound, capacity=capacity)
-    return quantizer.dequantize(codes, mask_bits, outliers)
+    with profile.stage("dequantize"):
+        return quantizer.dequantize(codes, mask_bits, outliers)
 
 
 def _apply_lossless(raw_payload: bytes, lossless: str) -> tuple[bytes, str]:
@@ -218,7 +223,9 @@ def _encode_chunk_task(args: tuple[np.ndarray, float, SZConfig]) -> tuple[bytes,
 def _decode_chunk_task(args: tuple[bytes, str]) -> np.ndarray:
     """Pool task: decode one lossless-compressed chunk payload."""
     blob, backend_name = args
-    return _decode_raw(get_backend(backend_name).decompress(blob))
+    with profile.stage("lossless"):
+        raw = get_backend(backend_name).decompress(blob)
+    return _decode_raw(raw)
 
 
 class SZCompressor:
@@ -310,7 +317,8 @@ class SZCompressor:
         if magic != _MAGIC:
             raise DecompressionError("not an SZ payload (bad magic)")
         backend = get_backend(outer_meta["lossless"])
-        raw_payload = backend.decompress(outer_sections["body"])
+        with profile.stage("lossless"):
+            raw_payload = backend.decompress(outer_sections["body"])
         return _decode_raw(raw_payload)
 
     def _decompress_chunked(

@@ -1,0 +1,189 @@
+"""Request tracing: span schema, parenting, sampling, JSONL round-trips."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import (
+    SPAN_FIELDS,
+    BufferExporter,
+    JsonlSpanExporter,
+    Tracer,
+    load_trace,
+    span_dict,
+    validate_span,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestSpanSchema:
+    def test_schema_fields_are_pinned(self):
+        # Trace consumers (validate_obs.py, CI) parse these exact keys;
+        # growing the schema must be a deliberate change here too.
+        assert SPAN_FIELDS == (
+            "trace_id",
+            "span_id",
+            "parent_id",
+            "name",
+            "start_s",
+            "end_s",
+            "duration_s",
+            "pid",
+            "attrs",
+        )
+
+    def test_span_dict_shape(self):
+        record = span_dict(
+            "x", trace_id="t", parent_id=None, start_s=1.0, end_s=3.5, attrs={"k": 1}
+        )
+        validate_span(record)
+        assert record["duration_s"] == pytest.approx(2.5)
+        assert record["pid"] == os.getpid()
+        # Clock skew between processes must never yield negative durations.
+        skewed = span_dict("x", trace_id="t", parent_id=None, start_s=2.0, end_s=1.0)
+        assert skewed["duration_s"] == 0.0
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            lambda r: r.pop("pid"),
+            lambda r: r.update(extra=1),
+            lambda r: r.update(trace_id=""),
+            lambda r: r.update(parent_id=7),
+            lambda r: r.update(duration_s=-0.1),
+            lambda r: r.update(attrs=[]),
+        ],
+    )
+    def test_validate_span_rejects_mutants(self, mutation):
+        record = span_dict("x", trace_id="t", parent_id=None, start_s=0.0, end_s=1.0)
+        mutation(record)
+        with pytest.raises(ValueError):
+            validate_span(record)
+
+
+class TestSpanTree:
+    def test_children_share_trace_and_parent_to_creator(self):
+        exporter = BufferExporter()
+        tracer = Tracer(1.0, exporter)
+        root = tracer.start_span("gateway.request")
+        mid = root.child("gateway.shard", attrs={"replica": "r0"})
+        leaf = mid.child("replica.forward")
+        for span in (leaf, mid, root):
+            span.finish()
+        spans = {s["name"]: s for s in exporter.spans}
+        assert spans["gateway.request"]["parent_id"] is None
+        assert spans["gateway.shard"]["parent_id"] == root.span_id
+        assert spans["replica.forward"]["parent_id"] == mid.span_id
+        assert {s["trace_id"] for s in exporter.spans} == {root.trace_id}
+        by_trace = exporter.by_trace()
+        assert list(by_trace) == [root.trace_id]
+        assert len(by_trace[root.trace_id]) == 3
+
+    def test_finish_is_idempotent_and_ordered(self):
+        exporter = BufferExporter()
+        tracer = Tracer(1.0, exporter)
+        root = tracer.start_span("root", start_s=10.0)
+        child = root.child("child", start_s=10.5)
+        child.finish(end_s=11.0)
+        child.finish(end_s=99.0)  # no-op
+        root.finish(end_s=12.0)
+        assert [s["name"] for s in exporter.spans] == ["child", "root"]
+        child_rec, root_rec = exporter.spans
+        assert child_rec["end_s"] == 11.0
+        assert root_rec["start_s"] <= child_rec["start_s"]
+        assert child_rec["end_s"] <= root_rec["end_s"]
+
+    def test_context_manager_marks_errors(self):
+        exporter = BufferExporter()
+        tracer = Tracer(1.0, exporter)
+        with pytest.raises(RuntimeError):
+            with tracer.start_span("boom"):
+                raise RuntimeError("nope")
+        assert exporter.spans[0]["attrs"] == {"status": "error"}
+
+    def test_export_dicts_relays_worker_spans(self):
+        # The pipe boundary: workers ship pre-built span dicts; the
+        # gateway side replays them through its own tracer verbatim.
+        exporter = BufferExporter()
+        tracer = Tracer(1.0, exporter)
+        root = tracer.start_span("gateway.request")
+        worker_side = [
+            span_dict(
+                "replica.queue",
+                trace_id=root.trace_id,
+                parent_id=root.span_id,
+                start_s=1.0,
+                end_s=2.0,
+            )
+        ]
+        tracer.export_dicts(worker_side)
+        root.finish()
+        assert [s["name"] for s in exporter.spans] == ["replica.queue", "gateway.request"]
+        assert exporter.spans[0]["parent_id"] == root.span_id
+
+
+class TestSampling:
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            Tracer(1.5)
+        with pytest.raises(ValidationError):
+            Tracer(-0.1)
+
+    def test_never_samples_without_exporter_or_rate(self):
+        assert not Tracer(1.0, None).sample()
+        assert not Tracer(0.0, BufferExporter()).sample()
+        assert Tracer(1.0, BufferExporter()).sample()
+
+    def test_sampling_is_seed_deterministic(self):
+        a = Tracer(0.5, BufferExporter(), seed=13)
+        b = Tracer(0.5, BufferExporter(), seed=13)
+        decisions = [(a.sample(), b.sample()) for _ in range(200)]
+        assert all(x == y for x, y in decisions)
+        assert 20 < sum(x for x, _ in decisions) < 180
+
+    def test_disabled_obs_disables_sampling(self):
+        tracer = Tracer(1.0, BufferExporter())
+        obs_metrics.set_enabled(False)
+        try:
+            assert not tracer.sample()
+        finally:
+            obs_metrics.set_enabled(True)
+        assert tracer.sample()
+
+    def test_broken_exporter_is_contained(self):
+        class Exploding:
+            def export(self, record):
+                raise OSError("disk full")
+
+        tracer = Tracer(1.0, Exploding())
+        tracer.start_span("x").finish()  # logged, not raised
+
+
+class TestJsonl:
+    def test_round_trip_and_counters(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        exporter = JsonlSpanExporter(path)
+        tracer = Tracer(1.0, exporter)
+        root = tracer.start_span("gateway.request")
+        root.child("gateway.shard").finish()
+        root.finish()
+        tracer.close()
+        assert exporter.exported == 2
+        records = load_trace(path)
+        assert [r["name"] for r in records] == ["gateway.shard", "gateway.request"]
+        for record in records:
+            validate_span(record)
+
+    def test_load_trace_rejects_bad_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+        good = span_dict("x", trace_id="t", parent_id=None, start_s=0.0, end_s=1.0)
+        bad = dict(good)
+        del bad["pid"]
+        path.write_text(json.dumps(good) + "\n" + json.dumps(bad) + "\n")
+        with pytest.raises(ValueError):
+            load_trace(path)

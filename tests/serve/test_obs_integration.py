@@ -1,0 +1,216 @@
+"""Observability wired through the real serving stack.
+
+Covers the span trees both replica backends emit, the Prometheus series
+the gateway collector publishes while a run is live, the stats-JSON
+schema downstream tooling parses, and the ``repro metrics`` CLI.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs.metrics import MetricsRegistry, parse_prometheus
+from repro.obs.trace import BufferExporter, Tracer, validate_span
+from repro.serve import Gateway
+
+_INPUT_DIM = 160  # fc6 of the session model is 96x160
+
+_GATEWAY_SPANS = {"gateway.request", "gateway.admission", "gateway.shard"}
+_REPLICA_SPANS = {"replica.queue", "replica.batch", "replica.forward", "replica.decode"}
+
+
+def _run_traced(archive_blob, backend, requests=6):
+    exporter = BufferExporter()
+    gateway = Gateway(
+        tracer=Tracer(1.0, exporter), replica_backend=backend,
+        metrics=MetricsRegistry(),
+    )
+    gateway.add_model("m", archive_blob, replicas=1, max_queue_depth=64)
+    x = np.ones(_INPUT_DIM, dtype=np.float32)
+    with gateway:
+        for future in [gateway.submit("m", x) for _ in range(requests)]:
+            future.result(timeout=60)
+    gateway.close()
+    return exporter.by_trace()
+
+
+def _check_trees(traces, requests):
+    assert len(traces) == requests
+    for spans in traces.values():
+        for span in spans:
+            validate_span(span)
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span["name"], []).append(span)
+        assert set(by_name) == _GATEWAY_SPANS | _REPLICA_SPANS
+        roots = [s for s in spans if s["parent_id"] is None]
+        assert [r["name"] for r in roots] == ["gateway.request"]
+        ids = {s["span_id"] for s in spans}
+        assert all(s["parent_id"] in ids for s in spans if s["parent_id"] is not None)
+        root = roots[0]
+        # Admission, shard decision, and the replica queue/batch spans all
+        # hang off the request root; forward nests in batch, decode in forward.
+        for name in ("gateway.admission", "gateway.shard", "replica.queue", "replica.batch"):
+            assert all(s["parent_id"] == root["span_id"] for s in by_name[name]), name
+        (batch,) = by_name["replica.batch"]
+        (forward,) = by_name["replica.forward"]
+        assert forward["parent_id"] == batch["span_id"]
+        decode_layers = []
+        for span in by_name["replica.decode"]:
+            assert span["parent_id"] == forward["span_id"]
+            decode_layers.append(span["attrs"]["layer"])
+        assert sorted(decode_layers) == sorted(set(decode_layers))
+        assert root["start_s"] <= forward["start_s"] <= forward["end_s"] <= root["end_s"]
+    return traces
+
+
+class TestTraceStitching:
+    def test_thread_backend_full_trees(self, archive_blob):
+        traces = _check_trees(_run_traced(archive_blob, "thread"), 6)
+        for spans in traces.values():
+            assert {s["pid"] for s in spans} == {os.getpid()}
+
+    def test_process_backend_stitches_worker_spans(self, archive_blob):
+        traces = _check_trees(_run_traced(archive_blob, "process"), 6)
+        for spans in traces.values():
+            pids = {s["pid"] for s in spans}
+            assert len(pids) == 2  # gateway + worker process
+            for span in spans:
+                if span["name"] in _REPLICA_SPANS:
+                    assert span["pid"] != os.getpid()
+                else:
+                    assert span["pid"] == os.getpid()
+
+
+class TestExposition:
+    def test_registry_series_live_during_run(self, archive_blob):
+        registry = MetricsRegistry()
+        gateway = Gateway(metrics=registry)
+        gateway.add_model("m", archive_blob, replicas=2, max_queue_depth=64)
+        x = np.ones(_INPUT_DIM, dtype=np.float32)
+        with gateway:
+            for future in [gateway.submit("m", x) for _ in range(8)]:
+                future.result(timeout=60)
+            series = parse_prometheus(registry.to_prometheus())
+            for name in (
+                "repro_gateway_requests_total",
+                "repro_gateway_queue_depth",
+                "repro_gateway_latency_seconds_bucket",
+                "repro_gateway_latency_seconds_count",
+                "repro_replica_inflight",
+                "repro_replica_dispatched_total",
+                "repro_cache_events_total",
+                "repro_cache_resident_bytes",
+            ):
+                assert name in series, name
+            completed = [
+                value
+                for labels, value in series["repro_gateway_requests_total"]["samples"]
+                if labels == {"model": "m", "outcome": "completed"}
+            ]
+            assert completed == [8.0]
+            dispatched = sum(
+                value
+                for _labels, value in series["repro_replica_dispatched_total"]["samples"]
+            )
+            assert dispatched == 8.0
+        gateway.close()
+        # The collector deregisters with the run: a stopped gateway must not
+        # leave stale series behind on a shared registry.
+        assert "repro_gateway_requests_total" not in parse_prometheus(
+            registry.to_prometheus()
+        )
+
+    def test_process_backend_worker_stage_series(self, archive_blob):
+        registry = MetricsRegistry()
+        gateway = Gateway(metrics=registry, replica_backend="process")
+        gateway.add_model("m", archive_blob, replicas=1, max_queue_depth=64)
+        x = np.ones(_INPUT_DIM, dtype=np.float32)
+        with gateway:
+            for future in [gateway.submit("m", x) for _ in range(4)]:
+                future.result(timeout=60)
+            series = parse_prometheus(registry.to_prometheus())
+        gateway.close()
+        stages = {
+            labels["stage"]
+            for labels, _value in series["repro_worker_stage_total"]["samples"]
+        }
+        assert stages == {"forward", "fetch"}
+        forward_s = [
+            value
+            for labels, value in series["repro_worker_stage_seconds_total"]["samples"]
+            if labels.get("stage") == "forward"
+        ]
+        assert forward_s and forward_s[0] > 0.0
+
+
+class TestStatsSchema:
+    def test_stats_json_schema_is_stable(self, archive_blob):
+        """Downstream tooling (bench artifacts, compare_baselines) parses
+        these exact keys; additions must be deliberate."""
+        gateway = Gateway(metrics=MetricsRegistry())
+        gateway.add_model("m", archive_blob, replicas=1, max_queue_depth=64)
+        x = np.ones(_INPUT_DIM, dtype=np.float32)
+        with gateway:
+            for future in [gateway.submit("m", x) for _ in range(3)]:
+                future.result(timeout=60)
+            payload = gateway.stats().as_dict()
+        gateway.close()
+        json.dumps(payload)  # JSON-ready end to end
+        assert set(payload) == {
+            "elapsed_seconds", "submitted", "completed", "failures", "rejected",
+            "cache_bytes", "shared_bytes", "latencies_ms", "models",
+            "throughput_rps", "rejection_rate",
+        }
+        model = payload["models"]["m"]
+        assert set(model) == {
+            "name", "policy", "backend", "shared_bytes", "submitted", "completed",
+            "failures", "rejected", "queue_depth", "max_queue_depth",
+            "max_concurrency", "elapsed_seconds", "latencies_ms", "replicas",
+            "throughput_rps", "rejection_rate", "cache_bytes",
+        }
+        assert set(model["latencies_ms"]) == {"p50", "p90", "p99"}
+        (replica,) = model["replicas"]
+        assert set(replica) == {
+            "id", "dispatched", "inflight", "cache_bytes", "decodes", "server",
+        }
+        assert set(replica["server"]) == {
+            "requests", "batches", "failures", "elapsed_seconds", "latencies_ms",
+            "mean_batch_size", "throughput_rps",
+        }
+
+
+class TestMetricsCli:
+    def test_renders_prometheus_file(self, tmp_path, capsys):
+        registry = MetricsRegistry()
+        registry.counter("repro_demo_total", "demo", labels=("model",)).labels(
+            model="m"
+        ).inc(5)
+        path = tmp_path / "metrics.prom"
+        path.write_text(registry.to_prometheus())
+        assert cli_main(["metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_demo_total" in out
+        assert "model=m" in out or 'model="m"' in out
+
+    def test_renders_json_file(self, tmp_path, capsys):
+        registry = MetricsRegistry()
+        registry.gauge("repro_depth", "queue depth").set(3)
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(registry.to_json()))
+        assert cli_main(["metrics", str(path)]) == 0
+        assert "repro_depth" in capsys.readouterr().out
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert cli_main(["metrics", str(tmp_path / "nope.prom")]) == 1
+        capsys.readouterr()
+
+    def test_bench_trace_flags_validated(self):
+        from repro.serve.bench import gateway_benchmark
+        from repro.utils.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            gateway_benchmark({"m": b""}, trace_sample=0.5)  # no trace_path
