@@ -555,6 +555,22 @@ def _cmd_assess(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# lint
+# ---------------------------------------------------------------------------
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.engine import run_cli
+
+    return run_cli(
+        args.paths,
+        fmt=args.format,
+        baseline_path=args.baseline,
+        write_baseline=args.write_baseline,
+    )
+
+
+# ---------------------------------------------------------------------------
 # parser / entry point
 # ---------------------------------------------------------------------------
 
@@ -689,6 +705,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable activation-reuse checkpointing")
     p.add_argument("--json", action="store_true", help="emit JSON")
     p.set_defaults(func=_cmd_assess)
+
+    p = sub.add_parser(
+        "lint", help="run the project-native static analysis rules"
+    )
+    from repro.lint.engine import add_cli_arguments
+
+    add_cli_arguments(p)
+    p.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -1,0 +1,40 @@
+"""Project-native static analysis and runtime concurrency checking.
+
+Two halves:
+
+* :mod:`repro.lint.engine` + :mod:`repro.lint.rules` — the AST rules engine
+  behind ``python -m repro lint`` / the ``repro-lint`` console script.
+* :mod:`repro.lint.lockcheck` — the opt-in (``REPRO_LOCKCHECK=1``) runtime
+  lock-order detector; ``repro/serve`` and ``repro/parallel`` construct
+  their locks through its :func:`~repro.lint.lockcheck.make_lock` /
+  :func:`~repro.lint.lockcheck.make_rlock` factory.
+"""
+
+from repro.lint.engine import (
+    LintResult,
+    all_rules,
+    lint_paths,
+    main,
+    render_report,
+    run_cli,
+)
+from repro.lint.findings import Baseline, Finding
+from repro.lint.lockcheck import (
+    LockOrderViolation,
+    make_lock,
+    make_rlock,
+)
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintResult",
+    "LockOrderViolation",
+    "all_rules",
+    "lint_paths",
+    "main",
+    "make_lock",
+    "make_rlock",
+    "render_report",
+    "run_cli",
+]

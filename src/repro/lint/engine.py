@@ -1,0 +1,299 @@
+"""The ``repro lint`` engine: rule registry, file walk, reporting.
+
+Rules are small classes registered with :func:`rule`; each receives a parsed
+:class:`FileContext` and yields :class:`Finding` objects.  The engine owns
+everything rule-agnostic: discovering files, parsing, inline-pragma
+suppression, baseline filtering, and the text/JSON reports — so adding a
+rule is one class in ``rules.py`` plus a fixture test.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Type
+
+from repro.lint.findings import Baseline, Finding, apply_baseline, suppressed_rules
+
+__all__ = [
+    "FileContext",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "collect_files",
+    "lint_paths",
+    "render_report",
+    "rule",
+]
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".venv", "node_modules", "build", "dist"}
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one parsed source file."""
+
+    path: Path  # absolute
+    rel: str  # posix path relative to the lint root (what reports show)
+    source: str
+    lines: List[str]
+    tree: ast.Module
+    #: module-level functions and class methods by bare name — the one-level
+    #: helper index LOCK-HELD-BLOCKING flows through.
+    functions: Dict[str, ast.AST] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, rel: str) -> "FileContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        ctx = cls(
+            path=path,
+            rel=rel,
+            source=source,
+            lines=source.splitlines(),
+            tree=tree,
+        )
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Last definition wins; rules only need "a same-module body
+                # with this name", not full resolution.
+                ctx.functions[node.name] = node
+        return ctx
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class: subclass, set ``id``/``hint``, implement ``check``."""
+
+    id: str = ""
+    hint: str = ""
+
+    def applies(self, rel: str) -> bool:
+        """Whether this rule runs on the file at repo-relative path ``rel``."""
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str, hint: Optional[str] = None
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=ctx.rel,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+_REGISTRY: List[Type[Rule]] = []
+
+
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: register a rule with the engine."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    _REGISTRY.append(cls)
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    import repro.lint.rules  # noqa: F401  -- registration side effect
+
+    return [cls() for cls in _REGISTRY]
+
+
+def collect_files(paths: Sequence[Path], root: Path) -> List[Path]:
+    """Every ``.py`` file under ``paths``, skipping caches and VCS dirs."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            files.append(path)
+            continue
+        if not path.is_dir():
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in _SKIP_DIR_NAMES for part in candidate.parts):
+                continue
+            files.append(candidate)
+    # Dedupe while keeping deterministic order.
+    seen = set()
+    unique: List[Path] = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+@dataclass
+class LintResult:
+    findings: List[Finding]
+    files_checked: int
+    suppressed: int
+    parse_errors: List[Finding]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    root: Optional[Path] = None,
+    baseline: Optional[Baseline] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Run every registered rule over ``paths`` and filter suppressions."""
+    root = (root or Path.cwd()).resolve()
+    active = list(rules) if rules is not None else all_rules()
+    raw: List[Finding] = []
+    parse_errors: List[Finding] = []
+    suppressed = 0
+    files = collect_files([Path(p) for p in paths], root)
+    for path in files:
+        rel = _relative(path, root)
+        try:
+            ctx = FileContext.parse(path, rel)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            parse_errors.append(
+                Finding(
+                    rule="PARSE-ERROR",
+                    path=rel,
+                    line=getattr(exc, "lineno", 0) or 0,
+                    message=f"could not parse: {exc}",
+                )
+            )
+            continue
+        for active_rule in active:
+            if not active_rule.applies(rel):
+                continue
+            for finding in active_rule.check(ctx):
+                if finding.rule in suppressed_rules(ctx.line_text(finding.line)):
+                    suppressed += 1
+                    continue
+                raw.append(finding)
+    if baseline is not None:
+        raw = apply_baseline(raw, baseline)
+    raw.sort(key=lambda f: (f.path, f.line, f.rule))
+    return LintResult(
+        findings=raw,
+        files_checked=len(files),
+        suppressed=suppressed,
+        parse_errors=parse_errors,
+    )
+
+
+def render_report(result: LintResult, fmt: str = "text") -> str:
+    """The report body for ``--format text`` or ``--format json``."""
+    everything = result.parse_errors + result.findings
+    if fmt == "json":
+        return json.dumps(
+            {
+                "findings": [f.to_dict() for f in everything],
+                "files_checked": result.files_checked,
+                "suppressed": result.suppressed,
+                "clean": result.clean,
+            },
+            indent=2,
+        )
+    if not everything:
+        return (
+            f"repro lint: clean ({result.files_checked} files, "
+            f"{result.suppressed} inline suppressions)"
+        )
+    parts = [f.format_text() for f in everything]
+    parts.append(
+        f"repro lint: {len(everything)} finding(s) in {result.files_checked} files"
+    )
+    return "\n".join(parts)
+
+
+def add_cli_arguments(parser) -> None:
+    """Attach the ``repro lint`` arguments to an argparse parser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline JSON of accepted pre-existing findings "
+        "(default: ./lint-baseline.json when present)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="write current findings as a new baseline and exit 0",
+    )
+
+
+def run_cli(
+    paths: Sequence[str],
+    *,
+    fmt: str = "text",
+    baseline_path: Optional[str] = None,
+    write_baseline: Optional[str] = None,
+) -> int:
+    """Shared driver behind ``python -m repro lint`` and ``repro-lint``."""
+    baseline: Optional[Baseline] = None
+    if baseline_path is None and Path("lint-baseline.json").is_file():
+        baseline_path = "lint-baseline.json"
+    if write_baseline is None and baseline_path is not None:
+        baseline = Baseline.load(Path(baseline_path))
+
+    result = lint_paths([Path(p) for p in paths], baseline=baseline)
+    if write_baseline is not None:
+        Baseline.from_findings(result.findings).dump(Path(write_baseline))
+        print(
+            f"wrote baseline with {len(result.findings)} finding(s) "
+            f"to {write_baseline}"
+        )
+        return 0
+    print(render_report(result, fmt))
+    return 0 if result.clean else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point for the ``repro-lint`` console script."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Project-native static analysis for the repro serving stack.",
+    )
+    add_cli_arguments(parser)
+    args = parser.parse_args(argv)
+    return run_cli(
+        args.paths,
+        fmt=args.format,
+        baseline_path=args.baseline,
+        write_baseline=args.write_baseline,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Findings, inline suppressions, and the committed baseline format.
+
+A finding is one rule violation at one source location.  Two mechanisms can
+silence it:
+
+* an **inline pragma** on the offending line::
+
+      do_thing()  # repro-lint: disable=RULE-ID -- why this one is fine
+
+  The justification after ``--`` is mandatory by convention (the lint
+  regression test counts pragmas, and review rejects bare ones).
+
+* a **baseline file** (JSON, committed) carrying per-``(rule, path)``
+  allowances for pre-existing debt.  A file/rule pair whose current count
+  is at or under its allowance is silenced wholesale; one new violation
+  resurfaces the whole group so the debt cannot silently grow.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "SUPPRESS_RE",
+    "apply_baseline",
+    "suppressed_rules",
+]
+
+#: ``# repro-lint: disable=RULE-A,RULE-B -- justification``
+SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Z0-9,\-\s]+?)(?:\s*--\s*(?P<why>.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, addressable as ``path:line``."""
+
+    rule: str
+    path: str  # repo-relative posix path
+    line: int
+    message: str
+    hint: str = ""
+    col: int = 0
+
+    def format_text(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+def suppressed_rules(source_line: str) -> frozenset:
+    """Rule ids disabled by an inline pragma on ``source_line`` (may be empty)."""
+    match = SUPPRESS_RE.search(source_line)
+    if not match:
+        return frozenset()
+    return frozenset(
+        rule.strip() for rule in match.group("rules").split(",") if rule.strip()
+    )
+
+
+@dataclass
+class Baseline:
+    """Per-``(rule, path)`` finding allowances, round-trippable as JSON."""
+
+    entries: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        entries: Dict[Tuple[str, str], int] = {}
+        for finding in findings:
+            key = (finding.rule, finding.path)
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != 1:
+            raise ValueError(f"{path}: not a repro-lint baseline (want version 1)")
+        entries: Dict[Tuple[str, str], int] = {}
+        for entry in data.get("entries", ()):
+            entries[(entry["rule"], entry["path"])] = int(entry["count"])
+        return cls(entries)
+
+    def dump(self, path: Path) -> None:
+        payload = {
+            "version": 1,
+            "entries": [
+                {"rule": rule, "path": rel, "count": count}
+                for (rule, rel), count in sorted(self.entries.items())
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def allowance(self, rule: str, path: str) -> int:
+        return self.entries.get((rule, path), 0)
+
+
+def apply_baseline(findings: List[Finding], baseline: Baseline) -> List[Finding]:
+    """Drop finding groups covered by the baseline; surface grown groups whole."""
+    grouped: Dict[Tuple[str, str], List[Finding]] = {}
+    for finding in findings:
+        grouped.setdefault((finding.rule, finding.path), []).append(finding)
+    surfaced: List[Finding] = []
+    for key, group in grouped.items():
+        if len(group) <= baseline.allowance(*key):
+            continue
+        surfaced.extend(group)
+    surfaced.sort(key=lambda f: (f.path, f.line, f.rule))
+    return surfaced

@@ -1,0 +1,241 @@
+"""Opt-in runtime lock-order detection (``REPRO_LOCKCHECK=1``).
+
+The static LOCK-HELD-BLOCKING rule catches slow work *under* a lock; this
+module catches the other deadlock family — inconsistent *ordering* between
+locks.  Every lock in ``repro/serve`` and ``repro/parallel`` is constructed
+through :func:`make_lock`/:func:`make_rlock` with a stable dotted name (the
+lock's *class* in lockdep terms).  Normally that returns a plain
+``threading`` primitive, zero overhead.  With ``REPRO_LOCKCHECK=1`` it
+returns an instrumented wrapper that records, per thread, which lock
+classes are held when a new one is acquired, feeds the cross-thread
+acquisition-order graph, and runs incremental cycle detection on each new
+edge: thread 1 taking A then B while thread 2 ever took B then A is a
+potential deadlock *even if the interleaving never bit in this run*.
+
+A violation raises :class:`LockOrderViolation` carrying both acquisition
+stacks — the one that recorded the existing edge and the one that closed
+the cycle — so CI fails with the two call paths that must be reordered.
+
+Instances of the *same* named class never form a self-edge: per-object
+sibling locks (one per model entry, say) are routinely taken in sequence
+by iteration, which is ordering-safe.  Re-entering the very same ``Lock``
+object on one thread, however, is self-deadlock and reported immediately.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.log import get_logger
+
+__all__ = [
+    "InstrumentedLock",
+    "InstrumentedRLock",
+    "LockOrderGraph",
+    "LockOrderViolation",
+    "enabled",
+    "global_graph",
+    "make_lock",
+    "make_rlock",
+    "reset",
+]
+
+_log = get_logger("lint.lockcheck")
+
+ENV_FLAG = "REPRO_LOCKCHECK"
+
+
+def enabled() -> bool:
+    """Whether lock instrumentation is switched on (read per construction)."""
+    return os.environ.get(ENV_FLAG, "") == "1"
+
+
+class LockOrderViolation(RuntimeError):
+    """A potential deadlock: two lock classes acquired in both orders."""
+
+    def __init__(self, message: str, *, first_stack: str = "", second_stack: str = ""):
+        super().__init__(message)
+        self.first_stack = first_stack
+        self.second_stack = second_stack
+
+
+def _stack() -> str:
+    return "".join(traceback.format_stack(limit=16)[:-2])
+
+
+class LockOrderGraph:
+    """Cross-thread acquisition-order graph with incremental cycle checks.
+
+    Nodes are lock class names; a directed edge ``A -> B`` means some thread
+    acquired B while holding A, and stores the stack that first recorded it.
+    The graph's own bookkeeping runs under a plain (uninstrumented) mutex
+    held only for dict operations — never across a user lock acquisition.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._edges: Dict[str, Dict[str, str]] = {}
+
+    def record(self, held: List[str], new: str, stack: str) -> None:
+        """Register ``held[i] -> new`` edges; raise on a resulting cycle."""
+        conflict: Optional[Tuple[str, str]] = None
+        with self._mutex:
+            for holder in held:
+                if holder == new:
+                    continue  # sibling instances of one class; see module doc
+                path = self._find_path(new, holder)
+                if path is not None:
+                    conflict = (holder, self._edges[new][path])
+                    break
+                self._edges.setdefault(holder, {})[new] = (
+                    self._edges.get(holder, {}).get(new) or stack
+                )
+        if conflict is not None:
+            holder, first_stack = conflict
+            raise LockOrderViolation(
+                f"lock-order inversion: acquiring {new!r} while holding "
+                f"{holder!r}, but {holder!r} has been acquired after {new!r} "
+                f"elsewhere.\n--- first order (recorded earlier) ---\n"
+                f"{first_stack}\n--- second order (this thread) ---\n{stack}",
+                first_stack=first_stack,
+                second_stack=stack,
+            )
+
+    def _find_path(self, start: str, goal: str) -> Optional[str]:
+        """DFS ``start -> ... -> goal``; returns the first hop on success."""
+        stack = [(start, start)]
+        seen = set()
+        while stack:
+            node, first_hop = stack.pop()
+            if node == goal and node != start:
+                return first_hop
+            if node in seen:
+                continue
+            seen.add(node)
+            for nxt in self._edges.get(node, ()):
+                stack.append((nxt, nxt if node == start else first_hop))
+        return None
+
+    def edges(self) -> Dict[str, Dict[str, str]]:
+        with self._mutex:
+            return {a: dict(bs) for a, bs in self._edges.items()}
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._edges.clear()
+
+
+_GRAPH = LockOrderGraph()
+_TLS = threading.local()
+
+
+def global_graph() -> LockOrderGraph:
+    return _GRAPH
+
+
+def reset() -> None:
+    """Forget all recorded orderings (test isolation)."""
+    _GRAPH.clear()
+
+
+def _held_stack() -> List["_CheckedLock"]:
+    held = getattr(_TLS, "held", None)
+    if held is None:
+        held = _TLS.held = []
+    return held
+
+
+class _CheckedLock:
+    """Shared acquire/release bookkeeping for both lock flavours.
+
+    Signature-compatible with ``threading.Lock``/``RLock`` including
+    positional ``acquire(0)`` — which is what ``threading.Condition`` uses
+    when handed a foreign lock — so instrumented locks drop into every
+    construction site unchanged.
+    """
+
+    _reentrant = False
+
+    def __init__(self, name: str, graph: Optional[LockOrderGraph] = None) -> None:
+        self.name = name
+        self._graph = graph if graph is not None else _GRAPH
+        self._inner = threading.RLock() if self._reentrant else threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        held = _held_stack()
+        if blocking:
+            self._precheck(held)
+        ok = (
+            self._inner.acquire(blocking)
+            if timeout == -1
+            else self._inner.acquire(blocking, timeout)
+        )
+        if ok:
+            held.append(self)
+        return ok
+
+    def _precheck(self, held: List["_CheckedLock"]) -> None:
+        if not held:
+            return
+        if not self._reentrant and any(other is self for other in held):
+            raise LockOrderViolation(
+                f"self-deadlock: thread re-acquiring non-reentrant lock "
+                f"{self.name!r} it already holds\n{_stack()}",
+                second_stack=_stack(),
+            )
+        if self._reentrant and held[-1] is self:
+            return  # plain re-entry records no new ordering
+        self._graph.record([other.name for other in held], self.name, _stack())
+
+    def release(self) -> None:
+        self._inner.release()
+        held = _held_stack()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] is self:
+                del held[index]
+                break
+
+    def locked(self) -> bool:
+        inner_locked = getattr(self._inner, "locked", None)
+        return bool(inner_locked()) if inner_locked is not None else False
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "RLock" if self._reentrant else "Lock"
+        return f"<Instrumented{kind} {self.name!r}>"
+
+
+class InstrumentedLock(_CheckedLock):
+    _reentrant = False
+
+
+class InstrumentedRLock(_CheckedLock):
+    _reentrant = True
+
+
+def make_lock(name: str):
+    """A ``threading.Lock`` — instrumented under ``REPRO_LOCKCHECK=1``.
+
+    ``name`` is the lock's class for ordering purposes: stable, dotted,
+    shared by sibling instances (e.g. ``"serve.gateway.model"``).
+    """
+    if enabled():
+        _log.debug("lockcheck: instrumenting Lock %s", name)
+        return InstrumentedLock(name)
+    return threading.Lock()
+
+
+def make_rlock(name: str):
+    """A ``threading.RLock`` — instrumented under ``REPRO_LOCKCHECK=1``."""
+    if enabled():
+        _log.debug("lockcheck: instrumenting RLock %s", name)
+        return InstrumentedRLock(name)
+    return threading.RLock()

@@ -1,0 +1,593 @@
+"""Project-specific rules for ``repro lint``.
+
+Each rule encodes one invariant the serving stack's concurrency/shared-memory
+design depends on; the docstrings say *why*, the ``hint`` says what to do
+instead.  Rules register with :func:`repro.lint.engine.rule`; adding one is a
+class here plus a positive/negative fixture test.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.engine import FileContext, Rule, rule
+from repro.lint.findings import Finding
+from repro.obs import naming
+
+__all__ = [
+    "BareExceptSwallow",
+    "LockHeldBlocking",
+    "MetricName",
+    "PipeProtocol",
+    "ShmUnlinkPairing",
+    "SleepInTests",
+]
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _terminal_name(node: ast.AST) -> str:
+    """The last identifier of a dotted/called expression (``a.b.c()`` -> c)."""
+    if isinstance(node, ast.Call):
+        return _terminal_name(node.func)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _dotted_text(node: ast.AST) -> str:
+    """Best-effort lowercase source text of an expression (for substring tests)."""
+    try:
+        return ast.unparse(node).lower()
+    except (ValueError, RecursionError):  # pragma: no cover - degenerate trees
+        return ""
+
+
+def _walk_skipping_defs(nodes) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function/class bodies.
+
+    A closure defined under a lock does not *run* under the lock, so rules
+    about held-lock behaviour must not look inside it.
+    """
+    opaque = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+    stack = list(nodes)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, opaque):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _keyword(call: ast.Call, name: str) -> Optional[ast.AST]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _is_shm_create(call: ast.Call) -> bool:
+    if _terminal_name(call.func) != "SharedMemory":
+        return False
+    create = _keyword(call, "create")
+    return isinstance(create, ast.Constant) and create.value is True
+
+
+# ---------------------------------------------------------------------------
+# LOCK-HELD-BLOCKING
+# ---------------------------------------------------------------------------
+
+#: With-item identifiers that mean "this is a mutual-exclusion guard".
+_LOCK_MARKERS = ("lock", "cond", "mutex")
+#: Dedicated I/O-serialisation locks are the *fix idiom* for this rule — a
+#: lock whose name declares it guards exactly one blocking channel (a pipe
+#: send, an append-only file) and is never nested under state locks.
+_IO_LOCK_EXEMPT = ("io_lock", "send_lock", "write_lock", "flush_lock")
+
+#: Method/attribute calls that can block on I/O, a child process, or a decode.
+_BLOCKING_ATTRS = {
+    "send",
+    "recv",
+    "send_bytes",
+    "recv_bytes",
+    "sendall",
+    "poll",
+    "read_bytes",
+    "write_bytes",
+    "read_text",
+    "write_text",
+    "get_bytes",
+    "put_bytes",
+    "result",
+    "sleep",
+    "open",
+    "acquire",
+}
+_BLOCKING_BUILTINS = {"open"}
+#: Constructors that open/decode an archive on the spot.
+_BLOCKING_CONSTRUCTORS = {"ModelRuntime"}
+_POOL_DISPATCH_ATTRS = {"submit", "map"}
+
+
+def _is_lock_withitem(item: ast.withitem) -> bool:
+    name = _terminal_name(item.context_expr).lower()
+    if not name:
+        return False
+    if any(marker in name for marker in _IO_LOCK_EXEMPT):
+        return False
+    return any(marker in name for marker in _LOCK_MARKERS)
+
+
+def _blocking_reason(call: ast.Call) -> Optional[str]:
+    """Why ``call`` may block, or ``None`` when it is lock-safe."""
+    name = _terminal_name(call.func)
+    if _is_shm_create(call):
+        return "SharedMemory(create=True) allocates and zero-fills a segment"
+    if isinstance(call.func, ast.Name) and name in _BLOCKING_BUILTINS:
+        return f"builtin {name}() does file I/O"
+    if name in _BLOCKING_CONSTRUCTORS:
+        return f"{name}(...) opens and decodes an archive"
+    if isinstance(call.func, ast.Attribute):
+        if name in _BLOCKING_ATTRS:
+            receiver = _dotted_text(call.func.value)
+            # self.lock.acquire() style is lockcheck's domain, not this rule's.
+            if name == "acquire" and any(m in receiver for m in _LOCK_MARKERS):
+                return None
+            return f".{name}() can block on I/O or a child process"
+        if name in _POOL_DISPATCH_ATTRS and "pool" in _dotted_text(call.func.value):
+            return f"pool .{name}() dispatches (and may run) tasks"
+    if name.lstrip("_").startswith("decode"):
+        return f"{name}() decodes compressed layers (CPU + archive reads)"
+    return None
+
+
+@rule
+class LockHeldBlocking(Rule):
+    """No blocking work while a state lock is held.
+
+    A pipe send/recv, file or socket I/O, shared-memory creation, a layer
+    decode, or a pool dispatch inside ``with self._lock:`` turns every other
+    thread's fast-path lock acquisition into a wait on that slow operation —
+    and against a stuck peer process, into a deadlock.  The fix is always
+    the same shape: snapshot state under the lock, do the slow work outside,
+    re-check and install under the lock (see DESIGN.md).  Flows one level
+    deep through same-module helpers: ``with lock: self._build()`` is
+    charged with whatever ``_build`` does.
+    """
+
+    id = "LOCK-HELD-BLOCKING"
+    hint = (
+        "snapshot under the lock, run the blocking call outside, re-check and "
+        "install the result under the lock; a dedicated *_io_lock/*_send_lock "
+        "that guards only one channel is exempt"
+    )
+
+    def applies(self, rel: str) -> bool:
+        return "repro/" in rel and "/tests/" not in rel and not rel.startswith("tests/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            if not any(_is_lock_withitem(item) for item in node.items):
+                continue
+            lock_text = next(
+                _dotted_text(item.context_expr)
+                for item in node.items
+                if _is_lock_withitem(item)
+            )
+            yield from self._check_body(ctx, node.body, lock_text)
+
+    def _check_body(self, ctx, body, lock_text: str) -> Iterator[Finding]:
+        for sub in _walk_skipping_defs(body):
+            if not isinstance(sub, ast.Call):
+                continue
+            reason = _blocking_reason(sub)
+            if reason is not None:
+                yield self.finding(
+                    ctx,
+                    sub,
+                    f"blocking call under `with {lock_text}:`: {reason}",
+                )
+                continue
+            yield from self._check_helper(ctx, sub, lock_text)
+
+    def _check_helper(self, ctx, call: ast.Call, lock_text: str) -> Iterator[Finding]:
+        """One-level flow: charge ``self.helper()`` with the helper's body."""
+        func = call.func
+        helper_name = ""
+        if isinstance(func, ast.Name):
+            helper_name = func.id
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+        ):
+            helper_name = func.attr
+        helper = ctx.functions.get(helper_name)
+        if helper is None:
+            return
+        for sub in _walk_skipping_defs(helper.body):
+            if isinstance(sub, ast.Call):
+                reason = _blocking_reason(sub)
+                if reason is not None:
+                    yield self.finding(
+                        ctx,
+                        call,
+                        f"blocking call under `with {lock_text}:` via helper "
+                        f"{helper_name}() (line {sub.lineno}): {reason}",
+                    )
+                    return
+
+
+# ---------------------------------------------------------------------------
+# SHM-UNLINK-PAIRING
+# ---------------------------------------------------------------------------
+
+
+@rule
+class ShmUnlinkPairing(Rule):
+    """Every created shared-memory segment must reach a refcounted release.
+
+    CI greps ``/dev/shm`` after every job; a module that calls
+    ``SharedMemory(create=True)`` without also owning an ``unlink()`` path
+    *and* an ``atexit``/``finalize`` backstop will leak segments on unclean
+    exits — exactly what the leak scan exists to catch, one PR too late.
+    """
+
+    id = "SHM-UNLINK-PAIRING"
+    hint = (
+        "route segment creation through a registry that unlink()s at refcount "
+        "zero and registers an atexit/weakref.finalize backstop in the same "
+        "module (see repro/serve/shm.py)"
+    )
+
+    def applies(self, rel: str) -> bool:
+        return "repro/" in rel and not rel.startswith("tests/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        creates = [
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.Call) and _is_shm_create(node)
+        ]
+        if not creates:
+            return
+        has_unlink = False
+        has_backstop = False
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = _terminal_name(node.func)
+                if name == "unlink":
+                    has_unlink = True
+                if name in ("register", "finalize") and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    receiver = _dotted_text(node.func.value)
+                    if "atexit" in receiver or "weakref" in receiver:
+                        has_backstop = True
+        if has_unlink and has_backstop:
+            return
+        missing = []
+        if not has_unlink:
+            missing.append("an unlink() release path")
+        if not has_backstop:
+            missing.append("an atexit.register/weakref.finalize backstop")
+        for create in creates:
+            yield self.finding(
+                ctx,
+                create,
+                "SharedMemory(create=True) without " + " or ".join(missing),
+            )
+
+
+# ---------------------------------------------------------------------------
+# BARE-EXCEPT-SWALLOW
+# ---------------------------------------------------------------------------
+
+_BROAD_EXC_NAMES = {"Exception", "BaseException"}
+_LOG_METHODS = {"debug", "info", "warning", "error", "exception", "critical"}
+
+
+def _is_broad(handler_type: Optional[ast.AST]) -> bool:
+    if handler_type is None:
+        return True
+    if isinstance(handler_type, (ast.Name, ast.Attribute)):
+        return _terminal_name(handler_type) in _BROAD_EXC_NAMES
+    if isinstance(handler_type, ast.Tuple):
+        return any(_is_broad(elt) for elt in handler_type.elts)
+    return False
+
+
+def _handler_swallows(handler: ast.ExceptHandler) -> bool:
+    """True when a broad handler neither re-raises, logs, nor uses the error."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return False
+        if isinstance(node, ast.Name) and handler.name and node.id == handler.name:
+            return False
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _LOG_METHODS and "log" in _dotted_text(
+                node.func.value
+            ):
+                return False
+            if node.func.attr in ("print_exc", "format_exc"):
+                return False
+    return True
+
+
+@rule
+class BareExceptSwallow(Rule):
+    """Broad exception handlers must surface the error somewhere.
+
+    PR 7's forensics found crash loops that ran silent for minutes because a
+    ``except Exception: pass`` ate the first failure.  A broad handler is
+    fine — worker loops and exporters need them — but it must re-raise, log
+    through ``repro.obs.log``, or actually consume the bound exception.
+    """
+
+    id = "BARE-EXCEPT-SWALLOW"
+    hint = (
+        "log via repro.obs.log.get_logger(...) (e.g. _log.warning(..., "
+        "exc_info=True)), re-raise, or narrow the exception type"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node.type):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx, node, "bare `except:` catches SystemExit/KeyboardInterrupt"
+                )
+                continue
+            if _handler_swallows(node):
+                kind = _terminal_name(node.type) if not isinstance(
+                    node.type, ast.Tuple
+                ) else "Exception"
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`except {kind}:` swallows the error "
+                    "(no raise, no log, bound name unused)",
+                )
+
+
+# ---------------------------------------------------------------------------
+# METRIC-NAME
+# ---------------------------------------------------------------------------
+
+_FAMILY_METHODS = {"counter": "counter", "gauge": "gauge", "histogram": "histogram"}
+_SPAN_FACTORIES = {"start_span", "child"}
+
+
+@rule
+class MetricName(Rule):
+    """Metric/span string literals must match the registered naming grammar.
+
+    The Prometheus exposition and the trace schema are public surface:
+    dashboards, the CI validator, and the bench regression gate all key on
+    exact names.  ``repro.obs.naming`` owns the grammar and the span
+    catalog; this rule pins every literal in ``src/repro`` to it.
+    """
+
+    id = "METRIC-NAME"
+    hint = "use a name matching repro.obs.naming (grammar + SPAN_NAMES catalog)"
+
+    def applies(self, rel: str) -> bool:
+        return "repro/" in rel and not rel.startswith("tests/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_call(ctx, node)
+
+    def _check_call(self, ctx, call: ast.Call) -> Iterator[Finding]:
+        func_name = _terminal_name(call.func)
+        # MetricSample(name="...", kind="...")
+        if func_name == "MetricSample":
+            name = _const_str(_keyword(call, "name"))
+            kind = _const_str(_keyword(call, "kind"))
+            if name is not None:
+                error = naming.metric_name_error(name, kind)
+                if error:
+                    yield self.finding(ctx, call, error)
+            return
+        # registry().counter("...", ...) / .gauge / .histogram
+        if isinstance(call.func, ast.Attribute) and func_name in _FAMILY_METHODS:
+            if call.args:
+                name = _const_str(call.args[0])
+                if name is not None:
+                    error = naming.metric_name_error(name, _FAMILY_METHODS[func_name])
+                    if error:
+                        yield self.finding(ctx, call, error)
+            return
+        # span_dict("...") / tracer.start_span("...") / span.child("...")
+        if func_name == "span_dict" or (
+            isinstance(call.func, ast.Attribute) and func_name in _SPAN_FACTORIES
+        ):
+            if call.args:
+                name = _const_str(call.args[0])
+                if name is not None:
+                    error = naming.span_name_error(name)
+                    if error:
+                        yield self.finding(ctx, call, error)
+
+
+# ---------------------------------------------------------------------------
+# SLEEP-IN-TESTS
+# ---------------------------------------------------------------------------
+
+
+@rule
+class SleepInTests(Rule):
+    """No ``time.sleep`` synchronisation in the serve/obs test suites.
+
+    Sleeps encode a guess about scheduler timing; on loaded CI runners the
+    guess is wrong and the suite flakes.  ``tests/serve/conftest.py`` ships
+    ``poll_until``/``wait_until`` deadline-poll helpers — the conftest
+    itself is the one sanctioned home for the underlying sleep.
+    """
+
+    id = "SLEEP-IN-TESTS"
+    hint = "use the poll_until/wait_until helpers from tests/serve/conftest.py"
+
+    def applies(self, rel: str) -> bool:
+        if rel.rsplit("/", 1)[-1] == "conftest.py":
+            return False
+        return "tests/serve/" in rel or "tests/obs/" in rel
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_sleep = (
+                isinstance(func, ast.Attribute)
+                and func.attr == "sleep"
+                and _terminal_name(func.value) == "time"
+            ) or (isinstance(func, ast.Name) and func.id == "sleep")
+            if is_sleep:
+                yield self.finding(
+                    ctx, node, "time.sleep() synchronisation in a serve/obs test"
+                )
+
+
+# ---------------------------------------------------------------------------
+# PIPE-PROTOCOL
+# ---------------------------------------------------------------------------
+
+
+def _module_schema(
+    tree: ast.Module,
+) -> Tuple[Optional[List[str]], Optional[Dict[str, int]]]:
+    """Extract ``REQUEST_FIELDS`` / ``RESPONSE_KINDS`` literals if defined."""
+    request: Optional[List[str]] = None
+    response: Optional[Dict[str, int]] = None
+    for node in tree.body:
+        targets = []
+        value = None
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            targets = [node.target.id]
+            value = node.value
+        if "REQUEST_FIELDS" in targets and isinstance(value, ast.Tuple):
+            fields = [_const_str(elt) for elt in value.elts]
+            if all(f is not None for f in fields):
+                request = fields  # type: ignore[assignment]
+        if "RESPONSE_KINDS" in targets and isinstance(value, ast.Dict):
+            kinds: Dict[str, int] = {}
+            ok = True
+            for key, val in zip(value.keys, value.values):
+                kind = _const_str(key) if key is not None else None
+                if kind is None or not (
+                    isinstance(val, ast.Constant) and isinstance(val.value, int)
+                ):
+                    ok = False
+                    break
+                kinds[kind] = val.value
+            if ok:
+                response = kinds
+    return request, response
+
+
+@rule
+class PipeProtocol(Rule):
+    """Worker pipe messages must agree with the one schema constant.
+
+    The request/response tuples crossing the worker pipe are an implicit
+    wire protocol between two processes that cannot share code hot-reloads.
+    ``REQUEST_FIELDS`` and ``RESPONSE_KINDS`` in ``serve/worker.py`` are the
+    single source of truth; every ``.send((...))`` tuple literal and every
+    tuple-unpacked ``.recv()`` must match them in kind tag and arity.
+    """
+
+    id = "PIPE-PROTOCOL"
+    hint = (
+        "derive the tuple shape from REQUEST_FIELDS/RESPONSE_KINDS instead of "
+        "hand-counting fields"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        request, response = _module_schema(ctx.tree)
+        if request is None and response is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_send(ctx, node, request, response)
+            elif isinstance(node, ast.Assign):
+                yield from self._check_recv_unpack(ctx, node, request)
+
+    def _check_send(self, ctx, call: ast.Call, request, response) -> Iterator[Finding]:
+        if not (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "send"
+            and len(call.args) == 1
+        ):
+            return
+        payload = call.args[0]
+        if isinstance(payload, ast.Constant) and payload.value is None:
+            return  # the stop sentinel
+        if not isinstance(payload, ast.Tuple):
+            return  # forwarded variable; not statically checkable
+        kind = _const_str(payload.elts[0]) if payload.elts else None
+        if kind is not None and response is not None:
+            if kind not in response:
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"response kind {kind!r} not in RESPONSE_KINDS "
+                    f"({sorted(response)})",
+                )
+            elif len(payload.elts) != response[kind]:
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"response {kind!r} sends {len(payload.elts)} fields, "
+                    f"RESPONSE_KINDS says {response[kind]}",
+                )
+            return
+        if kind is None and request is not None:
+            if len(payload.elts) != len(request):
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"request tuple has {len(payload.elts)} fields, "
+                    f"REQUEST_FIELDS declares {len(request)} ({request})",
+                )
+
+    def _check_recv_unpack(self, ctx, node: ast.Assign, request) -> Iterator[Finding]:
+        if request is None:
+            return
+        value = node.value
+        if not (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "recv"
+        ):
+            return
+        for target in node.targets:
+            if isinstance(target, ast.Tuple) and len(target.elts) != len(request):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"recv() unpacked into {len(target.elts)} names, "
+                    f"REQUEST_FIELDS declares {len(request)} ({request})",
+                )

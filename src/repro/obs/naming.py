@@ -1,0 +1,109 @@
+"""The registered naming grammar for metrics and spans.
+
+Every metric family and span name the serving stack emits is declared (or
+validated) here, so the exposition surface stays greppable and the static
+analyzer (``repro lint``, rule METRIC-NAME) can flag a misspelled or
+off-grammar literal at review time instead of after a dashboard goes dark.
+
+Grammar
+-------
+* Metric names are ``snake_case`` under the ``repro_`` namespace:
+  ``repro_<subsystem>_<what>[_<unit>]``.
+* Counters end in ``_total`` (Prometheus convention).
+* Gauges never end in ``_total``; sized gauges carry a unit suffix
+  (``_bytes``, ``_seconds``, ``_depth``, ...).
+* Histograms carry an explicit unit suffix (``_seconds`` or ``_bytes``).
+* Span names are dotted ``component.stage`` pairs drawn from
+  :data:`SPAN_NAMES` — the catalog CI's trace validator also pins.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+__all__ = [
+    "METRIC_NAME_RE",
+    "SPAN_NAME_RE",
+    "SPAN_NAMES",
+    "HISTOGRAM_UNIT_SUFFIXES",
+    "metric_name_error",
+    "span_name_error",
+    "validate_metric_name",
+    "validate_span_name",
+]
+
+#: ``repro_`` namespace, lowercase snake_case, no doubled/trailing underscores.
+METRIC_NAME_RE = re.compile(r"^repro_[a-z][a-z0-9]*(_[a-z0-9]+)*$")
+
+#: Dotted lowercase ``component.stage`` (underscores allowed inside a segment).
+SPAN_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+#: Every span name the serving stack may emit.  Adding a stage means adding
+#: it here first — the trace validator and METRIC-NAME lint both read this.
+SPAN_NAMES = frozenset(
+    {
+        "gateway.request",
+        "gateway.admission",
+        "gateway.shard",
+        "replica.queue",
+        "replica.batch",
+        "replica.forward",
+        "replica.decode",
+    }
+)
+
+#: Unit suffixes a histogram family name must carry.
+HISTOGRAM_UNIT_SUFFIXES = ("_seconds", "_bytes")
+
+#: Unit-ish suffixes accepted on gauges (beyond plain snake_case).
+_GAUGE_FORBIDDEN_SUFFIX = "_total"
+
+
+def metric_name_error(name: str, kind: Optional[str] = None) -> Optional[str]:
+    """Why ``name`` violates the grammar, or ``None`` when it is valid.
+
+    ``kind`` is ``"counter"``/``"gauge"``/``"histogram"`` when known; kind
+    rules are skipped when it is ``None``.
+    """
+    if not METRIC_NAME_RE.match(name):
+        return (
+            f"metric name {name!r} is off-grammar: expected "
+            "repro_<subsystem>_<what>[_<unit>] in lowercase snake_case"
+        )
+    if kind == "counter" and not name.endswith("_total"):
+        return f"counter {name!r} must end in _total"
+    if kind == "gauge" and name.endswith(_GAUGE_FORBIDDEN_SUFFIX):
+        return f"gauge {name!r} must not end in _total (that suffix means counter)"
+    if kind == "histogram" and not name.endswith(HISTOGRAM_UNIT_SUFFIXES):
+        return (
+            f"histogram {name!r} must carry a unit suffix "
+            f"({' or '.join(HISTOGRAM_UNIT_SUFFIXES)})"
+        )
+    return None
+
+
+def span_name_error(name: str) -> Optional[str]:
+    """Why ``name`` is not a registered span name, or ``None`` if it is."""
+    if not SPAN_NAME_RE.match(name):
+        return f"span name {name!r} is off-grammar: expected dotted component.stage"
+    if name not in SPAN_NAMES:
+        return (
+            f"span name {name!r} is not in the registered catalog "
+            "(repro.obs.naming.SPAN_NAMES); add it there first"
+        )
+    return None
+
+
+def validate_metric_name(name: str, kind: Optional[str] = None) -> None:
+    """Raise :class:`ValueError` unless ``name`` obeys the grammar."""
+    error = metric_name_error(name, kind)
+    if error is not None:
+        raise ValueError(error)
+
+
+def validate_span_name(name: str) -> None:
+    """Raise :class:`ValueError` unless ``name`` is a registered span name."""
+    error = span_name_error(name)
+    if error is not None:
+        raise ValueError(error)

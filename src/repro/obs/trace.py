@@ -288,7 +288,10 @@ class JsonlSpanExporter:
 
     def __init__(self, path: Union[str, Path]) -> None:
         self._path = Path(path)
-        self._lock = threading.Lock()
+        # A dedicated I/O lock (never nested under state locks): it guards
+        # exactly this append-only handle, so holding it across the write
+        # is the point, not a lock-held-blocking hazard.
+        self._io_lock = threading.Lock()
         self._handle = None
         self.exported = 0
 
@@ -298,7 +301,7 @@ class JsonlSpanExporter:
 
     def export(self, record: dict) -> None:
         line = json.dumps(record, sort_keys=True)
-        with self._lock:
+        with self._io_lock:
             if self._handle is None:
                 self._path.parent.mkdir(parents=True, exist_ok=True)
                 self._handle = self._path.open("a", encoding="utf-8")
@@ -307,7 +310,7 @@ class JsonlSpanExporter:
             self.exported += 1
 
     def close(self) -> None:
-        with self._lock:
+        with self._io_lock:
             if self._handle is not None:
                 self._handle.close()
                 self._handle = None

@@ -19,6 +19,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Generic, Hashable, Optional, Tuple, TypeVar
 
+from repro.lint.lockcheck import make_lock
 from repro.utils.errors import ValidationError
 
 __all__ = ["CacheStats", "LRUCache"]
@@ -67,7 +68,7 @@ class LRUCache(Generic[K, V]):
         if int(max_bytes) < 1:
             raise ValidationError("cache max_bytes must be positive")
         self._max_bytes = int(max_bytes)
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.cache")
         self._entries: "OrderedDict[K, Tuple[V, int]]" = OrderedDict()
         self._inflight: Dict[K, threading.Event] = {}
         self._stats = CacheStats(max_bytes=self._max_bytes)

@@ -62,6 +62,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.encoder import CompressedModel
+from repro.lint.lockcheck import make_lock
 from repro.nn.sparse import SparseWeight
 from repro.obs import metrics as obs_metrics
 from repro.obs import profile
@@ -139,7 +140,7 @@ class RoundRobinPolicy(ShardPolicy):
     name = "round-robin"
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.gateway.policy")
         self._next = 0
 
     def choose(self, replicas: Sequence["Replica"], key: Optional[str] = None) -> int:
@@ -399,7 +400,7 @@ class _Model:
         self.sparse = sparse
         self.shared = None
         self.shared_bytes = 0
-        self.lock = threading.Lock()
+        self.lock = make_lock("serve.gateway.model")
         self.accepting = False
         self.queue: "queue.SimpleQueue[Optional[_GatewayRequest]]" = queue.SimpleQueue()
         self.semaphore = threading.BoundedSemaphore(max_concurrency)
@@ -568,8 +569,13 @@ class Gateway:
         self._store = store
         self._default_backend = _resolve_backend(replica_backend, "thread")
         self._models: Dict[str, _Model] = {}
-        self._gate_lock = threading.Lock()
+        self._gate_lock = make_lock("serve.gateway.gate")
+        # Names reserved by in-flight add_model() calls: source resolution
+        # and replica construction run outside the gate lock, so the name
+        # is claimed first and installed (or abandoned) afterwards.
+        self._pending_models: set = set()
         self._running = False
+        self._starting = False
         self._closed = False
         self._started_at = 0.0
         self._stopped_at: Optional[float] = None
@@ -637,16 +643,15 @@ class Gateway:
         if (source is None) == (digest is None):
             raise ValidationError("pass exactly one of source= or digest=")
         backend = _resolve_backend(replica_backend, self._default_backend)
+        # Reserve the name under the gate lock, then do all the slow work —
+        # store reads, file reads, archive probes, runtime construction —
+        # outside it, and install (re-checking lifecycle state) at the end.
+        # Two gateways' or two threads' add_model calls must not serialise
+        # each other's multi-second decodes on this lock.
         with self._gate_lock:
-            if self._closed:
-                raise ValidationError("gateway is closed")
-            if self._running:
-                raise ValidationError(
-                    "cannot add models while the gateway is running (stop() first)"
-                )
-            if name in self._models:
-                raise ValidationError(f"gateway already hosts a model named {name!r}")
-
+            self._check_can_add(name)
+            self._pending_models.add(name)
+        try:
             if digest is not None:
                 resolved_store = store if store is not None else self._store
                 if resolved_store is None:
@@ -719,7 +724,7 @@ class Gateway:
 
             shard_policy = resolve_policy(policy)
             shard_policy.bind([replica.id for replica in pool])
-            self._models[name] = _Model(
+            model = _Model(
                 name,
                 pool,
                 shard_policy,
@@ -729,6 +734,32 @@ class Gateway:
                 source_bytes=source_bytes,
                 sparse=bool(sparse),
             )
+            with self._gate_lock:
+                installable = not (self._closed or self._running or self._starting)
+                if installable:
+                    self._models[name] = model
+            if not installable:
+                # The gateway changed state while we built replicas (e.g. a
+                # concurrent start()); leave no half-registered model behind.
+                for replica in pool:
+                    replica.close_runtime()
+                raise ValidationError(
+                    "cannot add models while the gateway is running (stop() first)"
+                )
+        finally:
+            with self._gate_lock:
+                self._pending_models.discard(name)
+
+    def _check_can_add(self, name: str) -> None:
+        """Gate-lock-held validation that ``name`` can be registered."""
+        if self._closed:
+            raise ValidationError("gateway is closed")
+        if self._running or self._starting:
+            raise ValidationError(
+                "cannot add models while the gateway is running (stop() first)"
+            )
+        if name in self._models or name in self._pending_models:
+            raise ValidationError(f"gateway already hosts a model named {name!r}")
 
     def models(self) -> List[str]:
         with self._gate_lock:
@@ -745,41 +776,55 @@ class Gateway:
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> "Gateway":
-        """Start every replica server and one dispatcher thread per model."""
+        """Start every replica server and one dispatcher thread per model.
+
+        The slow half — shared-segment acquisition (a full decode on first
+        touch) and worker process spawns — runs *outside* the gate lock,
+        guarded by a ``_starting`` flag, so a gateway warming up never
+        blocks another thread's ``submit``/``stats`` on a multi-second
+        decode.
+        """
         with self._gate_lock:
             if self._closed:
                 raise ValidationError("gateway is closed")
             if self._running:
                 return self
+            if self._starting:
+                raise ValidationError("gateway start already in progress")
             if not self._models:
                 raise ValidationError("gateway hosts no models (call add_model())")
-            started: List = []
-            acquired: List[_Model] = []
-            try:
-                for entry in self._models.values():
-                    if entry.backend == "process":
-                        # Decode once per (model, host): first acquire for
-                        # these bytes builds the segment, replicas share it.
-                        entry.shared = shared_weight_store().acquire(
-                            entry.source_bytes, sparse=entry.sparse
-                        )
-                        entry.shared_bytes = entry.shared.total_bytes
-                        acquired.append(entry)
-                        for replica in entry.replicas:
-                            replica.server.set_shared(entry.shared)
+            self._starting = True
+            entries = list(self._models.values())
+        started: List = []
+        acquired: List[_Model] = []
+        try:
+            for entry in entries:
+                if entry.backend == "process":
+                    # Decode once per (model, host): first acquire for
+                    # these bytes builds the segment, replicas share it.
+                    entry.shared = shared_weight_store().acquire(
+                        entry.source_bytes, sparse=entry.sparse
+                    )
+                    entry.shared_bytes = entry.shared.total_bytes
+                    acquired.append(entry)
                     for replica in entry.replicas:
-                        replica.server.start()
-                        started.append(replica.server)
-            except BaseException:
-                # A failed weight install / worker spawn leaves the gateway
-                # cleanly stopped; start() can be retried.
-                for server in started:
-                    server.stop()
-                for entry in acquired:
-                    shared_weight_store().release(entry.shared)
-                    entry.shared = None
-                raise
-            for entry in self._models.values():
+                        replica.server.set_shared(entry.shared)
+                for replica in entry.replicas:
+                    replica.server.start()
+                    started.append(replica.server)
+        except BaseException:
+            # A failed weight install / worker spawn leaves the gateway
+            # cleanly stopped; start() can be retried.
+            for server in started:
+                server.stop()
+            for entry in acquired:
+                shared_weight_store().release(entry.shared)
+                entry.shared = None
+            with self._gate_lock:
+                self._starting = False
+            raise
+        with self._gate_lock:
+            for entry in entries:
                 entry.reset_for_run()
                 entry.dispatcher = threading.Thread(
                     target=self._dispatch_loop,
@@ -789,6 +834,7 @@ class Gateway:
                 )
                 entry.dispatcher.start()
             self._running = True
+            self._starting = False
             self._started_at = time.perf_counter()
             self._stopped_at = None
             self._registry.register_collector(self._collect)

@@ -26,6 +26,7 @@ from typing import Dict, Iterable, Optional, Union
 import numpy as np  # noqa: F401 - np.ndarray in docs/annotations
 
 from repro.core.decoder import decode_compressed_layer, decode_compressed_layer_sparse
+from repro.lint.lockcheck import make_lock
 from repro.core.encoder import CompressedModel
 from repro.nn.sparse import SparseWeight
 from repro.obs import profile
@@ -123,7 +124,7 @@ class ModelRuntime:
         self._verify = bool(verify)
         self._sparse = bool(sparse)
         self._cache: LRUCache[str, np.ndarray] = LRUCache(cache_bytes)
-        self._stats_lock = threading.Lock()
+        self._stats_lock = make_lock("serve.runtime.stats")
         self._decodes = 0
         self._decode_seconds: Dict[str, float] = {}
         self._stage_seconds: Dict[str, float] = {}

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.lint.lockcheck import make_lock
 from repro.obs import profile
 from repro.obs.metrics import Histogram
 from repro.obs.trace import Span
@@ -127,7 +128,7 @@ class Server:
         self._queue: "queue.SimpleQueue[Optional[_Request]]" = queue.SimpleQueue()
         self._worker: Optional[threading.Thread] = None
         self._running = False
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.server.state")
         self._latency_hist = Histogram()
         self._batches = 0
         self._batch_items = 0

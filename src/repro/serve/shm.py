@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import atexit
 import hashlib
+import itertools
 import os
 import threading
 import time
@@ -52,6 +53,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.lint.lockcheck import make_lock
 from repro.nn.sparse import SparseWeight
 from repro.obs.log import get_logger
 from repro.utils.errors import ValidationError
@@ -193,9 +195,14 @@ class SharedWeightStore:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.shm.store")
         self._entries: Dict[tuple, SharedModelWeights] = {}
-        self._seq = 0
+        # Per-key single-flight markers: the thread that installs the Event
+        # builds (decode + segment create) *outside* the lock; racers wait
+        # on the Event instead of on the store lock, so an unrelated model's
+        # acquire never queues behind a multi-second decode.
+        self._building: Dict[tuple, threading.Event] = {}
+        self._seq = itertools.count(1)
         atexit.register(self.shutdown)
 
     # -- lifecycle ---------------------------------------------------------
@@ -210,13 +217,32 @@ class SharedWeightStore:
             source = Path(source).read_bytes()
         blob = bytes(source)
         key = (hashlib.sha256(blob).hexdigest(), bool(sparse))
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    entry.refcount += 1
+                    return entry
+                pending = self._building.get(key)
+                if pending is None:
+                    self._building[key] = threading.Event()
+                    break
+            # Another thread is decoding this exact model: wait on its
+            # single-flight event (not the store lock) and re-check.
+            pending.wait()
+        try:
+            entry = self._build(blob, key)
+        except BaseException:
+            with self._lock:
+                event = self._building.pop(key)
+            event.set()  # wake racers; the next one retries the build
+            raise
         with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
-                entry = self._build(blob, key)
-                self._entries[key] = entry
+            self._entries[key] = entry
             entry.refcount += 1
-            return entry
+            event = self._building.pop(key)
+        event.set()
+        return entry
 
     def release(self, weights: SharedModelWeights) -> None:
         """Drop one reference; unlink the segment when nobody holds it."""
@@ -333,16 +359,18 @@ class SharedWeightStore:
         # Explicit repro_* names (instead of the stdlib's psm_*) so leak
         # scans of /dev/shm can attribute segments; pid + sequence keeps
         # them unique, and a stale same-named leftover is retried past.
+        # itertools.count is atomic under the GIL, so concurrent builders of
+        # *different* models (builds run outside the store lock) never share
+        # a sequence number.
         while True:
-            self._seq += 1
-            name = f"{_SEGMENT_PREFIX}{digest[:8]}_{os.getpid()}_{self._seq}"
+            name = f"{_SEGMENT_PREFIX}{digest[:8]}_{os.getpid()}_{next(self._seq)}"
             try:
                 return shared_memory.SharedMemory(name=name, create=True, size=size)
             except FileExistsError:  # pragma: no cover - stale leftover
                 continue
 
 
-_STORE_LOCK = threading.Lock()
+_STORE_LOCK = make_lock("serve.shm.singleton")
 _STORE: Optional[SharedWeightStore] = None
 
 

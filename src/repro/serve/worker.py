@@ -64,6 +64,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.lint.lockcheck import make_lock
 from repro.obs import metrics as obs_metrics
 from repro.obs import profile
 from repro.obs.log import get_logger
@@ -72,11 +73,26 @@ from repro.obs.trace import Span, span_dict
 from repro.serve.server import ServerStats
 from repro.utils.errors import ReplicaCrashed, ValidationError
 
-__all__ = ["ProcessServer", "WorkerSpec", "resolve_start_method"]
+__all__ = [
+    "ProcessServer",
+    "REQUEST_FIELDS",
+    "RESPONSE_KINDS",
+    "WorkerSpec",
+    "resolve_start_method",
+]
 
 _log = get_logger("serve.worker")
 
 _READY_TIMEOUT_S = 120.0  # spawn imports numpy/scipy; slow CI boxes need slack
+
+#: The pipe protocol schema — the single source of truth the PIPE-PROTOCOL
+#: lint rule checks every sender and receiver against.  A request crosses
+#: the request pipe as a tuple with exactly these fields, in this order
+#: (``None`` is the stop sentinel):
+REQUEST_FIELDS = ("req_id", "sample", "ctx")
+#: Response messages are ``(kind, *payload)`` tuples; this maps each kind
+#: to its total tuple arity (kind tag included).
+RESPONSE_KINDS = {"ready": 2, "failed": 2, "ok": 4, "err": 4, "bye": 1}
 
 #: MetricsBlock slot layout shared between parent and worker.  ``fetch`` is
 #: per-layer weight-view lookup time inside the forward pass, ``forward``
@@ -252,6 +268,17 @@ def _worker_main(spec: WorkerSpec, request_conn, response_conn) -> None:
                 try:
                     response_conn.send(("err", ids, exc, []))
                 except Exception:
+                    # The exception object itself would not pickle; say so
+                    # (otherwise a custom exception type degrades to a bare
+                    # string parent-side with no hint why) and fall back to
+                    # the stringified form.
+                    _log.debug(
+                        "worker %s: error response for %r did not pickle; "
+                        "sending stringified form",
+                        spec.replica_id,
+                        type(exc).__name__,
+                        exc_info=True,
+                    )
                     _send_safely(
                         response_conn,
                         ("err", ids, f"{type(exc).__name__}: {exc}", []),
@@ -299,7 +326,14 @@ class _Pending:
 
 @dataclass
 class _Link:
-    """One spawned worker: process + pipes (replaced on respawn)."""
+    """One spawned worker: process + pipes (replaced on respawn).
+
+    ``send_lock`` serialises writes to the request pipe *only* — requests
+    and the stop sentinel — so a pipe send never runs under the server's
+    state lock.  ``closed`` flips (under ``send_lock``) before the sentinel
+    goes out, which is what keeps a racing ``submit`` from landing a
+    request behind the sentinel the worker drains up to.
+    """
 
     process: multiprocessing.process.BaseProcess
     request_conn: object
@@ -307,6 +341,8 @@ class _Link:
     shared_bytes: int = 0
     generation: int = 0
     pending: Dict[int, _Pending] = field(default_factory=dict)
+    send_lock: object = field(default_factory=lambda: make_lock("serve.worker.send"))
+    closed: bool = False
 
 
 class ProcessServer:
@@ -343,7 +379,14 @@ class ProcessServer:
         self._ctx = multiprocessing.get_context(resolve_start_method(start_method))
         self._max_respawns = int(max_respawns)
         self._shared = None
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.worker.state")
+        # Guards the start/respawn windows: spawning a worker (process
+        # start + ready handshake) and creating its MetricsBlock run
+        # *outside* the state lock, flagged here so concurrent
+        # start()/stop() calls wait on the condition instead of racing.
+        self._cond = threading.Condition(self._lock)
+        self._starting = False
+        self._respawning = False
         self._running = False
         self._dead = False
         self._link: Optional[_Link] = None
@@ -394,20 +437,31 @@ class ProcessServer:
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> "ProcessServer":
         with self._lock:
+            while self._starting:
+                self._cond.wait()
             if self._running:
                 return self
             if self._shared is None:
                 raise ValidationError(
                     "no shared weights attached (call set_shared() first)"
                 )
+            self._starting = True
+        # The slow half — shared-memory block creation and the worker spawn
+        # (process start + ready handshake) — runs outside the state lock so
+        # a starting replica never blocks submit/stats on its siblings.
+        metrics: Optional[MetricsBlock] = None
+        try:
             metrics = MetricsBlock.create(_WORKER_SLOTS)
-            self._metrics = metrics
-            try:
-                link = self._spawn(generation=0)
-            except BaseException:
-                self._metrics = None
+            link = self._spawn(generation=0, metrics=metrics)
+        except BaseException:
+            if metrics is not None:
                 metrics.close()
-                raise
+            with self._lock:
+                self._starting = False
+                self._cond.notify_all()
+            raise
+        with self._lock:
+            self._metrics = metrics
             self._link = link
             self._running = True
             self._dead = False
@@ -426,25 +480,36 @@ class ProcessServer:
                 daemon=True,
             )
             self._receiver.start()
+            self._starting = False
+            self._cond.notify_all()
         return self
 
     def stop(self) -> None:
         """Drain the worker (sentinel behind every accepted request), stop it."""
         with self._lock:
+            while self._starting or self._respawning:
+                self._cond.wait()
             if not self._running:
                 return
             self._running = False
             link = self._link
             receiver, self._receiver = self._receiver, None
-            if link is not None:
-                try:
+        if link is not None:
+            # closed flips under the send lock, then the sentinel goes out
+            # under the same hold: any submit that already passed its closed
+            # check has finished its send, so the sentinel lands behind
+            # every accepted request.
+            try:
+                with link.send_lock:
+                    link.closed = True
                     link.request_conn.send(None)
-                except Exception:  # worker already dead; receiver winds down
-                    _log.debug(
-                        "replica %s: stop sentinel send failed (worker dead?)",
-                        self._replica_id,
-                        exc_info=True,
-                    )
+            except Exception:  # worker already dead; receiver winds down
+                link.closed = True
+                _log.debug(
+                    "replica %s: stop sentinel send failed (worker dead?)",
+                    self._replica_id,
+                    exc_info=True,
+                )
         if receiver is not None:
             receiver.join()
         if link is not None:
@@ -494,18 +559,36 @@ class ProcessServer:
             req_id = self._next_id
             self._next_id += 1
             link.pending[req_id] = _Pending(future, time.perf_counter(), span)
-            try:
-                link.request_conn.send((req_id, sample, ctx))
-            except Exception:
-                # Worker just died; the receiver's crash handling will fail
-                # (or re-route nothing for) this pending entry.
-                _log.debug(
-                    "replica %s: request send failed (worker dead?)",
-                    self._replica_id,
-                    exc_info=True,
-                )
         with self._inflight.get_lock():
             self._inflight.value += 1
+        # The pipe write happens outside the state lock: it can block on a
+        # full pipe buffer (or a wedged worker), and nothing else — not
+        # stats, not a sibling submit's bookkeeping — should wait on that.
+        delivered = True
+        try:
+            with link.send_lock:
+                if link.closed:
+                    delivered = False
+                else:
+                    link.request_conn.send((req_id, sample, ctx))
+        except Exception:
+            # Worker just died mid-send; the receiver's crash handling will
+            # fail this pending entry.
+            _log.debug(
+                "replica %s: request send failed (worker dead?)",
+                self._replica_id,
+                exc_info=True,
+            )
+        if not delivered:
+            # Lost the race with stop(): the sentinel is already queued, so
+            # the worker will never see this request.  Withdraw it (unless a
+            # crash handler got there first and failed the future for us).
+            with self._lock:
+                mine = link.pending.pop(req_id, None)
+            if mine is not None:
+                with self._inflight.get_lock():
+                    self._inflight.value -= 1
+                raise ValidationError("server is not running (call start())")
         return future
 
     def infer(self, x: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
@@ -517,10 +600,14 @@ class ProcessServer:
         return int(self._inflight.value)
 
     # -- worker management -------------------------------------------------
-    def _spawn(self, generation: int) -> _Link:
+    def _spawn(
+        self, generation: int, metrics: Optional[MetricsBlock]
+    ) -> _Link:
+        # Runs outside the state lock (start() and _handle_crash() guard
+        # their windows with _starting/_respawning): a worker spawn blocks
+        # on process start plus the ready handshake.
         request_recv, request_send = self._ctx.Pipe(duplex=False)
         response_recv, response_send = self._ctx.Pipe(duplex=False)
-        metrics = self._metrics
         spec = WorkerSpec(
             replica_id=self._replica_id,
             manifest=self._shared.manifest,
@@ -626,16 +713,39 @@ class ProcessServer:
                 self._max_respawns,
                 "respawning" if respawn else "staying down",
             )
-            replacement: Optional[_Link] = None
+            metrics = self._metrics
             if respawn:
-                try:
-                    replacement = self._spawn(generation=link.generation + 1)
-                except BaseException:
-                    replacement = None
-            if replacement is None:
+                self._respawning = True
+        replacement: Optional[_Link] = None
+        if respawn:
+            # Spawn outside the state lock (stop()/submit() must not queue
+            # behind a worker boot); _respawning keeps stop() honest.
+            try:
+                replacement = self._spawn(
+                    generation=link.generation + 1, metrics=metrics
+                )
+            except BaseException:
+                _log.warning(
+                    "replica %s: respawn after crash failed; staying down",
+                    self._replica_id,
+                    exc_info=True,
+                )
+                replacement = None
+        stale: Optional[_Link] = None
+        with self._lock:
+            if respawn:
+                self._respawning = False
+                self._cond.notify_all()
+            if not self._running:
+                # stop() flipped state while the spawn ran: the fresh worker
+                # must not outlive the server.
+                stale, replacement = replacement, None
+            elif replacement is None:
                 self._dead = True
             else:
                 self._link = replacement
+        if stale is not None:
+            self._close_link(stale, terminate=True)
         self._fail_pending(
             link,
             f"replica {self._replica_id} worker died (exit code {exit_code}) "

@@ -78,6 +78,15 @@ class ModelStore:
         if self.max_bytes is not None and int(self.max_bytes) < 1:
             raise ValidationError("max_bytes must be positive (or None)")
         self._lock = threading.RLock()
+        # Index persistence is split: the store lock only *snapshots* the
+        # index (a json.dumps of in-memory state); the actual tmp-write +
+        # rename happens under this dedicated I/O lock after the store lock
+        # is released, so a slow disk never serialises gets and puts.  A
+        # generation counter keeps concurrent writers from clobbering a
+        # newer snapshot with an older one.
+        self._io_lock = threading.Lock()
+        self._index_gen = 0
+        self._written_gen = 0
         self._last_touch_save = 0.0
         (self.root / "objects").mkdir(parents=True, exist_ok=True)
         self._index: Dict[str, _ObjectRecord] = self._load_index()
@@ -116,12 +125,23 @@ class ModelStore:
                 )
         return index
 
-    def _save_index(self) -> None:
-        tmp = self._index_path.with_suffix(".json.tmp")
-        tmp.write_text(
-            json.dumps({d: r.as_dict() for d, r in self._index.items()}, sort_keys=True)
+    def _snapshot_index(self) -> "tuple[int, str]":
+        """Serialise the index under the store lock; caller writes it later."""
+        self._index_gen += 1
+        payload = json.dumps(
+            {d: r.as_dict() for d, r in self._index.items()}, sort_keys=True
         )
-        os.replace(tmp, self._index_path)
+        return self._index_gen, payload
+
+    def _write_index(self, gen: int, payload: str) -> None:
+        """Persist a snapshot (store lock released; see ``_io_lock`` note)."""
+        with self._io_lock:
+            if gen <= self._written_gen:
+                return  # a newer snapshot already reached disk
+            tmp = self._index_path.with_suffix(".json.tmp")
+            tmp.write_text(payload)
+            os.replace(tmp, self._index_path)
+            self._written_gen = gen
 
     def _refresh_totals(self) -> None:
         self.stats.objects = len(self._index)
@@ -151,16 +171,19 @@ class ModelStore:
         now = time.time()
         path = self._object_path(digest)
         with self._lock:
+            snapshot = None
             if digest in self._index and path.exists():
                 self._index[digest].last_used = now
                 self.stats.dedup_hits += 1
-                self._save_index()
-                return digest
-            if self.max_bytes is not None and len(blob) > self.max_bytes:
+                snapshot = self._snapshot_index()
+            elif self.max_bytes is not None and len(blob) > self.max_bytes:
                 raise ValidationError(
                     f"object of {len(blob)} bytes exceeds the store budget "
                     f"of {self.max_bytes} bytes"
                 )
+        if snapshot is not None:
+            self._write_index(*snapshot)
+            return digest
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(
             f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
@@ -180,7 +203,8 @@ class ModelStore:
                     )
                     self.stats.puts += 1
                     self._refresh_totals()
-                self._save_index()
+                snapshot = self._snapshot_index()
+            self._write_index(*snapshot)
         finally:
             tmp.unlink(missing_ok=True)
         return digest
@@ -220,7 +244,8 @@ class ModelStore:
         with self._lock:
             existed = digest in self._index
             self._remove_object(digest)
-            self._save_index()
+            snapshot = self._snapshot_index()
+        self._write_index(*snapshot)
         return existed
 
     # -- reads -------------------------------------------------------------
@@ -263,22 +288,25 @@ class ModelStore:
             )
         return matches[0]
 
-    def _touch_locked(self, digest: str) -> None:
-        """Bump an object's recency; persist the index at most once per
+    def _touch_locked(self, digest: str) -> "tuple[int, str] | None":
+        """Bump an object's recency; snapshot the index at most once per
         second (touches are hot-path metadata — losing the last second of
         access times on a crash only perturbs LRU order, while mutations
-        always persist immediately)."""
+        always persist immediately).  Returns a snapshot for the caller to
+        :meth:`_write_index` after releasing the store lock, or ``None``."""
         self._index[digest].last_used = time.time()
         self.stats.gets += 1
         now = time.monotonic()
         if now - self._last_touch_save >= 1.0:
             self._last_touch_save = now
-            self._save_index()
+            return self._snapshot_index()
+        return None
 
     def flush(self) -> None:
         """Force-persist the index (recency updates are otherwise throttled)."""
         with self._lock:
-            self._save_index()
+            snapshot = self._snapshot_index()
+        self._write_index(*snapshot)
 
     def get_bytes(self, digest: str, *, verify: bool = True) -> bytes:
         """Read an object's bytes; ``verify`` re-hashes and checks the key.
@@ -290,7 +318,9 @@ class ModelStore:
             path = self._object_path(digest)
             if digest not in self._index or not path.exists():
                 raise ValidationError(f"store has no object {digest}")
-            self._touch_locked(digest)
+            snapshot = self._touch_locked(digest)
+        if snapshot is not None:
+            self._write_index(*snapshot)
         try:
             blob = path.read_bytes()
         except FileNotFoundError:
@@ -319,7 +349,14 @@ class ModelStore:
             path = self._object_path(digest)
             if digest not in self._index or not path.exists():
                 raise ValidationError(f"store has no object {digest}")
-            self._touch_locked(digest)
-            # Open while holding the lock: a concurrent eviction unlinking
-            # this path would otherwise surface as a raw FileNotFoundError.
+            snapshot = self._touch_locked(digest)
+        if snapshot is not None:
+            self._write_index(*snapshot)
+        try:
+            # Opened outside the store lock (the mmap/open must not
+            # serialise the store); an eviction racing us unlinks the path,
+            # which surfaces here and maps to the same miss error as
+            # get_bytes.
             return ModelArchive.open(path)
+        except FileNotFoundError:
+            raise ValidationError(f"store has no object {digest}") from None

@@ -1,0 +1,187 @@
+"""Runtime lock-order detector tests: cycles, self-deadlock, factory gating."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.lint.lockcheck import (
+    InstrumentedLock,
+    InstrumentedRLock,
+    LockOrderGraph,
+    LockOrderViolation,
+    enabled,
+    global_graph,
+    make_lock,
+    make_rlock,
+    reset,
+)
+
+
+def run_in_thread(fn):
+    """Run ``fn`` on a fresh thread; return the exception it raised (or None)."""
+    box = {}
+
+    def target():
+        try:
+            fn()
+        except BaseException as exc:  # noqa: BLE001 - relayed to the test
+            box["exc"] = exc
+
+    thread = threading.Thread(target=target)
+    thread.start()
+    thread.join(timeout=10)
+    assert not thread.is_alive(), "helper thread wedged"
+    return box.get("exc")
+
+
+@pytest.fixture
+def graph():
+    return LockOrderGraph()
+
+
+class TestLockOrderGraph:
+    def test_ab_ba_two_thread_cycle_detected(self, graph):
+        a = InstrumentedLock("A", graph)
+        b = InstrumentedLock("B", graph)
+
+        def first_order():
+            with a:
+                with b:
+                    pass
+
+        def second_order():
+            with b:
+                with a:
+                    pass
+
+        assert run_in_thread(first_order) is None
+        exc = run_in_thread(second_order)
+        assert isinstance(exc, LockOrderViolation)
+        # Both call paths ship in the report so CI shows what to reorder.
+        assert exc.first_stack and exc.second_stack
+        assert "first_order" in exc.first_stack
+        assert "second_order" in exc.second_stack
+        assert "'A'" in str(exc) and "'B'" in str(exc)
+
+    def test_transitive_cycle_detected(self, graph):
+        a = InstrumentedLock("A", graph)
+        b = InstrumentedLock("B", graph)
+        c = InstrumentedLock("C", graph)
+
+        def a_then_b():
+            with a, b:
+                pass
+
+        def b_then_c():
+            with b, c:
+                pass
+
+        def c_then_a():
+            with c, a:
+                pass
+
+        assert run_in_thread(a_then_b) is None
+        assert run_in_thread(b_then_c) is None
+        assert isinstance(run_in_thread(c_then_a), LockOrderViolation)
+
+    def test_consistent_order_never_raises(self, graph):
+        a = InstrumentedLock("A", graph)
+        b = InstrumentedLock("B", graph)
+
+        def ordered():
+            with a, b:
+                pass
+
+        for _ in range(3):
+            assert run_in_thread(ordered) is None
+
+    def test_same_name_siblings_form_no_self_edge(self, graph):
+        # One lock per model entry shares a class name; iterating entries
+        # takes them in arbitrary sequence, which must stay legal.
+        first = InstrumentedLock("serve.model", graph)
+        second = InstrumentedLock("serve.model", graph)
+        with first:
+            with second:
+                pass
+        with second:
+            with first:
+                pass
+        assert "serve.model" not in graph.edges().get("serve.model", {})
+
+    def test_self_deadlock_on_nonreentrant_reacquire(self, graph):
+        lock = InstrumentedLock("A", graph)
+        with lock:
+            with pytest.raises(LockOrderViolation, match="self-deadlock"):
+                lock.acquire()
+
+    def test_rlock_reentry_allowed(self, graph):
+        lock = InstrumentedRLock("A", graph)
+        with lock:
+            with lock:
+                pass
+        assert graph.edges() == {}
+
+    def test_clear_forgets_orderings(self, graph):
+        a = InstrumentedLock("A", graph)
+        b = InstrumentedLock("B", graph)
+        with a, b:
+            pass
+        graph.clear()
+        with b, a:
+            pass  # no cycle: the A->B edge was forgotten
+
+
+class TestInstrumentedLockApi:
+    def test_nonblocking_and_timeout_acquire(self, graph):
+        lock = InstrumentedLock("A", graph)
+        assert lock.acquire(0) is True  # positional, Condition-style
+        assert run_in_thread(lambda: lock.acquire(False) and None) is None
+        lock.release()
+        assert lock.acquire(True, 0.5) is True
+        lock.release()
+        assert not lock.locked()
+
+    def test_condition_compatible(self, graph):
+        lock = InstrumentedLock("serve.cond", graph)
+        cond = threading.Condition(lock)
+        ready = []
+
+        def waiter():
+            with cond:
+                while not ready:
+                    cond.wait(timeout=5)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        with cond:
+            ready.append(True)
+            cond.notify_all()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+
+class TestFactory:
+    def test_disabled_by_default_returns_plain_primitives(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCKCHECK", raising=False)
+        assert not enabled()
+        assert not isinstance(make_lock("x"), InstrumentedLock)
+        assert not isinstance(make_rlock("x"), InstrumentedRLock)
+
+    def test_env_flag_enables_instrumentation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCKCHECK", "1")
+        assert enabled()
+        assert isinstance(make_lock("x"), InstrumentedLock)
+        assert isinstance(make_rlock("x"), InstrumentedRLock)
+
+    def test_reset_clears_global_graph(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCKCHECK", "1")
+        reset()
+        a = make_lock("reset.A")
+        b = make_lock("reset.B")
+        with a, b:
+            pass
+        assert "reset.A" in global_graph().edges()
+        reset()
+        assert "reset.A" not in global_graph().edges()

@@ -1,0 +1,576 @@
+"""Per-rule fixture tests: positive, negative, suppression, baseline."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, lint_paths
+from repro.lint.findings import Finding, apply_baseline, suppressed_rules
+
+
+def run_lint(tmp_path: Path, rel: str, source: str, baseline=None):
+    """Write ``source`` at ``tmp_path/rel`` and lint it with every rule."""
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_paths([target], root=tmp_path, baseline=baseline)
+
+
+def rule_ids(result):
+    return [f.rule for f in result.findings]
+
+
+# ---------------------------------------------------------------------------
+# LOCK-HELD-BLOCKING
+# ---------------------------------------------------------------------------
+
+
+class TestLockHeldBlocking:
+    def test_pipe_send_under_lock_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/mod.py",
+            """
+            class S:
+                def push(self, item):
+                    with self._lock:
+                        self.conn.send(item)
+            """,
+        )
+        assert rule_ids(result) == ["LOCK-HELD-BLOCKING"]
+        assert "send" in result.findings[0].message
+
+    def test_flows_one_level_through_helper(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/mod.py",
+            """
+            class S:
+                def push(self, item):
+                    with self._lock:
+                        self._deliver(item)
+
+                def _deliver(self, item):
+                    self.conn.send(item)
+            """,
+        )
+        assert rule_ids(result) == ["LOCK-HELD-BLOCKING"]
+        assert "via helper _deliver()" in result.findings[0].message
+
+    def test_shm_create_and_decode_and_pool_submit_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/mod.py",
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            class S:
+                def build(self):
+                    with self._lock:
+                        seg = SharedMemory(create=True, size=64)
+                        data = decode_layer(seg)
+                        self._pool.submit(work, data)
+            """,
+        )
+        # SHM-UNLINK-PAIRING also fires on this fixture (create, no release);
+        # this test only pins the three blocking calls.
+        assert rule_ids(result).count("LOCK-HELD-BLOCKING") == 3
+
+    def test_send_outside_lock_ok(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/mod.py",
+            """
+            class S:
+                def push(self, item):
+                    with self._lock:
+                        queued = self._queue.popleft()
+                    self.conn.send(queued)
+            """,
+        )
+        assert result.clean
+
+    def test_dedicated_io_lock_exempt(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/mod.py",
+            """
+            class S:
+                def push(self, item):
+                    with self._send_lock:
+                        self.conn.send(item)
+            """,
+        )
+        assert result.clean
+
+    def test_closure_under_lock_not_charged(self, tmp_path):
+        # A function *defined* under the lock does not run under it.
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/mod.py",
+            """
+            class S:
+                def push(self, item):
+                    with self._lock:
+                        def later():
+                            self.conn.send(item)
+                        self._callbacks.append(later)
+            """,
+        )
+        assert result.clean
+
+    def test_not_applied_outside_repro_sources(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "tests/serve/helper_mod.py",
+            """
+            def push(conn, lock, item):
+                with lock:
+                    conn.send(item)
+            """,
+        )
+        assert "LOCK-HELD-BLOCKING" not in rule_ids(result)
+
+    def test_inline_suppression(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/mod.py",
+            """
+            class S:
+                def push(self, item):
+                    with self._lock:
+                        self.conn.send(item)  # repro-lint: disable=LOCK-HELD-BLOCKING -- bounded pipe
+            """,
+        )
+        assert result.clean
+        assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# SHM-UNLINK-PAIRING
+# ---------------------------------------------------------------------------
+
+
+class TestShmUnlinkPairing:
+    def test_create_without_release_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/seg.py",
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def make():
+                return SharedMemory(create=True, size=128)
+            """,
+        )
+        assert rule_ids(result) == ["SHM-UNLINK-PAIRING"]
+        assert "unlink" in result.findings[0].message
+
+    def test_create_with_unlink_and_backstop_ok(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/seg.py",
+            """
+            import atexit
+            from multiprocessing.shared_memory import SharedMemory
+
+            _SEGMENTS = []
+
+            def _cleanup():
+                for seg in _SEGMENTS:
+                    seg.unlink()
+
+            atexit.register(_cleanup)
+
+            def make():
+                seg = SharedMemory(create=True, size=128)
+                _SEGMENTS.append(seg)
+                return seg
+            """,
+        )
+        assert result.clean
+
+    def test_attach_only_ok(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/seg.py",
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def attach(name):
+                return SharedMemory(name=name)
+            """,
+        )
+        assert result.clean
+
+
+# ---------------------------------------------------------------------------
+# BARE-EXCEPT-SWALLOW
+# ---------------------------------------------------------------------------
+
+
+class TestBareExceptSwallow:
+    def test_bare_except_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/obs/mod.py",
+            """
+            def f():
+                try:
+                    work()
+                except:
+                    pass
+            """,
+        )
+        assert rule_ids(result) == ["BARE-EXCEPT-SWALLOW"]
+        assert "bare `except:`" in result.findings[0].message
+
+    def test_broad_swallow_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/obs/mod.py",
+            """
+            def f():
+                try:
+                    work()
+                except Exception:
+                    pass
+            """,
+        )
+        assert rule_ids(result) == ["BARE-EXCEPT-SWALLOW"]
+
+    def test_logged_handler_ok(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/obs/mod.py",
+            """
+            from repro.obs.log import get_logger
+
+            _log = get_logger("mod")
+
+            def f():
+                try:
+                    work()
+                except Exception:
+                    _log.warning("work failed", exc_info=True)
+            """,
+        )
+        assert result.clean
+
+    def test_reraise_and_bound_name_ok(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/obs/mod.py",
+            """
+            def f():
+                try:
+                    work()
+                except Exception:
+                    raise
+
+            def g(out):
+                try:
+                    work()
+                except Exception as exc:
+                    out.append(exc)
+            """,
+        )
+        assert result.clean
+
+    def test_narrow_handler_ok(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/obs/mod.py",
+            """
+            def f():
+                try:
+                    work()
+                except FileNotFoundError:
+                    pass
+            """,
+        )
+        assert result.clean
+
+
+# ---------------------------------------------------------------------------
+# METRIC-NAME
+# ---------------------------------------------------------------------------
+
+
+class TestMetricName:
+    def test_bad_counter_literal_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/mod.py",
+            """
+            def f(registry):
+                registry.counter("requests")
+            """,
+        )
+        assert rule_ids(result) == ["METRIC-NAME"]
+
+    def test_counter_missing_total_suffix_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/mod.py",
+            """
+            def f(registry):
+                registry.counter("repro_gateway_requests")
+            """,
+        )
+        assert rule_ids(result) == ["METRIC-NAME"]
+
+    def test_good_names_ok(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/mod.py",
+            """
+            def f(registry):
+                registry.counter("repro_gateway_requests_total")
+                registry.gauge("repro_replica_inflight")
+                registry.histogram("repro_decode_latency_seconds")
+            """,
+        )
+        assert result.clean
+
+    def test_unknown_span_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/mod.py",
+            """
+            def f(tracer):
+                with tracer.start_span("gateway.bogus"):
+                    pass
+            """,
+        )
+        assert rule_ids(result) == ["METRIC-NAME"]
+
+    def test_catalog_span_ok(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/mod.py",
+            """
+            def f(tracer):
+                with tracer.start_span("gateway.request"):
+                    pass
+            """,
+        )
+        assert result.clean
+
+
+# ---------------------------------------------------------------------------
+# SLEEP-IN-TESTS
+# ---------------------------------------------------------------------------
+
+
+class TestSleepInTests:
+    def test_sleep_in_serve_test_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "tests/serve/test_thing.py",
+            """
+            import time
+
+            def test_thing():
+                time.sleep(0.2)
+            """,
+        )
+        assert rule_ids(result) == ["SLEEP-IN-TESTS"]
+
+    def test_sleep_in_obs_test_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "tests/obs/test_thing.py",
+            """
+            from time import sleep
+
+            def test_thing():
+                sleep(0.2)
+            """,
+        )
+        assert rule_ids(result) == ["SLEEP-IN-TESTS"]
+
+    def test_conftest_exempt(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "tests/serve/conftest.py",
+            """
+            import time
+
+            def poll_until(fn, deadline=5.0):
+                while not fn():
+                    time.sleep(0.01)
+            """,
+        )
+        assert result.clean
+
+    def test_other_suites_exempt(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "tests/core/test_thing.py",
+            """
+            import time
+
+            def test_thing():
+                time.sleep(0.01)
+            """,
+        )
+        assert result.clean
+
+
+# ---------------------------------------------------------------------------
+# PIPE-PROTOCOL
+# ---------------------------------------------------------------------------
+
+_SCHEMA_PREAMBLE = """
+REQUEST_FIELDS = ("req_id", "sample", "ctx")
+RESPONSE_KINDS = {"ready": 2, "ok": 4, "err": 4, "bye": 1}
+"""
+
+
+def schema_src(body: str) -> str:
+    """A fixture module: the schema constants plus a dedented ``body``."""
+    return _SCHEMA_PREAMBLE + textwrap.dedent(body)
+
+
+class TestPipeProtocol:
+    def test_response_arity_mismatch_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/wire.py",
+            schema_src(
+                """
+                def reply(conn, req_id, out):
+                    conn.send(("ok", req_id, out))
+                """
+            ),
+        )
+        assert rule_ids(result) == ["PIPE-PROTOCOL"]
+        assert "RESPONSE_KINDS says 4" in result.findings[0].message
+
+    def test_unknown_kind_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/wire.py",
+            schema_src(
+                """
+                def reply(conn, req_id):
+                    conn.send(("done", req_id))
+                """
+            ),
+        )
+        assert rule_ids(result) == ["PIPE-PROTOCOL"]
+        assert "'done'" in result.findings[0].message
+
+    def test_request_arity_mismatch_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/wire.py",
+            schema_src(
+                """
+                def submit(conn, req_id, sample):
+                    conn.send((req_id, sample))
+                """
+            ),
+        )
+        assert rule_ids(result) == ["PIPE-PROTOCOL"]
+
+    def test_recv_unpack_mismatch_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/wire.py",
+            schema_src(
+                """
+                def loop(conn):
+                    req_id, sample = conn.recv()
+                """
+            ),
+        )
+        assert rule_ids(result) == ["PIPE-PROTOCOL"]
+
+    def test_matching_shapes_and_sentinel_ok(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/wire.py",
+            schema_src(
+                """
+                def roundtrip(conn, req_id, sample, ctx, out, meta):
+                    conn.send((req_id, sample, ctx))
+                    conn.send(("ok", req_id, out, meta))
+                    conn.send(("bye",))
+                    conn.send(None)
+                    got_id, got_sample, got_ctx = conn.recv()
+                """
+            ),
+        )
+        assert result.clean
+
+    def test_no_schema_module_exempt(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "src/repro/serve/other.py",
+            """
+            def reply(conn, anything):
+                conn.send(("whatever", anything))
+            """,
+        )
+        assert "PIPE-PROTOCOL" not in rule_ids(result)
+
+
+# ---------------------------------------------------------------------------
+# Engine behaviour: parse errors, pragmas, baseline round-trip
+# ---------------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_parse_error_reported_not_raised(self, tmp_path):
+        result = run_lint(tmp_path, "src/repro/broken.py", "def f(:\n")
+        assert not result.clean
+        assert result.parse_errors[0].rule == "PARSE-ERROR"
+
+    def test_suppressed_rules_parsing(self):
+        line = "x()  # repro-lint: disable=RULE-A,RULE-B -- justified"
+        assert suppressed_rules(line) == frozenset({"RULE-A", "RULE-B"})
+        assert suppressed_rules("x()  # a normal comment") == frozenset()
+
+    def test_baseline_round_trip(self, tmp_path):
+        findings = [
+            Finding(rule="R1", path="src/a.py", line=3, message="m"),
+            Finding(rule="R1", path="src/a.py", line=9, message="m"),
+            Finding(rule="R2", path="src/b.py", line=1, message="m"),
+        ]
+        baseline = Baseline.from_findings(findings)
+        path = tmp_path / "baseline.json"
+        baseline.dump(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == baseline.entries
+        assert apply_baseline(findings, loaded) == []
+
+    def test_baseline_growth_surfaces_whole_group(self, tmp_path):
+        old = [Finding(rule="R1", path="src/a.py", line=3, message="m")]
+        baseline = Baseline.from_findings(old)
+        grown = old + [Finding(rule="R1", path="src/a.py", line=9, message="m")]
+        surfaced = apply_baseline(grown, baseline)
+        assert len(surfaced) == 2  # the whole group, not just the new one
+
+    def test_baseline_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "entries": []}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+    def test_baseline_silences_findings_through_lint_paths(self, tmp_path):
+        source = """
+        class S:
+            def push(self, item):
+                with self._lock:
+                    self.conn.send(item)
+        """
+        dirty = run_lint(tmp_path, "src/repro/serve/mod.py", source)
+        assert not dirty.clean
+        baseline = Baseline.from_findings(dirty.findings)
+        clean = run_lint(tmp_path, "src/repro/serve/mod.py", source, baseline=baseline)
+        assert clean.clean
