@@ -61,7 +61,11 @@ from repro.analysis import format_bytes, render_table
 from repro.core.encoder import DeepSZEncoder
 from repro.pruning.magnitude import prune_weights
 from repro.pruning.sparse_format import encode_sparse
-from repro.serve.bench import gateway_benchmark, serving_benchmark
+from repro.serve.bench import (
+    async_gateway_benchmark,
+    gateway_benchmark,
+    serving_benchmark,
+)
 from repro.store import archive_bytes
 
 #: Paper-ish fc-layer shapes (AlexNet fc6/fc7/fc8), shrunk by REPRO_SCALE.
@@ -279,6 +283,72 @@ def bench_gateway_scaling() -> dict:
     return result
 
 
+def bench_async_front_door() -> dict:
+    """A/B the asyncio front door against the thread-dispatcher gateway.
+
+    Both arms drive the *same* process-backed replica over the same archive
+    with 64 closed-loop clients — coroutines on one event loop versus 64
+    client threads plus per-model dispatcher threads.  Arms are interleaved
+    and best-of-three per arm (this host's run-to-run noise is far larger
+    than the architectural delta).  The asyncio front door must at least
+    match the thread dispatcher: ratio >= ``REPRO_ASYNC_MIN_RATIO``
+    (default 0.9, a noise floor below parity; set it to 0 to report only).
+    """
+    source = {"model": _gateway_archive(seed=4)}
+    clients = 64
+    requests_per_client = 8 if _smoke() else 32
+
+    async_rps, sync_rps = [], []
+    for _ in range(3):
+        out = async_gateway_benchmark(
+            source,
+            replicas=1,
+            clients=clients,
+            requests_per_client=requests_per_client,
+            backend="process",
+            max_concurrency=clients,
+            seed=0,
+        )
+        assert out["failures"] == 0 and out["rejected"] == 0, out
+        async_rps.append(out["throughput_rps"])
+        out = gateway_benchmark(
+            source,
+            replicas=1,
+            clients=clients,
+            requests_per_client=requests_per_client,
+            backend="process",
+            max_concurrency=clients,
+            seed=0,
+            saturation_queue_depth=None,
+        )
+        assert out["failures"] == 0 and out["rejected"] == 0, out
+        sync_rps.append(out["throughput_rps"])
+
+    best_async, best_sync = max(async_rps), max(sync_rps)
+    ratio = best_async / best_sync if best_sync else 0.0
+    min_ratio = float(os.environ.get("REPRO_ASYNC_MIN_RATIO", "0.9"))
+    print(
+        f"async front door vs thread dispatcher @ {clients} clients: "
+        f"{best_async:,.0f} vs {best_sync:,.0f} req/s ({ratio:.2f}x, "
+        f"floor {min_ratio:.2f}x)"
+    )
+    if min_ratio > 0.0:
+        assert ratio >= min_ratio, (
+            f"asyncio front door fell to {ratio:.2f}x of the thread "
+            f"dispatcher ({best_async:.0f} vs {best_sync:.0f} req/s at "
+            f"{clients} clients; async runs {async_rps}, "
+            f"thread runs {sync_rps})"
+        )
+    return {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "async_rps": best_async,
+        "thread_dispatcher_rps": best_sync,
+        "ratio": ratio,
+        "min_ratio": min_ratio,
+    }
+
+
 def bench_obs_overhead() -> dict:
     """A/B the gateway hot path with observability enabled vs disabled.
 
@@ -347,6 +417,7 @@ def bench_serving_cold_vs_warm() -> None:
         warm_repeats=50,
     )
     results["gateway_sweep"] = bench_gateway_scaling()
+    results["async_front_door"] = bench_async_front_door()
     results["obs_overhead"] = bench_obs_overhead()
 
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)

@@ -87,6 +87,15 @@ def _extract_serving(raw: dict) -> dict:
         "gateway_scaling_4v1",
     ]
     directions = {name: "higher" for name in gate}
+    # The asyncio front door A/B (64 closed-loop clients, process backend):
+    # the absolute throughput is gated; the async-vs-thread ratio is info
+    # (its own assert lives in bench_serving.py, env-relaxed by the runner).
+    async_fd = raw.get("async_front_door")
+    if async_fd:
+        metrics["async_gateway_rps"] = async_fd["async_rps"]
+        metrics["async_vs_thread_dispatcher_ratio"] = async_fd["ratio"]
+        gate.append("async_gateway_rps")
+        directions["async_gateway_rps"] = "higher"
     # The primary sweep runs on the process backend by default; the script
     # then re-runs the thread backend under identical load so the legacy
     # path keeps its own gated numbers instead of hiding behind the faster
@@ -168,6 +177,7 @@ def _suite_env(smoke: bool) -> dict:
     env.setdefault("REPRO_SPARSE_MIN_SPEEDUP", "1.0")
     env.setdefault("REPRO_GATEWAY_MIN_SCALING", "0")
     env.setdefault("REPRO_OBS_MAX_OVERHEAD_PCT", "100")
+    env.setdefault("REPRO_ASYNC_MIN_RATIO", "0")
     return env
 
 

@@ -383,6 +383,81 @@ def _cmd_gateway_bench(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# serve-http
+# ---------------------------------------------------------------------------
+
+
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import AsyncGateway, HttpFrontDoor
+    from repro.store import archive_bytes
+
+    sources: Dict[str, bytes] = {}
+    if args.archive:
+        for spec in args.archive:
+            name, _, path = spec.partition("=")
+            if not path:
+                raise ValidationError(
+                    f"bad --archive {spec!r}; expected name=path.dsz"
+                )
+            from pathlib import Path
+
+            sources[name] = Path(path).read_bytes()
+    else:
+        encoder = DeepSZEncoder(workers=args.workers)
+        for index in range(args.models):
+            name = f"model-{index}"
+            layers = synthetic_sparse_layers(args.synthetic, seed=args.seed + index)
+            model = encoder.encode(
+                name, layers, {n: args.error_bound for n in layers}
+            )
+            sources[name] = archive_bytes(model)
+
+    async def _serve() -> int:
+        gateway = AsyncGateway(replica_backend=args.backend)
+        for name, blob in sources.items():
+            gateway.add_model(
+                name,
+                blob,
+                replicas=args.replicas,
+                policy=args.policy,
+                max_queue_depth=args.queue_depth,
+                batch_size=args.batch_size,
+            )
+        stopping = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stopping.set)
+            except NotImplementedError:  # non-Unix event loop
+                signal.signal(signum, lambda *_: stopping.set())
+        await gateway.start()
+        try:
+            front = HttpFrontDoor(gateway, host=args.host, port=args.port)
+            await front.start()
+            host, port = front.address
+            print(
+                f"serving {len(sources)} model(s) on http://{host}:{port} "
+                f"({args.backend} backend, {args.replicas} replica(s)/model); "
+                "endpoints: POST /v1/infer/<model>, GET /metrics, GET /healthz",
+                flush=True,
+            )
+            await stopping.wait()
+            print("draining...", flush=True)
+            # Acceptor first (no new connections), then the gateway drain
+            # (every admitted request settles before the fleet stops).
+            await front.stop()
+        finally:
+            await gateway.stop()
+        print("stopped", flush=True)
+        return 0
+
+    return asyncio.run(_serve())
+
+
+# ---------------------------------------------------------------------------
 # metrics
 # ---------------------------------------------------------------------------
 
@@ -673,6 +748,40 @@ def build_parser() -> argparse.ArgumentParser:
                         "phase (.prom = Prometheus text, else JSON)")
     p.add_argument("--json", action="store_true", help="emit JSON")
     p.set_defaults(func=_cmd_gateway_bench)
+
+    p = sub.add_parser(
+        "serve-http",
+        help="serve models over HTTP via the asyncio gateway front door",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8080,
+                   help="bind port (0 = ephemeral, printed at startup)")
+    p.add_argument("--archive", action="append", default=None,
+                   metavar="NAME=PATH",
+                   help="host an existing .dsz archive under NAME "
+                        "(repeatable; default: synthetic models)")
+    p.add_argument("--models", type=int, default=1,
+                   help="number of synthetic models when no --archive is given")
+    p.add_argument("--synthetic", default=_DEFAULT_SPEC,
+                   help="synthetic layer spec name=ROWSxCOLS:density,...")
+    p.add_argument("--error-bound", type=float, default=1e-3,
+                   help="absolute error bound for the synthetic layers")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="replicas per model")
+    p.add_argument("--backend", default="process",
+                   choices=["thread", "process"],
+                   help="replica backend (process = GIL-free workers over "
+                        "the shared-memory weight cache)")
+    p.add_argument("--policy", default="round-robin",
+                   choices=["round-robin", "least-loaded", "consistent-hash"],
+                   help="shard policy for every model")
+    p.add_argument("--queue-depth", type=int, default=256,
+                   help="admission queue depth per model")
+    p.add_argument("--batch-size", type=int, default=16,
+                   help="replica server dynamic-batching size")
+    p.add_argument("--workers", type=int, default=1, help="encode pool workers")
+    p.add_argument("--seed", type=int, default=0, help="synthetic weight seed")
+    p.set_defaults(func=_cmd_serve_http)
 
     p = sub.add_parser(
         "metrics", help="render a metrics dump (one-shot or --watch)"

@@ -23,14 +23,18 @@ import re
 from typing import Optional
 
 __all__ = [
+    "GATEWAY_DEADLINE_EXCEEDED_TOTAL",
     "METRIC_NAME_RE",
     "SPAN_NAME_RE",
     "SPAN_NAMES",
+    "SPAN_OUTCOMES",
     "HISTOGRAM_UNIT_SUFFIXES",
     "metric_name_error",
     "span_name_error",
+    "span_outcome_error",
     "validate_metric_name",
     "validate_span_name",
+    "validate_span_outcome",
 ]
 
 #: ``repro_`` namespace, lowercase snake_case, no doubled/trailing underscores.
@@ -52,6 +56,28 @@ SPAN_NAMES = frozenset(
         "replica.decode",
     }
 )
+
+#: Terminal ``outcome`` attribute values a ``gateway.request`` span may
+#: finish with.  The async front door adds ``deadline_exceeded`` and
+#: ``cancelled`` to the thread gateway's completed/failed/rejected/error
+#: set; dashboards group on this attribute, so new outcomes register here
+#: first, exactly like span names.
+SPAN_OUTCOMES = frozenset(
+    {
+        "completed",
+        "failed",
+        "error",
+        "rejected",
+        "cancelled",
+        "deadline_exceeded",
+    }
+)
+
+#: The deadline-expiry counter family the gateway exposes per model
+#: (``gateway.deadline_exceeded`` in dotted shorthand).  Declared here so
+#: the exposition surface stays greppable next to the grammar that proves
+#: the name well-formed.
+GATEWAY_DEADLINE_EXCEEDED_TOTAL = "repro_gateway_deadline_exceeded_total"
 
 #: Unit suffixes a histogram family name must carry.
 HISTOGRAM_UNIT_SUFFIXES = ("_seconds", "_bytes")
@@ -93,6 +119,23 @@ def span_name_error(name: str) -> Optional[str]:
             "(repro.obs.naming.SPAN_NAMES); add it there first"
         )
     return None
+
+
+def span_outcome_error(outcome: str) -> Optional[str]:
+    """Why ``outcome`` is not a registered span outcome, or ``None`` if it is."""
+    if outcome not in SPAN_OUTCOMES:
+        return (
+            f"span outcome {outcome!r} is not in the registered catalog "
+            "(repro.obs.naming.SPAN_OUTCOMES); add it there first"
+        )
+    return None
+
+
+def validate_span_outcome(outcome: str) -> None:
+    """Raise :class:`ValueError` unless ``outcome`` is a registered outcome."""
+    error = span_outcome_error(outcome)
+    if error is not None:
+        raise ValueError(error)
 
 
 def validate_metric_name(name: str, kind: Optional[str] = None) -> None:

@@ -21,12 +21,22 @@
   (``replica_backend=``), bounded-queue admission control with fast-fail
   :class:`~repro.utils.errors.GatewayOverloaded` rejection, and fleet-wide
   stats;
+* :mod:`repro.serve.async_gateway` — :class:`AsyncGateway`, the asyncio
+  front door over the same backend: one event loop multiplexes the worker
+  response pipes, with per-request deadlines
+  (:class:`~repro.utils.errors.DeadlineExceeded`), real cancellation, and
+  graceful drain;
+* :mod:`repro.serve.http` — the minimal stdlib HTTP surface
+  (``python -m repro serve-http``): ``/v1/infer/<model>``, ``/metrics``,
+  ``/healthz``;
 * :mod:`repro.serve.bench` — the cold/warm/concurrency and gateway-scaling
   measurement harnesses behind ``python -m repro serve-bench`` /
   ``gateway-bench`` and ``benchmarks/bench_serving.py``.
 """
 
+from repro.serve.async_gateway import AsyncGateway
 from repro.serve.cache import CacheStats, LRUCache
+from repro.serve.http import HttpFrontDoor
 from repro.serve.gateway import (
     REPLICA_BACKENDS,
     ArchiveMLP,
@@ -57,6 +67,8 @@ from repro.serve.shm import (
 from repro.serve.worker import ProcessServer
 
 __all__ = [
+    "AsyncGateway",
+    "HttpFrontDoor",
     "CacheStats",
     "LRUCache",
     "DEFAULT_CACHE_BYTES",

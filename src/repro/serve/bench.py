@@ -24,10 +24,18 @@ sending the next), then optionally slams it with an open-loop burst against
 a deliberately tiny admission queue to measure how overload degrades:
 bounded-queue rejections and stable latency for the admitted requests, not
 a latency collapse.
+
+:func:`async_gateway_benchmark` runs the same closed-loop shape against the
+:class:`~repro.serve.AsyncGateway`: N concurrent client *coroutines* on one
+event loop instead of N threads, over the identical replica backend.  Its
+``throughput_rps`` is directly comparable to :func:`gateway_benchmark` at
+the same client count — the number the thread-dispatcher-vs-event-loop
+comparison is judged on.
 """
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from pathlib import Path
@@ -37,12 +45,18 @@ import numpy as np
 
 from repro.obs.metrics import registry as metrics_registry
 from repro.obs.trace import JsonlSpanExporter, Tracer
+from repro.serve.async_gateway import AsyncGateway
 from repro.serve.gateway import Gateway
 from repro.serve.runtime import DEFAULT_CACHE_BYTES, ModelRuntime
 from repro.store.archive import ModelArchive
-from repro.utils.errors import GatewayOverloaded, ValidationError
+from repro.utils.errors import DeadlineExceeded, GatewayOverloaded, ValidationError
 
-__all__ = ["serving_benchmark", "gateway_benchmark", "dump_metrics"]
+__all__ = [
+    "serving_benchmark",
+    "gateway_benchmark",
+    "async_gateway_benchmark",
+    "dump_metrics",
+]
 
 
 def dump_metrics(path: Union[str, Path]) -> Path:
@@ -300,6 +314,134 @@ def gateway_benchmark(
             "latency_ms": dict(saturation_stats.latencies_ms),
         }
     return results
+
+
+def async_gateway_benchmark(
+    sources: Dict[str, Union[str, bytes]],
+    *,
+    replicas: int = 1,
+    clients: int = 64,
+    requests_per_client: int = 32,
+    policy: str = "round-robin",
+    sparse: Union[bool, Dict[str, bool]] = False,
+    batch_size: int = 16,
+    max_batch_delay: float = 0.002,
+    max_concurrency: Optional[int] = None,
+    cache_bytes: int = DEFAULT_CACHE_BYTES,
+    seed: int = 0,
+    backend: str = "process",
+    deadline: Optional[float] = None,
+) -> Dict:
+    """Drive the asyncio gateway under closed-loop coroutine load.
+
+    The load shape mirrors :func:`gateway_benchmark`: ``clients`` closed-loop
+    clients each send ``requests_per_client`` requests round-robin across the
+    models, waiting for every response before the next.  Here the clients are
+    coroutines multiplexed on the one event loop the
+    :class:`~repro.serve.AsyncGateway` runs on — the whole front half of the
+    system is a single thread, which is exactly what the thread-dispatcher
+    comparison measures (64 coroutines cost one stack; 64 client threads plus
+    per-model dispatcher threads cost a scheduler).
+
+    ``deadline`` (seconds) is attached to every request when set;
+    :class:`~repro.utils.errors.DeadlineExceeded` responses are counted, not
+    fatal, and ``throughput_rps`` then counts completed requests only.
+    Returns a JSON-ready dict shaped like :func:`gateway_benchmark`'s
+    closed-loop section.
+    """
+    if not sources:
+        raise ValidationError("async_gateway_benchmark needs at least one model source")
+    if int(clients) < 1 or int(requests_per_client) < 1:
+        raise ValidationError("clients and requests_per_client must be >= 1")
+    if deadline is not None and float(deadline) <= 0.0:
+        raise ValidationError("deadline must be > 0 seconds")
+    names = list(sources)
+    sparse_by_name = (
+        dict(sparse) if isinstance(sparse, dict) else {name: bool(sparse) for name in names}
+    )
+    input_dims = {name: _archive_input_dim(src) for name, src in sources.items()}
+    rng = np.random.default_rng(seed)
+    inputs = {
+        name: rng.standard_normal((1, dim)).astype(np.float32)[0]
+        for name, dim in input_dims.items()
+    }
+    total_requests = int(clients) * int(requests_per_client)
+
+    async def run() -> tuple:
+        gateway = AsyncGateway(replica_backend=backend)
+        for name, src in sources.items():
+            gateway.add_model(
+                name,
+                src,
+                replicas=int(replicas),
+                sparse=sparse_by_name.get(name, False),
+                policy=policy,
+                max_queue_depth=total_requests + 1,
+                max_concurrency=max_concurrency,
+                batch_size=batch_size,
+                max_batch_delay=max_batch_delay,
+                cache_bytes=cache_bytes,
+            )
+        go = asyncio.Event()
+        deadline_hits = 0
+
+        async def client(client_index: int) -> None:
+            nonlocal deadline_hits
+            await go.wait()
+            for round_no in range(int(requests_per_client)):
+                name = names[(client_index + round_no) % len(names)]
+                try:
+                    await gateway.submit(
+                        name,
+                        inputs[name],
+                        key=f"client-{client_index}",
+                        deadline=deadline,
+                    )
+                except DeadlineExceeded:
+                    deadline_hits += 1
+
+        try:
+            await gateway.start()
+            tasks = [
+                asyncio.ensure_future(client(i)) for i in range(int(clients))
+            ]
+            go.set()
+            start = time.perf_counter()
+            await asyncio.gather(*tasks)
+            elapsed = time.perf_counter() - start
+            stats = gateway.stats()
+        finally:
+            await gateway.close()
+        return elapsed, stats, deadline_hits
+
+    elapsed, stats, deadline_hits = asyncio.run(run())
+    finished = total_requests - deadline_hits
+    return {
+        "models": len(names),
+        "replicas": int(replicas),
+        "backend": backend,
+        "policy": policy,
+        "clients": int(clients),
+        "requests": total_requests,
+        "completed": stats.completed,
+        "failures": stats.failures,
+        "rejected": stats.rejected,
+        "deadline_exceeded": deadline_hits,
+        "elapsed_s": elapsed,
+        "throughput_rps": finished / elapsed if elapsed else 0.0,
+        "latency_ms": dict(stats.latencies_ms),
+        "cache_bytes": stats.cache_bytes,
+        "shared_bytes": stats.shared_bytes,
+        "per_model": {
+            name: {
+                "completed": model.completed,
+                "throughput_rps": model.throughput_rps,
+                "latency_ms": dict(model.latencies_ms),
+                "dispatched": [replica.dispatched for replica in model.replicas],
+            }
+            for name, model in stats.models.items()
+        },
+    }
 
 
 def serving_benchmark(

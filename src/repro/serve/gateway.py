@@ -386,6 +386,7 @@ class _Model:
         backend: str = "thread",
         source_bytes: Optional[bytes] = None,
         sparse: bool = False,
+        input_dim: Optional[int] = None,
     ) -> None:
         self.name = name
         self.replicas = replicas
@@ -393,6 +394,10 @@ class _Model:
         self.max_queue_depth = max_queue_depth
         self.max_concurrency = max_concurrency
         self.backend = backend
+        # Expected request width, when the serving network declares one —
+        # what admission-time shape validation checks against (None skips
+        # the width check but still requires a 1-D float32-castable sample).
+        self.input_dim = input_dim
         # Process backend: the archive bytes the shared segment is decoded
         # from at every start() (released/unlinked at stop()), plus the
         # live handle and the last-known segment size for post-stop stats.
@@ -410,6 +415,8 @@ class _Model:
         self.completed = 0
         self.failures = 0
         self.rejected = 0
+        self.deadline_exceeded = 0  # async front door: expired deadlines
+        self.cancelled = 0  # async front door: caller cancellations
         # Bounded replacement for the old unbounded per-request latency
         # list: log-scale buckets for percentile exposition plus a fixed
         # reservoir that keeps small-run percentiles exact.
@@ -425,6 +432,8 @@ class _Model:
         self.completed = 0
         self.failures = 0
         self.rejected = 0
+        self.deadline_exceeded = 0
+        self.cancelled = 0
         self.latency_hist = Histogram()
         for replica in self.replicas:
             replica.dispatched = 0
@@ -465,6 +474,8 @@ class ModelStats:
     completed: int = 0
     failures: int = 0
     rejected: int = 0
+    deadline_exceeded: int = 0
+    cancelled: int = 0
     queue_depth: int = 0
     max_queue_depth: int = 0
     max_concurrency: int = 0
@@ -503,6 +514,8 @@ class GatewayStats:
     completed: int = 0
     failures: int = 0
     rejected: int = 0
+    deadline_exceeded: int = 0
+    cancelled: int = 0
     cache_bytes: int = 0
     shared_bytes: int = 0
     latencies_ms: Dict[str, float] = field(default_factory=dict)
@@ -591,6 +604,11 @@ class Gateway:
     def tracer(self) -> Tracer:
         return self._tracer
 
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry this gateway's collector publishes into."""
+        return self._registry
+
     # -- model management --------------------------------------------------
     def add_model(
         self,
@@ -664,6 +682,7 @@ class Gateway:
                 source = archive_bytes(source)
 
             source_bytes: Optional[bytes] = None
+            input_dim: Optional[int] = None
             pool: List[Replica] = []
             try:
                 if backend == "process":
@@ -685,7 +704,7 @@ class Gateway:
                         source_bytes, cache_bytes=1, verify=False, sparse=sparse
                     ) as probe:
                         if network_factory is None:
-                            ArchiveMLP(probe)
+                            input_dim = ArchiveMLP(probe).input_dim
                     for index in range(int(replicas)):
                         server = ProcessServer(
                             f"{name}/{index}",
@@ -717,6 +736,10 @@ class Gateway:
                             Replica(name, index, server, runtime=runtime,
                                     network=network)
                         )
+                    # Factory networks that declare an input width get the
+                    # same admission-time shape check as ArchiveMLP stacks.
+                    width = getattr(pool[0].network, "input_dim", None)
+                    input_dim = int(width) if width is not None else None
             except BaseException:
                 for replica in pool:
                     replica.close_runtime()
@@ -733,6 +756,7 @@ class Gateway:
                 backend=backend,
                 source_bytes=source_bytes,
                 sparse=bool(sparse),
+                input_dim=input_dim,
             )
             with self._gate_lock:
                 installable = not (self._closed or self._running or self._starting)
@@ -784,17 +808,46 @@ class Gateway:
         blocks another thread's ``submit``/``stats`` on a multi-second
         decode.
         """
+        entries = self._begin_start()
+        if not entries:
+            return self  # already running
+        self._start_replica_servers(entries)
+        with self._gate_lock:
+            for entry in entries:
+                entry.reset_for_run()
+                entry.dispatcher = threading.Thread(
+                    target=self._dispatch_loop,
+                    args=(entry,),
+                    name=f"repro-gateway-{entry.name}",
+                    daemon=True,
+                )
+                entry.dispatcher.start()
+            self._mark_running()
+        return self
+
+    def _begin_start(self) -> List[_Model]:
+        """Lifecycle checks + the ``_starting`` flag; the model list to
+        start, or ``[]`` when the gateway is already running."""
         with self._gate_lock:
             if self._closed:
                 raise ValidationError("gateway is closed")
             if self._running:
-                return self
+                return []
             if self._starting:
                 raise ValidationError("gateway start already in progress")
             if not self._models:
                 raise ValidationError("gateway hosts no models (call add_model())")
             self._starting = True
-            entries = list(self._models.values())
+            return list(self._models.values())
+
+    def _start_replica_servers(self, entries: List[_Model]) -> None:
+        """The slow half of start(), run outside the gate lock.
+
+        Acquires shared weight segments and boots every replica server.  A
+        failed weight install / worker spawn leaves the gateway cleanly
+        stopped (everything already started is stopped, segments released,
+        the ``_starting`` flag cleared) so start() can be retried.
+        """
         started: List = []
         acquired: List[_Model] = []
         try:
@@ -813,8 +866,6 @@ class Gateway:
                     replica.server.start()
                     started.append(replica.server)
         except BaseException:
-            # A failed weight install / worker spawn leaves the gateway
-            # cleanly stopped; start() can be retried.
             for server in started:
                 server.stop()
             for entry in acquired:
@@ -823,22 +874,28 @@ class Gateway:
             with self._gate_lock:
                 self._starting = False
             raise
-        with self._gate_lock:
-            for entry in entries:
-                entry.reset_for_run()
-                entry.dispatcher = threading.Thread(
-                    target=self._dispatch_loop,
-                    args=(entry,),
-                    name=f"repro-gateway-{entry.name}",
-                    daemon=True,
-                )
-                entry.dispatcher.start()
-            self._running = True
-            self._starting = False
-            self._started_at = time.perf_counter()
-            self._stopped_at = None
-            self._registry.register_collector(self._collect)
-        return self
+
+    def _mark_running(self) -> None:
+        """Gate-lock-held tail of start(): flip flags, start the stats clock."""
+        self._running = True
+        self._starting = False
+        self._started_at = time.perf_counter()
+        self._stopped_at = None
+        self._registry.register_collector(self._collect)
+
+    def _shutdown_replica_servers(self, entries: List[_Model]) -> None:
+        """Tail of stop(): stop every replica server, release the segments."""
+        for entry in entries:
+            for replica in entry.replicas:
+                replica.server.stop()
+            if entry.shared is not None:
+                # Workers are gone; dropping the gateway's reference unlinks
+                # the segment once no other model/gateway shares it.  A
+                # restart re-acquires (and, if needed, re-decodes) cleanly.
+                shared_weight_store().release(entry.shared)
+                entry.shared = None
+        self._registry.unregister_collector(self._collect)
+        self._stopped_at = time.perf_counter()
 
     def stop(self) -> None:
         """Close admission, drain every accepted request, stop the fleet.
@@ -862,17 +919,7 @@ class Gateway:
             if entry.dispatcher is not None:
                 entry.dispatcher.join()
                 entry.dispatcher = None
-        for entry in entries:
-            for replica in entry.replicas:
-                replica.server.stop()
-            if entry.shared is not None:
-                # Workers are gone; dropping the gateway's reference unlinks
-                # the segment once no other model/gateway shares it.  A
-                # restart re-acquires (and, if needed, re-decodes) cleanly.
-                shared_weight_store().release(entry.shared)
-                entry.shared = None
-        self._registry.unregister_collector(self._collect)
-        self._stopped_at = time.perf_counter()
+        self._shutdown_replica_servers(entries)
 
     def close(self) -> None:
         """Stop (if running) and release every replica runtime."""
@@ -892,6 +939,34 @@ class Gateway:
         self.stop()
 
     # -- request path ------------------------------------------------------
+    def _validate_sample(self, entry: _Model, x: np.ndarray) -> np.ndarray:
+        """Admission-time shape/dtype validation; the float32 sample.
+
+        A replica server stacks co-batched samples and runs one forward
+        pass over the lot, so a single wrong-shaped or non-castable sample
+        would fail every neighbour in its batch.  Rejecting it here keeps
+        bad inputs a caller-local :class:`ValidationError` instead of a
+        batch-wide failure.
+        """
+        try:
+            sample = np.asarray(x, dtype=np.float32)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(
+                f"sample for model {entry.name!r} is not castable to "
+                f"float32: {exc}"
+            ) from None
+        if sample.ndim != 1:
+            raise ValidationError(
+                f"sample for model {entry.name!r} must be a 1-D feature "
+                f"vector, got shape {sample.shape}"
+            )
+        if entry.input_dim is not None and sample.shape[0] != entry.input_dim:
+            raise ValidationError(
+                f"sample for model {entry.name!r} has {sample.shape[0]} "
+                f"features but the model expects {entry.input_dim}"
+            )
+        return sample
+
     def submit(self, model: str, x: np.ndarray, *, key: Optional[str] = None) -> Future:
         """Enqueue one sample for ``model``; the future resolves to its
         output row.
@@ -899,16 +974,21 @@ class Gateway:
         ``key`` is the shard key (consistent-hash policies route by it;
         others ignore it).  Raises :class:`GatewayOverloaded` immediately —
         never blocks — when the model's bounded queue is full, and
-        :class:`ValidationError` when the gateway is not running.
+        :class:`ValidationError` for a bad sample (wrong shape/width or not
+        float32-castable — checked at admission so one bad input can never
+        fail a co-batched group) or when the gateway is not running.
         """
         entry = self._model(model)
+        # Validate before the span exists: a rejected sample must not leak
+        # an unfinished gateway.request span.
+        sample = self._validate_sample(entry, x)
         span: Optional[Span] = None
         if self._tracer.sample():
             span = self._tracer.start_span("gateway.request", attrs={"model": model})
             if key is not None:
                 span.set(key=key)
         request = _GatewayRequest(
-            x=np.asarray(x, dtype=np.float32),
+            x=sample,
             key=key,
             future=Future(),
             enqueued=time.perf_counter(),
@@ -933,8 +1013,8 @@ class Gateway:
                 entry.queue.put(request)
         except BaseException as exc:
             if span is not None:
-                status = "rejected" if isinstance(exc, GatewayOverloaded) else "error"
-                span.set(status=status)
+                outcome = "rejected" if isinstance(exc, GatewayOverloaded) else "error"
+                span.set(status=outcome, outcome=outcome)
                 span.finish()
             raise
         return request.future
@@ -946,13 +1026,30 @@ class Gateway:
         *,
         keys: Optional[Sequence[Optional[str]]] = None,
     ) -> List[Future]:
-        """Enqueue a sequence of samples (``keys`` parallels ``xs``)."""
+        """Enqueue a sequence of samples (``keys`` parallels ``xs``).
+
+        Admission is per sample, so a mid-sequence rejection (a full queue
+        raising :class:`GatewayOverloaded`, or a bad sample raising
+        :class:`ValidationError`) can leave earlier samples already
+        admitted and in flight.  Those handles ride on the exception as
+        ``exc.admitted`` (a tuple of futures) so callers can drain or await
+        the partial batch instead of leaking it.
+        """
         if keys is not None and len(keys) != len(xs):
             raise ValidationError("keys must parallel xs")
-        return [
-            self.submit(model, x, key=keys[i] if keys is not None else None)
-            for i, x in enumerate(xs)
-        ]
+        futures: List[Future] = []
+        try:
+            for i, x in enumerate(xs):
+                futures.append(
+                    self.submit(model, x, key=keys[i] if keys is not None else None)
+                )
+        except BaseException as exc:
+            try:
+                exc.admitted = tuple(futures)
+            except AttributeError:  # exotic exception with __slots__
+                pass
+            raise
+        return futures
 
     def infer(
         self, model: str, x: np.ndarray, *, key: Optional[str] = None,
@@ -1007,7 +1104,7 @@ class Gateway:
                         entry.queued -= 1
                 entry.semaphore.release()
                 if span is not None:
-                    span.set(status="error")
+                    span.set(status="error", outcome="error")
                     span.finish()
                 request.future.set_exception(exc)
                 continue
@@ -1029,7 +1126,9 @@ class Gateway:
         entry.semaphore.release()
         if request.span is not None:
             if exc is not None:
-                request.span.set(status="error")
+                request.span.set(status="error", outcome="failed")
+            else:
+                request.span.set(outcome="completed")
             request.span.finish()
         if exc is None:
             request.future.set_result(inner.result())
@@ -1056,6 +1155,8 @@ class Gateway:
                     completed=entry.completed,
                     failures=entry.failures,
                     rejected=entry.rejected,
+                    deadline_exceeded=entry.deadline_exceeded,
+                    cancelled=entry.cancelled,
                     queue_depth=entry.queued,
                     max_queue_depth=entry.max_queue_depth,
                     max_concurrency=entry.max_concurrency,
@@ -1080,6 +1181,8 @@ class Gateway:
             total.completed += model.completed
             total.failures += model.failures
             total.rejected += model.rejected
+            total.deadline_exceeded += model.deadline_exceeded
+            total.cancelled += model.cancelled
             total.cache_bytes += model.cache_bytes
             total.shared_bytes += model.shared_bytes
         total.latencies_ms = fleet_hist.percentiles(scale=1e3)
@@ -1103,7 +1206,10 @@ class Gateway:
                     "completed": entry.completed,
                     "failed": entry.failures,
                     "rejected": entry.rejected,
+                    "deadline_exceeded": entry.deadline_exceeded,
+                    "cancelled": entry.cancelled,
                 }
+                deadline_exceeded = entry.deadline_exceeded
                 queued = entry.queued
                 hist = entry.latency_hist.copy()
             for outcome, value in sorted(outcomes.items()):
@@ -1116,6 +1222,18 @@ class Gateway:
                         value=float(value),
                     )
                 )
+            samples.append(
+                # The dedicated family (naming.GATEWAY_DEADLINE_EXCEEDED_TOTAL)
+                # alongside the outcome label: deadline misses are the SLO
+                # signal dashboards alert on, so they get a first-class name.
+                MetricSample(
+                    name="repro_gateway_deadline_exceeded_total",
+                    kind="counter",
+                    help="Requests whose deadline expired before a result.",
+                    labels={"model": entry.name},
+                    value=float(deadline_exceeded),
+                )
+            )
             samples.append(
                 MetricSample(
                     name="repro_gateway_queue_depth",

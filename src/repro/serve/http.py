@@ -1,0 +1,269 @@
+"""Minimal stdlib HTTP surface over the asyncio gateway.
+
+One ``asyncio.start_server`` acceptor on the same event loop the
+:class:`~repro.serve.async_gateway.AsyncGateway` runs on — no thread pool,
+no web framework (the container ships no aiohttp; plain HTTP/1.1 over
+asyncio streams is all three endpoints need):
+
+* ``POST /v1/infer/<model>`` — body ``{"x": [...], "key": ..., "deadline": ...}``,
+  response ``{"y": [...]}``.  Gateway errors map onto their HTTP-style
+  status codes: :class:`~repro.utils.errors.ValidationError` → 400 (an
+  unknown model → 404), :class:`~repro.utils.errors.GatewayOverloaded` →
+  429, :class:`~repro.utils.errors.ReplicaCrashed` → 503, and
+  :class:`~repro.utils.errors.DeadlineExceeded` → 504.
+* ``GET /metrics`` — Prometheus text from the gateway's registry (the
+  scrape runs the gateway's registered collector, so the series are live).
+* ``GET /healthz`` — ``{"status": "ok", "models": [...]}`` while serving.
+
+Connections are HTTP/1.1 keep-alive (closed-loop benchmark clients reuse
+them); ``Connection: close`` is honoured.  The server drains on
+:meth:`HttpFrontDoor.stop`: the acceptor closes first, in-flight handlers
+finish their response, then the caller stops the gateway underneath.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.log import get_logger
+from repro.serve.async_gateway import AsyncGateway
+from repro.utils.errors import ReproError, ValidationError
+
+__all__ = ["HttpFrontDoor"]
+
+_log = get_logger("serve.http")
+
+#: Largest request body accepted (a feature vector is a few KiB; anything
+#: bigger is a client bug, answered with 413 instead of buffered).
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_MAX_HEADER_LINES = 100
+
+
+class _HttpError(Exception):
+    """An error with a wire status, raised inside request handling."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpFrontDoor:
+    """The HTTP listener; owns nothing but the acceptor socket.
+
+    The gateway's lifecycle stays the caller's: start the gateway, then
+    the front door; stop the front door, then the gateway.  ``port=0``
+    binds an ephemeral port — read it back from :attr:`address`.
+    """
+
+    def __init__(
+        self,
+        gateway: AsyncGateway,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._gateway = gateway
+        self._host = host
+        self._port = int(port)
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — resolves ``port=0`` to the real port."""
+        if self._server is None or not self._server.sockets:
+            raise ValidationError("HTTP front door is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return str(host), int(port)
+
+    async def start(self) -> "HttpFrontDoor":
+        if self._server is not None:
+            return self
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting; in-flight handlers finish their responses."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+
+    async def __aenter__(self) -> "HttpFrontDoor":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- connection handling -----------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:  # clean EOF between requests
+                    return
+                method, target, headers, body = request
+                try:
+                    status, content_type, payload = await self._route(
+                        method, target, body
+                    )
+                except _HttpError as exc:
+                    status, content_type, payload = self._error_body(
+                        exc.status, str(exc)
+                    )
+                except ReproError as exc:
+                    status, content_type, payload = self._error_body(
+                        int(getattr(exc, "status_code", 400)), str(exc)
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    _log.warning("request handling failed", exc_info=True)
+                    status, content_type, payload = self._error_body(
+                        500, f"{type(exc).__name__}: {exc}"
+                    )
+                keep_alive = headers.get("connection", "").lower() != "close"
+                self._write_response(
+                    writer, status, content_type, payload, keep_alive
+                )
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            TimeoutError,
+        ):  # client went away mid-request; normal churn, not an error
+            _log.debug("client connection dropped", exc_info=True)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                _log.debug("connection close raced the peer", exc_info=True)
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader):
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        for _ in range(_MAX_HEADER_LINES):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _HttpError(400, "too many headers")
+        length_text = headers.get("content-length", "0") or "0"
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length") from None
+        if length < 0 or length > _MAX_BODY_BYTES:
+            raise _HttpError(413, f"body larger than {_MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    @staticmethod
+    def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        payload: bytes,
+        keep_alive: bool,
+    ) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {connection}\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+
+    @staticmethod
+    def _error_body(status: int, message: str) -> Tuple[int, str, bytes]:
+        payload = json.dumps({"error": message, "status": status}).encode("utf-8")
+        return status, "application/json", payload
+
+    # -- routing -----------------------------------------------------------
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, str, bytes]:
+        path = target.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, "healthz is GET-only")
+            payload = json.dumps(
+                {"status": "ok", "models": sorted(self._gateway.models())}
+            ).encode("utf-8")
+            return 200, "application/json", payload
+        if path == "/metrics":
+            if method != "GET":
+                raise _HttpError(405, "metrics is GET-only")
+            text = self._gateway.registry.to_prometheus()
+            return 200, "text/plain; version=0.0.4", text.encode("utf-8")
+        if path.startswith("/v1/infer/"):
+            if method != "POST":
+                raise _HttpError(405, "infer is POST-only")
+            model = path[len("/v1/infer/"):]
+            if not model or "/" in model:
+                raise _HttpError(404, f"no such route {path!r}")
+            if model not in self._gateway.models():
+                raise _HttpError(404, f"gateway hosts no model named {model!r}")
+            return await self._infer(model, body)
+        raise _HttpError(404, f"no such route {path!r}")
+
+    async def _infer(self, model: str, body: bytes) -> Tuple[int, str, bytes]:
+        try:
+            request = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"body is not JSON: {exc}") from None
+        if not isinstance(request, dict) or "x" not in request:
+            raise _HttpError(400, 'body must be a JSON object with an "x" array')
+        key = request.get("key")
+        if key is not None and not isinstance(key, str):
+            raise _HttpError(400, '"key" must be a string')
+        deadline = request.get("deadline")
+        if deadline is not None:
+            try:
+                deadline = float(deadline)
+            except (TypeError, ValueError):
+                raise _HttpError(400, '"deadline" must be a number') from None
+        try:
+            x = np.asarray(request["x"], dtype=np.float32)
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, f'"x" is not a numeric array: {exc}') from None
+        # Gateway errors (ValidationError 400, GatewayOverloaded 429,
+        # ReplicaCrashed 503, DeadlineExceeded 504) propagate to the
+        # connection handler, which maps them via their status_code.
+        y = await self._gateway.submit(model, x, key=key, deadline=deadline)
+        payload = json.dumps({"model": model, "y": np.asarray(y).tolist()})
+        return 200, "application/json", payload.encode("utf-8")

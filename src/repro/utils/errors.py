@@ -43,9 +43,29 @@ class GatewayOverloaded(ReproError, RuntimeError):
     Raised *synchronously* by :meth:`repro.serve.Gateway.submit` so callers
     can back off or shed load instead of piling latency onto a saturated
     model; :attr:`status_code` carries the HTTP-style code for front-ends
-    that translate gateway errors into wire responses."""
+    that translate gateway errors into wire responses.
+
+    When raised out of a batch admission call (``submit_many``),
+    :attr:`admitted` holds the handles of the requests that *were* admitted
+    before the rejection, so callers can drain them instead of leaking
+    in-flight work."""
 
     status_code = 429
+
+    #: Handles admitted before a mid-batch rejection (``submit_many``).
+    admitted: tuple = ()
+
+
+class DeadlineExceeded(ReproError, RuntimeError):
+    """A request's deadline expired before the gateway produced its result.
+
+    Raised by the async gateway when ``submit(..., deadline=)`` runs out of
+    budget — while the request is still queued for a concurrency slot (the
+    slot is released and the queue gauge decremented immediately) or while
+    it is in service on a replica (the result, when it eventually lands, is
+    discarded).  The HTTP-style analogue is a ``504 Gateway Timeout``."""
+
+    status_code = 504
 
 
 class ReplicaCrashed(ReproError, RuntimeError):

@@ -373,6 +373,96 @@ class TestAdmissionControl:
         assert stats.rejected == 0
         gateway.close()
 
+    def test_submit_many_partial_admission_carries_admitted_futures(
+        self, archive_blob, wait_until
+    ):
+        """Regression: a mid-sequence GatewayOverloaded must hand back the
+        already-admitted futures via ``exc.admitted`` instead of orphaning
+        them in the queue."""
+        networks = []
+
+        def factory():
+            network = BlockingNetwork(out_dim=_OUTPUT_DIM)
+            networks.append(network)
+            return network
+
+        gateway = Gateway()
+        gateway.add_model(
+            "m", archive_blob, replicas=1, network_factory=factory,
+            max_queue_depth=2, max_concurrency=1, batch_size=1,
+        )
+        x = np.ones(_INPUT_DIM, dtype=np.float32)
+        with gateway:
+            first = gateway.submit("m", x)
+            assert networks[0].entered.wait(timeout=10)
+            wait_until(
+                lambda: gateway.queue_depth("m") == 0,
+                message="first request to leave the gateway queue",
+            )
+            with pytest.raises(GatewayOverloaded, match="saturated") as info:
+                gateway.submit_many("m", [x] * 5)
+            admitted = info.value.admitted
+            assert isinstance(admitted, tuple)
+            assert len(admitted) == 2  # the queue's depth limit
+            networks[0].release.set()
+            assert first.result(timeout=30).shape == (_OUTPUT_DIM,)
+            for future in admitted:
+                assert future.result(timeout=30).shape == (_OUTPUT_DIM,)
+        stats = gateway.stats().models["m"]
+        assert stats.completed == 3
+        assert stats.rejected == 1
+        gateway.close()
+
+    def test_every_admission_attempt_exports_one_finished_span(
+        self, archive_blob, wait_until
+    ):
+        """Regression: overload rejections used to leak unfinished
+        ``gateway.request`` spans — every attempt, admitted or rejected,
+        must export exactly one span with its terminal outcome."""
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import BufferExporter, Tracer
+
+        networks = []
+
+        def factory():
+            network = BlockingNetwork()
+            networks.append(network)
+            return network
+
+        exporter = BufferExporter()
+        gateway = Gateway(tracer=Tracer(1.0, exporter), metrics=MetricsRegistry())
+        gateway.add_model(
+            "m", archive_blob, replicas=1, network_factory=factory,
+            max_queue_depth=2, max_concurrency=1, batch_size=1,
+        )
+        x = np.ones(_INPUT_DIM, dtype=np.float32)
+        with gateway:
+            first = gateway.submit("m", x)
+            assert networks[0].entered.wait(timeout=10)
+            wait_until(
+                lambda: gateway.queue_depth("m") == 0,
+                message="first request to leave the gateway queue",
+            )
+            admitted = [gateway.submit("m", x) for _ in range(2)]
+            for _ in range(2):
+                with pytest.raises(GatewayOverloaded):
+                    gateway.submit("m", x)
+            with pytest.raises(ValidationError, match="1-D"):
+                gateway.submit("m", np.ones((2, 2), dtype=np.float32))
+            networks[0].release.set()
+            for future in [first, *admitted]:
+                future.result(timeout=30)
+        gateway.close()
+        requests = [s for s in exporter.spans if s["name"] == "gateway.request"]
+        # 3 completed + 2 rejected; the invalid sample is turned away
+        # before a span exists, so 5 attempts -> 5 finished spans.
+        assert len(requests) == 5
+        outcomes = sorted(s["attrs"]["outcome"] for s in requests)
+        assert outcomes == [
+            "completed", "completed", "completed", "rejected", "rejected",
+        ]
+        assert all(s["end_s"] >= s["start_s"] for s in requests)
+
     def test_admission_reopens_after_drain(self, archive_blob):
         gateway = Gateway()
         gateway.add_model("m", archive_blob, replicas=1, max_queue_depth=2)

@@ -162,13 +162,15 @@ class TestStatsSchema:
         json.dumps(payload)  # JSON-ready end to end
         assert set(payload) == {
             "elapsed_seconds", "submitted", "completed", "failures", "rejected",
+            "deadline_exceeded", "cancelled",
             "cache_bytes", "shared_bytes", "latencies_ms", "models",
             "throughput_rps", "rejection_rate",
         }
         model = payload["models"]["m"]
         assert set(model) == {
             "name", "policy", "backend", "shared_bytes", "submitted", "completed",
-            "failures", "rejected", "queue_depth", "max_queue_depth",
+            "failures", "rejected", "deadline_exceeded", "cancelled",
+            "queue_depth", "max_queue_depth",
             "max_concurrency", "elapsed_seconds", "latencies_ms", "replicas",
             "throughput_rps", "rejection_rate", "cache_bytes",
         }
