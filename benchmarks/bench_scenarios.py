@@ -1,0 +1,130 @@
+"""Scenario×policy benchmark matrix over the serving gateways.
+
+Replays deterministic workload traces from :mod:`repro.sim` (see
+``docs/scenarios.md`` for the catalog) against every cell of a
+policy grid, open loop: arrivals are submitted at their *scheduled*
+times and latency is measured from the schedule, so a stalled gateway
+accumulates blame instead of silently pausing the load generator
+(coordinated omission — see ``docs/benchmarking.md``).
+
+Every cell of a scenario replays the **identical** rendered trace
+(asserted via the trace digest), so cell-to-cell deltas measure the
+policy/backend/front-door choice, not sampling noise.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks trace duration and rate but
+keeps the grid axes identical, so the metric keys the regression gate
+reads are the same in both modes.
+
+Results land in ``benchmarks/results/bench_scenarios.{txt,json}``; the
+JSON carries the pre-flattened ``metrics``/``gate``/``directions`` that
+``run_all.py`` lifts into the ``BENCH_scenarios.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import os
+
+# Pin BLAS threading before numpy import: replica parallelism is the
+# experiment; oversubscribed BLAS pools are noise.
+for _var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import json  # noqa: E402
+
+from common import RESULTS_DIR, write_result  # noqa: E402
+from repro.analysis import render_table  # noqa: E402
+from repro.sim.matrix import MatrixConfig, flatten_metrics, run_matrix  # noqa: E402
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _config(smoke: bool) -> MatrixConfig:
+    # The grid axes are mode-independent (stable metric keys for the
+    # regression gate); smoke only shortens the traces.
+    return MatrixConfig(
+        scenarios=("steady", "burst"),
+        policies=("round-robin", "least-loaded"),
+        backends=("thread",),
+        frontdoors=("sync", "async"),
+        replicas=(2,),
+        queue_depths=(64,),
+        models=3,
+        tenants=8,
+        duration_s=0.8 if smoke else 3.0,
+        rate_rps=120.0 if smoke else 200.0,
+        deadline_ms=80.0,
+        seed=0,
+    )
+
+
+def bench_scenarios() -> None:
+    smoke = _smoke()
+    config = _config(smoke)
+    result = run_matrix(
+        config, progress=lambda label: print(f"  cell {label}", flush=True)
+    )
+    cells = result["cells"]
+
+    # Sanity: every cell made progress, and every cell of a scenario
+    # replayed the identical trace (the whole point of the harness).
+    for cell in cells:
+        assert cell["completed"] > 0, f"cell produced no completions: {cell}"
+        assert cell["failures"] == 0, f"cell saw hard failures: {cell}"
+    digests = {}
+    for cell in cells:
+        digests.setdefault(cell["scenario"], set()).add(cell["trace_sha256"])
+    for scenario, seen in digests.items():
+        assert len(seen) == 1, f"{scenario} cells replayed different traces: {seen}"
+
+    metrics, gate, directions = flatten_metrics(result)
+    results = {
+        "mode": "smoke" if smoke else "full",
+        "grid": result["grid"],
+        "workload": result["workload"],
+        "traces": result["traces"],
+        "cells": cells,
+        "metrics": metrics,
+        "gate": gate,
+        "directions": directions,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "bench_scenarios.json").write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n"
+    )
+
+    rows = []
+    for cell in cells:
+        cache = cell["cache_hit_rate"]["overall"]
+        rows.append(
+            [
+                cell["scenario"],
+                cell["policy"],
+                cell["frontdoor"],
+                f"{cell['rps']:,.0f} req/s",
+                f"{cell['goodput_rps']:,.0f} req/s",
+                f"{cell['latency_ms']['p50']:.1f} ms",
+                f"{cell['latency_ms']['p99']:.1f} ms",
+                f"{cell['rejection_rate']:.1%}",
+                f"{cell['deadline_miss_rate']:.1%}",
+                "n/a" if cache is None else f"{cache:.0%}",
+            ]
+        )
+    text = render_table(
+        ["scenario", "policy", "door", "rps", "goodput",
+         "p50", "p99", "rej", "miss", "cache"],
+        rows,
+        title=(
+            f"scenario x policy matrix ({results['mode']}): "
+            f"{config.duration_s:.1f}s @ {config.rate_rps:.0f} rps nominal, "
+            f"{config.models} models, r{config.replicas[0]}, "
+            f"q{config.queue_depths[0]}, deadline {config.deadline_ms:.0f} ms"
+        ),
+    )
+    print(text)
+    write_result("bench_scenarios", text)
+
+
+if __name__ == "__main__":
+    bench_scenarios()

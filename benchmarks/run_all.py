@@ -53,7 +53,11 @@ BASELINE_DIR = BENCH_DIR / "baselines"
 
 # v2: decode-stage timings, cache hit rate, and the observability
 # overhead measurement joined the serving metrics (all info-only).
-SCHEMA_VERSION = 2
+# v3: the scenarios suite joined (trace-driven scenario×policy matrix;
+# artifacts may now carry grid/workload/traces/cells alongside metrics).
+# Keep in sync with repro.sim.matrix.ARTIFACT_SCHEMA_VERSION, which emits
+# the same envelope for `python -m repro scenario-bench`.
+SCHEMA_VERSION = 3
 
 
 def _extract_serving(raw: dict) -> dict:
@@ -148,6 +152,21 @@ def _extract_sparse(raw: dict) -> dict:
     }
 
 
+def _extract_scenarios(raw: dict) -> dict:
+    # bench_scenarios.py pre-flattens via repro.sim.matrix.flatten_metrics
+    # (this runner stays importable without PYTHONPATH=src); the cells and
+    # trace digests ride along so a BENCH artifact is self-describing.
+    return {
+        "metrics": raw["metrics"],
+        "gate": raw["gate"],
+        "directions": raw["directions"],
+        "grid": raw["grid"],
+        "workload": raw["workload"],
+        "traces": raw["traces"],
+        "cells": raw["cells"],
+    }
+
+
 #: suite -> (benchmark script, raw results file, metric extractor)
 SUITES: Dict[str, tuple[str, str, Callable[[dict], dict]]] = {
     "serving": ("bench_serving.py", "bench_serving.json", _extract_serving),
@@ -157,6 +176,7 @@ SUITES: Dict[str, tuple[str, str, Callable[[dict], dict]]] = {
         "bench_sparse_inference.json",
         _extract_sparse,
     ),
+    "scenarios": ("bench_scenarios.py", "bench_scenarios.json", _extract_scenarios),
 }
 
 
@@ -236,6 +256,10 @@ def main(argv=None) -> int:
     unknown = [s for s in names if s not in SUITES]
     if unknown:
         parser.error(f"unknown suite(s) {unknown}; available: {sorted(SUITES)}")
+    if not names:
+        # e.g. --suites "" or --suites ","; silently running zero suites
+        # would let CI "pass" while producing no artifacts to gate on.
+        parser.error(f"--suites selected no suites; available: {sorted(SUITES)}")
 
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Validate a ``BENCH_scenarios.json`` artifact a scenario-bench run wrote.
+
+Checks the artifact envelope (schema version, suite, gate/directions
+consistency) and then the matrix content a healthy run must contain:
+
+* every grid combination produced exactly one cell, and every cell
+  carries the full outcome/latency key set;
+* outcome accounting balances per cell
+  (``offered == completed + rejected + expired + failures``) and the
+  rates sit in ``[0, 1]``;
+* cells of the same scenario replayed the *identical* trace (equal
+  SHA-256 digests), and the digests match the artifact's ``traces``
+  summary;
+* every gated metric exists in ``metrics`` with a direction;
+* ``--min-cells`` (optional) guards against a silently shrunken grid.
+
+Exit code 0 on success; a failed check raises with a description.
+
+Usage::
+
+    python benchmarks/validate_scenarios.py BENCH_scenarios.json \
+        --min-cells 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+EXPECTED_SCHEMA_VERSION = 3
+EXPECTED_SUITE = "scenarios"
+
+#: Keys every matrix cell must carry (grid coordinates + measurements).
+CELL_KEYS = frozenset(
+    {
+        "scenario",
+        "policy",
+        "backend",
+        "frontdoor",
+        "replicas",
+        "queue_depth",
+        "trace_sha256",
+        "cache_hit_rate",
+        "mode",
+        "offered",
+        "completed",
+        "rejected",
+        "expired",
+        "failures",
+        "deadline_misses",
+        "elapsed_s",
+        "max_submit_lag_s",
+        "rps",
+        "goodput_rps",
+        "rejection_rate",
+        "deadline_miss_rate",
+        "latency_ms",
+    }
+)
+
+_RATES = ("rejection_rate", "deadline_miss_rate")
+
+
+def _fail(message: str) -> None:
+    raise SystemExit(f"validate_scenarios: FAIL: {message}")
+
+
+def _check_envelope(artifact: dict) -> None:
+    if artifact.get("schema_version") != EXPECTED_SCHEMA_VERSION:
+        _fail(
+            f"schema_version {artifact.get('schema_version')!r}, "
+            f"expected {EXPECTED_SCHEMA_VERSION}"
+        )
+    if artifact.get("suite") != EXPECTED_SUITE:
+        _fail(f"suite {artifact.get('suite')!r}, expected {EXPECTED_SUITE!r}")
+    for key in ("metrics", "gate", "directions", "grid", "workload", "traces", "cells"):
+        if key not in artifact:
+            _fail(f"artifact missing top-level key {key!r}")
+    metrics = artifact["metrics"]
+    directions = artifact["directions"]
+    for name in artifact["gate"]:
+        if name not in metrics:
+            _fail(f"gated metric {name!r} absent from metrics")
+        if directions.get(name) not in ("higher", "lower"):
+            _fail(f"gated metric {name!r} has no valid direction")
+
+
+def _check_cells(artifact: dict, min_cells: int) -> None:
+    cells = artifact["cells"]
+    if len(cells) < min_cells:
+        _fail(f"{len(cells)} cells, expected at least {min_cells}")
+    grid = artifact["grid"]
+    expected = 1
+    for axis in ("scenarios", "policies", "backends", "frontdoors", "replicas", "queue_depths"):
+        expected *= len(grid[axis])
+    if len(cells) != expected:
+        _fail(f"{len(cells)} cells for a {expected}-combination grid")
+
+    seen = set()
+    digests: dict[str, str] = {}
+    for i, cell in enumerate(cells):
+        missing = CELL_KEYS - set(cell)
+        if missing:
+            _fail(f"cell {i} missing keys {sorted(missing)}")
+        coord = (
+            cell["scenario"],
+            cell["policy"],
+            cell["backend"],
+            cell["frontdoor"],
+            cell["replicas"],
+            cell["queue_depth"],
+        )
+        if coord in seen:
+            _fail(f"duplicate cell for grid combination {coord}")
+        seen.add(coord)
+
+        accounted = (
+            cell["completed"] + cell["rejected"] + cell["expired"] + cell["failures"]
+        )
+        if cell["offered"] != accounted:
+            _fail(
+                f"cell {coord}: offered={cell['offered']} but outcomes sum "
+                f"to {accounted}"
+            )
+        for rate in _RATES:
+            if not 0.0 <= cell[rate] <= 1.0:
+                _fail(f"cell {coord}: {rate}={cell[rate]} outside [0, 1]")
+
+        prior = digests.setdefault(cell["scenario"], cell["trace_sha256"])
+        if cell["trace_sha256"] != prior:
+            _fail(
+                f"scenario {cell['scenario']!r} cells replayed different "
+                f"traces ({prior[:12]} vs {cell['trace_sha256'][:12]})"
+            )
+
+    for scenario, summary in artifact["traces"].items():
+        if scenario in digests and summary["sha256"] != digests[scenario]:
+            _fail(
+                f"traces summary digest for {scenario!r} does not match "
+                f"its cells"
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifact", type=Path, help="BENCH_scenarios.json path")
+    parser.add_argument(
+        "--min-cells",
+        type=int,
+        default=1,
+        help="minimum number of matrix cells the artifact must contain",
+    )
+    args = parser.parse_args(argv)
+
+    artifact = json.loads(args.artifact.read_text(encoding="utf-8"))
+    _check_envelope(artifact)
+    _check_cells(artifact, args.min_cells)
+    print(
+        f"validate_scenarios: OK: {len(artifact['cells'])} cells, "
+        f"{len(artifact['gate'])} gated metrics, "
+        f"{len(artifact['traces'])} scenario traces"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

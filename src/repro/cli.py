@@ -50,6 +50,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -379,6 +380,136 @@ def _cmd_gateway_bench(args: argparse.Namespace) -> int:
                 f"({saturation['rejection_rate']:.0%}); admitted p99 "
                 f"{saturation['latency_ms'].get('p99', 0.0):.1f} ms"
             )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# scenario-bench
+# ---------------------------------------------------------------------------
+
+
+def _csv(text: str) -> list:
+    return [part.strip() for part in str(text).split(",") if part.strip()]
+
+
+def _cmd_scenario_bench(args: argparse.Namespace) -> int:
+    from repro.sim.matrix import (
+        DEFAULT_SPEC,
+        MatrixConfig,
+        load_config,
+        matrix_artifact,
+        normalize_policy,
+        run_matrix,
+    )
+    from repro.sim.workload import SCENARIOS, list_scenarios
+
+    if args.list_scenarios:
+        rows = [
+            [
+                name,
+                SCENARIOS[name].summary,
+                SCENARIOS[name].stresses,
+            ]
+            for name in list_scenarios()
+        ]
+        print(render_table(["scenario", "summary", "stresses"], rows,
+                           title="scenario catalog (docs/scenarios.md)"))
+        return 0
+
+    if args.config:
+        config = load_config(args.config)
+    else:
+        deadline_ms = None if args.deadline_ms <= 0 else float(args.deadline_ms)
+        config = MatrixConfig(
+            scenarios=tuple(_csv(args.scenario)),
+            policies=tuple(normalize_policy(p) for p in _csv(args.policy)),
+            backends=tuple(_csv(args.backend)),
+            frontdoors=tuple(_csv(args.frontdoor)),
+            replicas=tuple(int(r) for r in _csv(args.replicas)),
+            queue_depths=tuple(int(q) for q in _csv(args.queue_depth)),
+            models=args.models,
+            tenants=args.tenants,
+            duration_s=args.duration,
+            rate_rps=args.rate,
+            deadline_ms=deadline_ms,
+            seed=args.seed,
+            time_scale=args.time_scale,
+            mode=args.mode,
+            clients=args.clients,
+            synthetic=args.synthetic or DEFAULT_SPEC,
+        )
+        config.validate()
+
+    if args.dump_trace:
+        from repro.sim.matrix import _render_traces
+
+        payload = {
+            name: json.loads(trace.to_json())
+            for name, trace in _render_traces(config).items()
+        }
+        Path(args.dump_trace).write_text(
+            json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        print(f"wrote {args.dump_trace}")
+        if args.trace_only:
+            return 0
+
+    progress = None if args.json else (lambda label: print(f"  cell {label}", flush=True))
+    if progress is not None:
+        print(
+            f"scenario matrix: {config.cell_count()} cells "
+            f"({len(config.scenarios)} scenario(s) x {len(config.policies)} "
+            f"policy(ies) x {len(config.backends)} backend(s) x "
+            f"{len(config.frontdoors)} frontdoor(s))",
+            flush=True,
+        )
+    result = run_matrix(config, progress=progress)
+    artifact = matrix_artifact(result, mode=args.bench_mode)
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(artifact, indent=2, sort_keys=True), encoding="utf-8")
+
+    if args.json:
+        print(json.dumps(artifact, indent=2, sort_keys=True))
+        return 0
+
+    rows = []
+    for cell in result["cells"]:
+        cache = cell["cache_hit_rate"]["overall"]
+        rows.append(
+            [
+                cell["scenario"],
+                cell["policy"],
+                cell["backend"],
+                cell["frontdoor"],
+                str(cell["replicas"]),
+                str(cell["queue_depth"]),
+                f"{cell['rps']:,.0f} req/s",
+                f"{cell['goodput_rps']:,.0f} req/s",
+                f"{cell['latency_ms']['p99']:.1f} ms",
+                f"{cell['rejection_rate']:.1%}",
+                f"{cell['deadline_miss_rate']:.1%}",
+                "n/a" if cache is None else f"{cache:.0%}",
+            ]
+        )
+    print(
+        render_table(
+            ["scenario", "policy", "backend", "door", "rep", "q",
+             "rps", "goodput", "p99", "rej", "miss", "cache"],
+            rows,
+            title=(
+                f"scenario x policy matrix: seed {config.seed}, "
+                f"{config.duration_s:.1f}s @ {config.rate_rps:.0f} rps nominal, "
+                f"{config.models} models / {config.tenants} tenants"
+            ),
+        )
+    )
+    for name, info in sorted(result["traces"].items()):
+        print(
+            f"trace {name}: {info['requests']} requests "
+            f"({info['offered_rps']:,.0f} rps offered), sha256 {info['sha256'][:12]}"
+        )
+    print(f"wrote {out}")
     return 0
 
 
@@ -748,6 +879,64 @@ def build_parser() -> argparse.ArgumentParser:
                         "phase (.prom = Prometheus text, else JSON)")
     p.add_argument("--json", action="store_true", help="emit JSON")
     p.set_defaults(func=_cmd_gateway_bench)
+
+    p = sub.add_parser(
+        "scenario-bench",
+        help="run a scenario x policy workload-simulation matrix",
+        description=(
+            "Replay deterministic workload traces (see docs/scenarios.md) "
+            "against every (scenario, policy, backend, frontdoor, replicas, "
+            "queue-depth) grid cell and write one stable-schema "
+            "BENCH_scenarios.json artifact (see docs/benchmarking.md)."
+        ),
+    )
+    p.add_argument("--config", default=None,
+                   help=".toml/.json matrix config (overrides the grid flags)")
+    p.add_argument("--scenario", default="steady,burst", metavar="LIST",
+                   help="comma-separated scenario names (see --list-scenarios)")
+    p.add_argument("--policy", default="round-robin,least-loaded", metavar="LIST",
+                   help="comma-separated shard policies (underscores accepted)")
+    p.add_argument("--backend", default="thread", metavar="LIST",
+                   help="comma-separated replica backends (thread,process)")
+    p.add_argument("--frontdoor", default="sync", metavar="LIST",
+                   help="comma-separated front doors (sync,async)")
+    p.add_argument("--replicas", default="1", metavar="LIST",
+                   help="comma-separated replica counts per model")
+    p.add_argument("--queue-depth", default="64", metavar="LIST",
+                   help="comma-separated admission queue depths")
+    p.add_argument("--models", type=int, default=3,
+                   help="synthetic model-zoo size (Zipf popularity over it)")
+    p.add_argument("--tenants", type=int, default=8,
+                   help="tenant population (tenant id doubles as shard key)")
+    p.add_argument("--duration", type=float, default=1.0,
+                   help="trace duration in seconds")
+    p.add_argument("--rate", type=float, default=150.0,
+                   help="nominal arrival rate (requests/second)")
+    p.add_argument("--deadline-ms", type=float, default=50.0,
+                   help="per-request deadline in ms (<= 0 disables deadlines)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="trace + zoo seed (identical seed = identical trace)")
+    p.add_argument("--time-scale", type=float, default=1.0,
+                   help="replay clock multiplier (<1 compresses the trace)")
+    p.add_argument("--mode", default="open", choices=["open", "closed"],
+                   help="open loop (scheduled arrivals, coordinated-omission-"
+                        "free) or closed loop (fixed client pool)")
+    p.add_argument("--clients", type=int, default=4,
+                   help="closed-loop client count")
+    p.add_argument("--synthetic", default=None,
+                   help="synthetic layer spec for each zoo model")
+    p.add_argument("--out", default="BENCH_scenarios.json",
+                   help="artifact output path")
+    p.add_argument("--bench-mode", default="full", choices=["full", "smoke"],
+                   help="mode tag recorded in the artifact")
+    p.add_argument("--dump-trace", default=None, metavar="PATH",
+                   help="also write the rendered per-scenario traces as JSON")
+    p.add_argument("--trace-only", action="store_true",
+                   help="with --dump-trace: stop after writing the traces")
+    p.add_argument("--list-scenarios", action="store_true",
+                   help="print the scenario catalog and exit")
+    p.add_argument("--json", action="store_true", help="emit the artifact JSON")
+    p.set_defaults(func=_cmd_scenario_bench)
 
     p = sub.add_parser(
         "serve-http",

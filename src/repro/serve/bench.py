@@ -52,6 +52,7 @@ from repro.store.archive import ModelArchive
 from repro.utils.errors import DeadlineExceeded, GatewayOverloaded, ValidationError
 
 __all__ = [
+    "archive_input_dim",
     "serving_benchmark",
     "gateway_benchmark",
     "async_gateway_benchmark",
@@ -85,8 +86,12 @@ def _fresh_runtime(source, cache_bytes: int, sparse: bool) -> ModelRuntime:
     return ModelRuntime(source, cache_bytes=cache_bytes, sparse=sparse)
 
 
-def _archive_input_dim(source: Union[str, bytes]) -> int:
-    """The in-features of a chained archive's first fc layer (request width)."""
+def archive_input_dim(source: Union[str, bytes]) -> int:
+    """The in-features of a chained archive's first fc layer (request width).
+
+    Shared with :mod:`repro.sim`, whose zoo builder sizes each model's
+    input sample off the archive instead of re-parsing the synthetic spec.
+    """
     if isinstance(source, (bytes, bytearray, memoryview)):
         archive = ModelArchive.from_bytes(source)
     else:
@@ -96,6 +101,10 @@ def _archive_input_dim(source: Union[str, bytes]) -> int:
         return int(archive.manifest.layers[first].shape[1])
     finally:
         archive.close()
+
+
+# Backwards-compatible private alias (pre-repro.sim callers).
+_archive_input_dim = archive_input_dim
 
 
 def gateway_benchmark(

@@ -1,0 +1,403 @@
+"""Replay a :class:`~repro.sim.workload.WorkloadTrace` against a gateway.
+
+Two client disciplines, each available for both front doors:
+
+* **Open loop** — requests are submitted at their *scheduled* arrival
+  times regardless of how the server is doing, and latency is measured
+  from the scheduled arrival, not from the (possibly delayed) submit.
+  That is the coordinated-omission-free discipline: when the server
+  stalls, the backlog of scheduled arrivals keeps counting against it
+  instead of silently pausing the load generator.
+* **Closed loop** — a fixed pool of clients each issue their share of
+  the trace sequentially, waiting for every response before sending the
+  next request.  Throughput is then concurrency-bound (classic
+  benchmark style) and latency hides server stalls; useful for capacity
+  numbers, wrong for tail-latency claims.
+
+Outcome taxonomy (disjoint; ``offered`` is their sum):
+
+* ``completed`` — produced a result (possibly after its deadline);
+* ``rejected`` — admission control fast-failed (``GatewayOverloaded``);
+* ``expired`` — the async front door cancelled it at its deadline
+  (:class:`~repro.utils.errors.DeadlineExceeded`);
+* ``failures`` — anything else (validation, replica crash).
+
+``deadline_misses`` counts ``expired`` plus completed-but-late requests,
+so sync and async runs score deadlines on the same axis even though only
+the async gateway enforces them in-flight.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.log import get_logger
+from repro.sim.workload import WorkloadTrace
+from repro.utils.errors import DeadlineExceeded, GatewayOverloaded, ValidationError
+
+_log = get_logger("sim.driver")
+
+__all__ = [
+    "DriveResult",
+    "drive_closed_loop",
+    "drive_closed_loop_async",
+    "drive_open_loop",
+    "drive_open_loop_async",
+]
+
+_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+@dataclass
+class DriveResult:
+    """Reduced outcomes of one trace replay."""
+
+    mode: str
+    offered: int
+    completed: int
+    rejected: int
+    expired: int
+    failures: int
+    deadline_misses: int
+    elapsed_s: float
+    latencies_s: List[float] = field(default_factory=list)
+    max_submit_lag_s: float = 0.0
+
+    @property
+    def rps(self) -> float:
+        return self.completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def goodput_rps(self) -> float:
+        on_time = self.completed - (self.deadline_misses - self.expired)
+        return on_time / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.offered if self.offered else 0.0
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        return self.deadline_misses / self.offered if self.offered else 0.0
+
+    def latency_ms(self) -> Dict[str, float]:
+        if not self.latencies_s:
+            return {"p50": 0.0, "p90": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+        arr = np.asarray(self.latencies_s, dtype=np.float64) * 1000.0
+        p50, p90, p99 = (float(v) for v in np.percentile(arr, _PERCENTILES))
+        return {
+            "p50": p50,
+            "p90": p90,
+            "p99": p99,
+            "mean": float(arr.mean()),
+            "max": float(arr.max()),
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "offered": self.offered,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "failures": self.failures,
+            "deadline_misses": self.deadline_misses,
+            "elapsed_s": self.elapsed_s,
+            "rps": self.rps,
+            "goodput_rps": self.goodput_rps,
+            "rejection_rate": self.rejection_rate,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "latency_ms": self.latency_ms(),
+            "max_submit_lag_s": self.max_submit_lag_s,
+        }
+
+
+def _check_inputs(trace: WorkloadTrace, inputs: Mapping[str, np.ndarray]) -> None:
+    missing = sorted(set(trace.models) - set(inputs))
+    if missing:
+        raise ValidationError(f"no input sample for trace models: {missing}")
+
+
+# ---------------------------------------------------------------------------
+# sync gateway
+
+
+def drive_open_loop(
+    gateway: Any,
+    trace: WorkloadTrace,
+    inputs: Mapping[str, np.ndarray],
+    *,
+    time_scale: float = 1.0,
+    timeout: float = 60.0,
+) -> DriveResult:
+    """Open-loop replay against the sync ``Gateway``.
+
+    ``time_scale`` compresses (<1) or stretches (>1) the trace clock —
+    a 10-second trace at ``time_scale=0.1`` replays in one second with
+    10x the offered rate.
+    """
+    _check_inputs(trace, inputs)
+    cond = threading.Condition()
+    latencies: List[Tuple[float, Optional[float]]] = []  # (latency_s, deadline_s)
+    failures = 0
+    settled = 0
+
+    def _done(fut: Any, scheduled: float, deadline: Optional[float]) -> None:
+        nonlocal failures, settled
+        finished = time.perf_counter()
+        with cond:
+            if fut.exception() is not None:
+                failures += 1
+            else:
+                latencies.append((finished - scheduled, deadline))
+            settled += 1
+            cond.notify_all()
+
+    start = time.perf_counter()
+    rejected = 0
+    max_lag = 0.0
+    submitted = 0
+    for req in trace.requests:
+        target = start + req.arrival_s * time_scale
+        now = time.perf_counter()
+        if target > now:
+            time.sleep(target - now)
+        else:
+            max_lag = max(max_lag, now - target)
+        deadline = None if req.deadline_s is None else req.deadline_s * time_scale
+        try:
+            fut = gateway.submit(req.model, inputs[req.model], key=req.tenant)
+        except GatewayOverloaded:
+            rejected += 1
+            continue
+        submitted += 1
+        fut.add_done_callback(
+            lambda f, s=target, d=deadline: _done(f, s, d)
+        )
+    with cond:
+        drained = cond.wait_for(lambda: settled >= submitted, timeout=timeout)
+        if not drained:
+            failures += submitted - settled  # stuck futures score as failures
+        lat = [latency for latency, _ in latencies]
+        late = sum(
+            1 for latency, deadline in latencies if deadline is not None and latency > deadline
+        )
+        completed = len(latencies)
+        failed = failures
+    elapsed = time.perf_counter() - start
+    return DriveResult(
+        mode="open",
+        offered=len(trace.requests),
+        completed=completed,
+        rejected=rejected,
+        expired=0,
+        failures=failed,
+        deadline_misses=late,
+        elapsed_s=elapsed,
+        latencies_s=lat,
+        max_submit_lag_s=max_lag,
+    )
+
+
+def drive_closed_loop(
+    gateway: Any,
+    trace: WorkloadTrace,
+    inputs: Mapping[str, np.ndarray],
+    *,
+    clients: int = 4,
+    time_scale: float = 1.0,
+    timeout: float = 60.0,
+) -> DriveResult:
+    """Closed-loop replay: ``clients`` threads each drain a trace slice."""
+    _check_inputs(trace, inputs)
+    if clients < 1:
+        raise ValidationError(f"clients must be >= 1, got {clients}")
+    lock = threading.Lock()
+    latencies: List[Tuple[float, Optional[float]]] = []
+    counters = {"rejected": 0, "failures": 0}
+    barrier = threading.Barrier(clients + 1)
+
+    def _client(slice_requests: Tuple[Any, ...]) -> None:
+        barrier.wait()
+        for req in slice_requests:
+            deadline = None if req.deadline_s is None else req.deadline_s * time_scale
+            sent = time.perf_counter()
+            try:
+                fut = gateway.submit(req.model, inputs[req.model], key=req.tenant)
+                fut.result(timeout=timeout)
+            except GatewayOverloaded:
+                with lock:
+                    counters["rejected"] += 1
+                continue
+            except Exception:
+                _log.debug("closed-loop request failed", exc_info=True)
+                with lock:
+                    counters["failures"] += 1
+                continue
+            with lock:
+                latencies.append((time.perf_counter() - sent, deadline))
+
+    threads = [
+        threading.Thread(
+            target=_client, args=(trace.requests[i::clients],), daemon=True
+        )
+        for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    with lock:
+        lat = [latency for latency, _ in latencies]
+        late = sum(
+            1 for latency, deadline in latencies if deadline is not None and latency > deadline
+        )
+    return DriveResult(
+        mode="closed",
+        offered=len(trace.requests),
+        completed=len(lat),
+        rejected=counters["rejected"],
+        expired=0,
+        failures=counters["failures"],
+        deadline_misses=late,
+        elapsed_s=elapsed,
+        latencies_s=lat,
+    )
+
+
+# ---------------------------------------------------------------------------
+# async gateway
+
+
+async def drive_open_loop_async(
+    gateway: Any,
+    trace: WorkloadTrace,
+    inputs: Mapping[str, np.ndarray],
+    *,
+    time_scale: float = 1.0,
+) -> DriveResult:
+    """Open-loop replay against the ``AsyncGateway`` (run on its loop).
+
+    Deadlines are passed through and *enforced*: an expired request is
+    cancelled by the front door and counted as ``expired`` (a deadline
+    miss), not as a completion.
+    """
+    import asyncio
+
+    _check_inputs(trace, inputs)
+    loop = asyncio.get_running_loop()
+    latencies: List[Tuple[float, Optional[float]]] = []
+    counters = {"rejected": 0, "expired": 0, "failures": 0}
+
+    async def _one(req: Any, scheduled: float, deadline: Optional[float]) -> None:
+        try:
+            await gateway.submit(
+                req.model, inputs[req.model], key=req.tenant, deadline=deadline
+            )
+        except DeadlineExceeded:
+            counters["expired"] += 1
+        except GatewayOverloaded:
+            counters["rejected"] += 1
+        except Exception:
+            _log.debug("open-loop request failed", exc_info=True)
+            counters["failures"] += 1
+        else:
+            latencies.append((loop.time() - scheduled, deadline))
+
+    start = loop.time()
+    max_lag = 0.0
+    tasks = []
+    for req in trace.requests:
+        target = start + req.arrival_s * time_scale
+        delay = target - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        else:
+            max_lag = max(max_lag, -delay)
+        deadline = None if req.deadline_s is None else req.deadline_s * time_scale
+        tasks.append(asyncio.ensure_future(_one(req, target, deadline)))
+    if tasks:
+        await asyncio.gather(*tasks)
+    elapsed = loop.time() - start
+    lat = [latency for latency, _ in latencies]
+    late = sum(
+        1 for latency, deadline in latencies if deadline is not None and latency > deadline
+    )
+    return DriveResult(
+        mode="open",
+        offered=len(trace.requests),
+        completed=len(lat),
+        rejected=counters["rejected"],
+        expired=counters["expired"],
+        failures=counters["failures"],
+        deadline_misses=counters["expired"] + late,
+        elapsed_s=elapsed,
+        latencies_s=lat,
+        max_submit_lag_s=max_lag,
+    )
+
+
+async def drive_closed_loop_async(
+    gateway: Any,
+    trace: WorkloadTrace,
+    inputs: Mapping[str, np.ndarray],
+    *,
+    clients: int = 4,
+    time_scale: float = 1.0,
+) -> DriveResult:
+    """Closed-loop replay: ``clients`` coroutines each drain a slice."""
+    import asyncio
+
+    _check_inputs(trace, inputs)
+    if clients < 1:
+        raise ValidationError(f"clients must be >= 1, got {clients}")
+    loop = asyncio.get_running_loop()
+    latencies: List[Tuple[float, Optional[float]]] = []
+    counters = {"rejected": 0, "expired": 0, "failures": 0}
+
+    async def _client(slice_requests: Tuple[Any, ...]) -> None:
+        for req in slice_requests:
+            deadline = None if req.deadline_s is None else req.deadline_s * time_scale
+            sent = loop.time()
+            try:
+                await gateway.submit(
+                    req.model, inputs[req.model], key=req.tenant, deadline=deadline
+                )
+            except DeadlineExceeded:
+                counters["expired"] += 1
+            except GatewayOverloaded:
+                counters["rejected"] += 1
+            except Exception:
+                _log.debug("closed-loop request failed", exc_info=True)
+                counters["failures"] += 1
+            else:
+                latencies.append((loop.time() - sent, deadline))
+
+    start = loop.time()
+    await asyncio.gather(
+        *(_client(trace.requests[i::clients]) for i in range(clients))
+    )
+    elapsed = loop.time() - start
+    lat = [latency for latency, _ in latencies]
+    late = sum(
+        1 for latency, deadline in latencies if deadline is not None and latency > deadline
+    )
+    return DriveResult(
+        mode="closed",
+        offered=len(trace.requests),
+        completed=len(lat),
+        rejected=counters["rejected"],
+        expired=counters["expired"],
+        failures=counters["failures"],
+        deadline_misses=counters["expired"] + late,
+        elapsed_s=elapsed,
+        latencies_s=lat,
+    )

@@ -1,0 +1,479 @@
+"""Deterministic, seedable workload traces for the serving gateways.
+
+A trace is rendered *before* any measurement starts: the same
+``(scenario, seed, knobs)`` tuple always yields byte-identical JSON, so a
+policy comparison measures the policies, never sampling noise — every
+cell of a benchmark matrix replays the exact same request sequence.
+
+The building blocks:
+
+* **Arrival processes** — homogeneous Poisson (steady state), an
+  inhomogeneous Poisson rendered by thinning (diurnal sinusoid,
+  flash-crowd burst), and a cold-start flood (a rate surge with
+  exponential decay after a model push).
+* **Popularity** — Zipf over an N-model zoo: weight of the rank-``r``
+  model is proportional to ``r ** -s``.
+* **Tenants** — every request carries a tenant drawn from its own Zipf
+  (a few heavy hitters, a long tail); the tenant string doubles as the
+  shard key, so consistent-hash stickiness is exercised for free.
+* **Deadlines** — an optional per-request completion budget, enforced by
+  the async front door and scored after the fact for the sync gateway.
+
+All randomness flows through one :func:`numpy.random.default_rng`
+instance per trace; nothing reads the wall clock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "SimRequest",
+    "WorkloadTrace",
+    "generate_trace",
+    "get_scenario",
+    "list_scenarios",
+    "zipf_weights",
+]
+
+TRACE_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# trace model
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """One scheduled request: *when*, *what*, *who*, and *by when*."""
+
+    arrival_s: float
+    model: str
+    tenant: str
+    deadline_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """A rendered request sequence plus the recipe that produced it."""
+
+    scenario: str
+    seed: int
+    duration_s: float
+    rate_rps: float
+    models: Tuple[str, ...]
+    tenants: Tuple[str, ...]
+    params: Mapping[str, float]
+    requests: Tuple[SimRequest, ...]
+
+    @property
+    def offered_rps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return len(self.requests) / self.duration_s
+
+    def to_json(self) -> str:
+        """Canonical JSON — stable key order, so digests are comparable."""
+        payload = {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "rate_rps": self.rate_rps,
+            "models": list(self.models),
+            "tenants": list(self.tenants),
+            "params": {k: self.params[k] for k in sorted(self.params)},
+            "requests": [
+                {
+                    "arrival_s": r.arrival_s,
+                    "model": r.model,
+                    "tenant": r.tenant,
+                    "deadline_s": r.deadline_s,
+                }
+                for r in self.requests
+            ],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadTrace":
+        payload = json.loads(text)
+        version = payload.get("schema_version")
+        if version != TRACE_SCHEMA_VERSION:
+            raise ValidationError(
+                f"unsupported trace schema_version {version!r}; "
+                f"expected {TRACE_SCHEMA_VERSION}"
+            )
+        requests = tuple(
+            SimRequest(
+                arrival_s=float(r["arrival_s"]),
+                model=str(r["model"]),
+                tenant=str(r["tenant"]),
+                deadline_s=None if r["deadline_s"] is None else float(r["deadline_s"]),
+            )
+            for r in payload["requests"]
+        )
+        return cls(
+            scenario=str(payload["scenario"]),
+            seed=int(payload["seed"]),
+            duration_s=float(payload["duration_s"]),
+            rate_rps=float(payload["rate_rps"]),
+            models=tuple(str(m) for m in payload["models"]),
+            tenants=tuple(str(t) for t in payload["tenants"]),
+            params={str(k): float(v) for k, v in payload["params"].items()},
+            requests=requests,
+        )
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON — the trace's identity."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# popularity
+
+
+def zipf_weights(n: int, s: float = 1.0) -> np.ndarray:
+    """Normalized Zipf weights for ranks ``1..n`` (weight ∝ ``rank**-s``)."""
+    if n < 1:
+        raise ValidationError(f"zipf_weights needs n >= 1, got {n}")
+    if s < 0:
+        raise ValidationError(f"zipf_weights needs s >= 0, got {s}")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-s
+    return weights / weights.sum()
+
+
+# ---------------------------------------------------------------------------
+# arrival processes
+
+RateFn = Callable[[np.ndarray], np.ndarray]
+
+
+def _poisson_arrivals(
+    rng: np.random.Generator, rate_rps: float, duration_s: float
+) -> np.ndarray:
+    """Homogeneous Poisson arrival times on ``[0, duration_s)``."""
+    if rate_rps <= 0 or duration_s <= 0:
+        return np.empty(0, dtype=np.float64)
+    blocks = []
+    t = 0.0
+    block = max(16, int(rate_rps * duration_s * 1.2) + 16)
+    while t < duration_s:
+        gaps = rng.exponential(1.0 / rate_rps, size=block)
+        times = t + np.cumsum(gaps)
+        blocks.append(times)
+        t = float(times[-1])
+    arrivals = np.concatenate(blocks)
+    return arrivals[arrivals < duration_s]
+
+
+def _thinned_arrivals(
+    rng: np.random.Generator,
+    rate_fn: RateFn,
+    rate_max: float,
+    duration_s: float,
+) -> np.ndarray:
+    """Inhomogeneous Poisson arrivals by thinning a rate-``rate_max`` stream.
+
+    Candidates arrive at the envelope rate; each survives with probability
+    ``rate(t) / rate_max``, which is exactly Lewis–Shedler thinning.
+    """
+    candidates = _poisson_arrivals(rng, rate_max, duration_s)
+    if candidates.size == 0:
+        return candidates
+    accept = rng.random(candidates.size) < rate_fn(candidates) / rate_max
+    return candidates[accept]
+
+
+def _steady_arrivals(
+    rng: np.random.Generator, rate_rps: float, duration_s: float, p: Mapping[str, float]
+) -> np.ndarray:
+    return _poisson_arrivals(rng, rate_rps, duration_s)
+
+
+def _diurnal_arrivals(
+    rng: np.random.Generator, rate_rps: float, duration_s: float, p: Mapping[str, float]
+) -> np.ndarray:
+    # One sinusoidal "day" spans period_frac of the trace; the rate swings
+    # between trough_x and peak_x times the nominal rate, starting at the
+    # trough (midnight) so short traces still show the ramp.
+    peak = rate_rps * p["peak_x"]
+    trough = rate_rps * p["trough_x"]
+    period = duration_s * p["period_frac"]
+
+    def rate(t: np.ndarray) -> np.ndarray:
+        phase = (1.0 - np.cos(2.0 * np.pi * t / period)) / 2.0
+        return trough + (peak - trough) * phase
+
+    return _thinned_arrivals(rng, rate, peak, duration_s)
+
+
+def _burst_arrivals(
+    rng: np.random.Generator, rate_rps: float, duration_s: float, p: Mapping[str, float]
+) -> np.ndarray:
+    # Baseline Poisson traffic with a flash crowd: for burst_frac of the
+    # trace starting at burst_at, the rate multiplies by burst_x.
+    start = duration_s * p["burst_at"]
+    end = start + duration_s * p["burst_frac"]
+    peak = rate_rps * p["burst_x"]
+
+    def rate(t: np.ndarray) -> np.ndarray:
+        return np.where((t >= start) & (t < end), peak, rate_rps)
+
+    return _thinned_arrivals(rng, rate, peak, duration_s)
+
+
+def _coldstart_arrivals(
+    rng: np.random.Generator, rate_rps: float, duration_s: float, p: Mapping[str, float]
+) -> np.ndarray:
+    # A model push at push_at: traffic surges by flood_x and decays back
+    # with time constant decay_frac * duration (clients re-resolving and
+    # retrying against the new model).
+    push = duration_s * p["push_at"]
+    tau = max(duration_s * p["decay_frac"], 1e-9)
+    peak = rate_rps * (1.0 + p["flood_x"])
+
+    def rate(t: np.ndarray) -> np.ndarray:
+        surge = p["flood_x"] * np.exp(-(t - push) / tau)
+        return rate_rps * (1.0 + np.where(t >= push, surge, 0.0))
+
+    return _thinned_arrivals(rng, rate, peak, duration_s)
+
+
+# ---------------------------------------------------------------------------
+# model mixes
+
+
+def _zipf_models(
+    rng: np.random.Generator,
+    arrivals: np.ndarray,
+    models: Sequence[str],
+    p: Mapping[str, float],
+) -> np.ndarray:
+    weights = zipf_weights(len(models), p["zipf_s"])
+    picks = rng.choice(len(models), size=arrivals.size, p=weights)
+    return np.asarray(models, dtype=object)[picks]
+
+
+def _coldstart_models(
+    rng: np.random.Generator,
+    arrivals: np.ndarray,
+    models: Sequence[str],
+    p: Mapping[str, float],
+) -> np.ndarray:
+    # The last model in the zoo is the one just pushed: absent before
+    # push_at, then grabbing flood_share of traffic (decaying toward its
+    # organic Zipf share as caches warm and the novelty wears off).
+    if len(models) < 2:
+        raise ValidationError("coldstart needs at least 2 models (one is the push)")
+    pushed = models[-1]
+    veterans = models[:-1]
+    push = float(p["push_at"])
+    tau = max(float(p["decay_frac"]), 1e-9)
+    weights = zipf_weights(len(veterans), p["zipf_s"])
+    base = rng.choice(len(veterans), size=arrivals.size, p=weights)
+    picks = np.asarray(veterans, dtype=object)[base]
+    # arrivals are in seconds; push_at/decay_frac are trace fractions, so
+    # normalise by the trace span (guard against an empty trace upstream).
+    span = float(arrivals[-1]) if arrivals.size else 1.0
+    frac = arrivals / max(span, 1e-9)
+    share = p["flood_share"] * np.exp(-(frac - push) / tau)
+    flood = (frac >= push) & (rng.random(arrivals.size) < share)
+    picks[flood] = pushed
+    return picks
+
+
+def _zipf_tenants(
+    rng: np.random.Generator,
+    arrivals: np.ndarray,
+    tenants: Sequence[str],
+    p: Mapping[str, float],
+) -> np.ndarray:
+    weights = zipf_weights(len(tenants), p["tenant_zipf_s"])
+    picks = rng.choice(len(tenants), size=arrivals.size, p=weights)
+    return np.asarray(tenants, dtype=object)[picks]
+
+
+# ---------------------------------------------------------------------------
+# scenario registry
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named workload shape: arrival process + popularity mix + knobs."""
+
+    name: str
+    summary: str
+    stresses: str
+    arrivals: Callable[
+        [np.random.Generator, float, float, Mapping[str, float]], np.ndarray
+    ]
+    models: Callable[
+        [np.random.Generator, np.ndarray, Sequence[str], Mapping[str, float]],
+        np.ndarray,
+    ]
+    defaults: Mapping[str, float] = field(default_factory=dict)
+
+    def render(
+        self,
+        *,
+        rng: np.random.Generator,
+        duration_s: float,
+        rate_rps: float,
+        model_names: Sequence[str],
+        tenant_names: Sequence[str],
+        deadline_s: Optional[float],
+        params: Mapping[str, float],
+    ) -> Tuple[SimRequest, ...]:
+        arrivals = self.arrivals(rng, rate_rps, duration_s, params)
+        picks = self.models(rng, arrivals, model_names, params)
+        tenant_picks = _zipf_tenants(rng, arrivals, tenant_names, params)
+        return tuple(
+            SimRequest(
+                # round to microseconds so the JSON round-trip is exact and
+                # the canonical form is platform-stable
+                arrival_s=round(float(t), 6),
+                model=str(m),
+                tenant=str(ten),
+                deadline_s=deadline_s,
+            )
+            for t, m, ten in zip(arrivals, picks, tenant_picks)
+        )
+
+
+_COMMON_DEFAULTS: Dict[str, float] = {"zipf_s": 1.1, "tenant_zipf_s": 1.0}
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def _register(scenario: Scenario) -> Scenario:
+    if scenario.name in SCENARIOS:
+        raise ValidationError(f"scenario {scenario.name!r} registered twice")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+_register(
+    Scenario(
+        name="steady",
+        summary="Homogeneous Poisson arrivals at the nominal rate.",
+        stresses="baseline throughput/latency; shard-policy balance at equilibrium",
+        arrivals=_steady_arrivals,
+        models=_zipf_models,
+        defaults=dict(_COMMON_DEFAULTS),
+    )
+)
+
+_register(
+    Scenario(
+        name="diurnal",
+        summary="Sinusoidal day/night rate swing (inhomogeneous Poisson).",
+        stresses="cache warm-up/decay across load swings; queue drain at the peak",
+        arrivals=_diurnal_arrivals,
+        models=_zipf_models,
+        defaults={**_COMMON_DEFAULTS, "peak_x": 2.0, "trough_x": 0.2, "period_frac": 1.0},
+    )
+)
+
+_register(
+    Scenario(
+        name="burst",
+        summary="Flash crowd: a burst_x rate spike for burst_frac of the trace.",
+        stresses="admission control (max_queue_depth fast-fail) and p99 under overload",
+        arrivals=_burst_arrivals,
+        models=_zipf_models,
+        defaults={**_COMMON_DEFAULTS, "burst_x": 6.0, "burst_at": 0.4, "burst_frac": 0.2},
+    )
+)
+
+_register(
+    Scenario(
+        name="coldstart",
+        summary="Model push at push_at: traffic floods the new (cold) model.",
+        stresses="layer-cache misses and decode cost on an unwarmed model",
+        arrivals=_coldstart_arrivals,
+        models=_coldstart_models,
+        defaults={
+            **_COMMON_DEFAULTS,
+            "push_at": 0.3,
+            "flood_x": 1.5,
+            "flood_share": 0.7,
+            "decay_frac": 0.3,
+        },
+    )
+)
+
+
+def list_scenarios() -> Tuple[str, ...]:
+    """Registered scenario names, sorted."""
+    return tuple(sorted(SCENARIOS))
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown scenario {name!r}; available: {list(list_scenarios())}"
+        ) from None
+
+
+def generate_trace(
+    scenario: str,
+    *,
+    models: Sequence[str],
+    tenants: Sequence[str],
+    duration_s: float,
+    rate_rps: float,
+    seed: int = 0,
+    deadline_s: Optional[float] = None,
+    params: Optional[Mapping[str, float]] = None,
+) -> WorkloadTrace:
+    """Render a scenario to a trace.  Same arguments ⇒ identical trace."""
+    spec = get_scenario(scenario)
+    if not models:
+        raise ValidationError("generate_trace needs at least one model name")
+    if not tenants:
+        raise ValidationError("generate_trace needs at least one tenant name")
+    if duration_s <= 0:
+        raise ValidationError(f"duration_s must be positive, got {duration_s}")
+    if rate_rps <= 0:
+        raise ValidationError(f"rate_rps must be positive, got {rate_rps}")
+    merged = dict(spec.defaults)
+    for key, value in (params or {}).items():
+        if key not in merged:
+            raise ValidationError(
+                f"unknown parameter {key!r} for scenario {scenario!r}; "
+                f"available: {sorted(merged)}"
+            )
+        merged[key] = float(value)
+    rng = np.random.default_rng(seed)
+    requests = spec.render(
+        rng=rng,
+        duration_s=duration_s,
+        rate_rps=rate_rps,
+        model_names=list(models),
+        tenant_names=list(tenants),
+        deadline_s=deadline_s,
+        params=merged,
+    )
+    return WorkloadTrace(
+        scenario=scenario,
+        seed=int(seed),
+        duration_s=float(duration_s),
+        rate_rps=float(rate_rps),
+        models=tuple(models),
+        tenants=tuple(tenants),
+        params=merged,
+        requests=requests,
+    )

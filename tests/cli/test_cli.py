@@ -200,3 +200,57 @@ class TestAssessCommand:
         assert second["evaluations"] == 0
         assert second["layers"] == first["layers"]
         assert second["plan"] == first["plan"]
+
+
+class TestScenarioBench:
+    TINY = [
+        "scenario-bench",
+        "--scenario", "steady",
+        "--policy", "round_robin",
+        "--models", "2",
+        "--tenants", "4",
+        "--duration", "0.3",
+        "--rate", "60",
+        "--deadline-ms", "200",
+        "--seed", "3",
+        "--synthetic", "fc6=24x32:0.2,fc7=12x24:0.2",
+    ]
+
+    def test_list_scenarios(self, capsys):
+        assert main(["scenario-bench", "--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("steady", "diurnal", "burst", "coldstart"):
+            assert name in out
+
+    def test_tiny_matrix_writes_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_scenarios.json"
+        assert main(self.TINY + ["--out", str(out_path), "--json"]) == 0
+        artifact = json.loads(out_path.read_text())
+        assert artifact["suite"] == "scenarios"
+        assert len(artifact["cells"]) == 1
+        cell = artifact["cells"][0]
+        assert cell["policy"] == "round-robin"  # underscores normalized
+        assert cell["offered"] == (
+            cell["completed"] + cell["rejected"] + cell["expired"] + cell["failures"]
+        )
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["cells"] == artifact["cells"]
+
+    def test_dump_trace_is_deterministic(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for path in (a, b):
+            args = self.TINY + ["--dump-trace", str(path), "--trace-only"]
+            assert main(args) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+        traces = json.loads(a.read_text())
+        assert set(traces) == {"steady"}
+        assert traces["steady"]["scenario"] == "steady"
+
+    def test_rejects_unknown_scenario(self, capsys):
+        assert main(["scenario-bench", "--scenario", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_rejects_unknown_policy(self, capsys):
+        assert main(["scenario-bench", "--policy", "fastest"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,84 @@
+"""Markdown link check for the operator docs.
+
+Every relative link in ``docs/*.md``, ``README.md`` and ``DESIGN.md``
+must resolve to a real file, and every in-page anchor must match a
+heading in the target document (GitHub slug rules).  External links are
+not fetched — CI must not depend on the network.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_DOCS = sorted(
+    [REPO_ROOT / "README.md", REPO_ROOT / "DESIGN.md", REPO_ROOT / "ROADMAP.md"]
+    + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _lines_outside_code_fences(text: str):
+    fenced = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if not fenced:
+            yield line
+
+
+def _github_slug(heading: str) -> str:
+    # GitHub's anchor algorithm: strip markdown emphasis/code markers,
+    # lowercase, drop punctuation, spaces become hyphens.
+    heading = re.sub(r"[`*_]", "", heading.strip())
+    heading = re.sub(r"[^\w\- ]", "", heading.lower())
+    return heading.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set:
+    anchors = set()
+    for line in _lines_outside_code_fences(path.read_text(encoding="utf-8")):
+        match = _HEADING_RE.match(line)
+        if match:
+            anchors.add(_github_slug(match.group(1)))
+    return anchors
+
+
+def _links(path: Path):
+    for line in _lines_outside_code_fences(path.read_text(encoding="utf-8")):
+        # ignore inline code spans: `[x](y)` inside backticks is not a link
+        line = re.sub(r"`[^`]*`", "", line)
+        yield from _LINK_RE.findall(line)
+
+
+@pytest.mark.parametrize("doc", _DOCS, ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_relative_links_resolve(doc):
+    assert doc.is_file(), f"{doc} listed for link-check but missing"
+    broken = []
+    for target in _links(doc):
+        if target.startswith(_EXTERNAL):
+            continue
+        path_part, _, anchor = target.partition("#")
+        resolved = doc if not path_part else (doc.parent / path_part).resolve()
+        if not resolved.exists():
+            broken.append(f"{target}: file {resolved} does not exist")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if anchor not in _anchors(resolved):
+                broken.append(f"{target}: no heading for anchor #{anchor}")
+    assert not broken, f"broken links in {doc.name}: " + "; ".join(broken)
+
+
+def test_docs_are_linked_from_readme():
+    # The methodology/catalog guides must be reachable from the front page.
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for name in ("docs/benchmarking.md", "docs/scenarios.md"):
+        assert name in readme, f"README.md does not link {name}"

@@ -1,0 +1,56 @@
+"""Doc-drift gate: every registered scenario is documented, and the
+documented catalog names only real scenarios.
+
+``docs/scenarios.md`` is the operator-facing catalog; a scenario that
+ships in :mod:`repro.sim` without a catalog entry (or an entry whose
+scenario was renamed away) fails CI here.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.sim.workload import SCENARIOS, list_scenarios
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CATALOG = REPO_ROOT / "docs" / "scenarios.md"
+
+#: Catalog entries are second-level headings of the form ``## `name` — ...``
+_ENTRY_RE = re.compile(r"^## `([a-z0-9_-]+)`", re.MULTILINE)
+
+
+def _documented() -> set:
+    return set(_ENTRY_RE.findall(CATALOG.read_text(encoding="utf-8")))
+
+
+def test_catalog_exists():
+    assert CATALOG.is_file(), "docs/scenarios.md is missing"
+
+
+def test_every_registered_scenario_is_documented():
+    missing = set(list_scenarios()) - _documented()
+    assert not missing, (
+        f"scenarios registered in repro.sim but absent from docs/scenarios.md: "
+        f"{sorted(missing)} — add a '## `<name>` — ...' entry"
+    )
+
+
+def test_catalog_documents_only_real_scenarios():
+    stale = _documented() - set(list_scenarios())
+    assert not stale, (
+        f"docs/scenarios.md documents scenarios that no longer exist: "
+        f"{sorted(stale)}"
+    )
+
+
+def test_catalog_mentions_every_default_parameter():
+    # Each scenario's tunable knobs must appear in the catalog text, so an
+    # operator can override them from a config file without reading source.
+    text = CATALOG.read_text(encoding="utf-8")
+    for name in list_scenarios():
+        for param in SCENARIOS[name].defaults:
+            assert f"`{param}`" in text, (
+                f"parameter {param!r} of scenario {name!r} is undocumented "
+                f"in docs/scenarios.md"
+            )

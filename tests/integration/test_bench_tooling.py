@@ -86,3 +86,41 @@ class TestCoreScaledGate:
         rows, failures = compare_baselines.compare_suite(baseline, fresh, 30.0)
         assert failures == []
         assert all("core-adj" not in row[4] for row in rows)
+
+
+run_all = pytest.importorskip("run_all")
+
+
+class TestSuiteSelection:
+    """``run_all.py --suites`` must fail loudly, never run zero suites."""
+
+    def test_unknown_suite_errors_with_available_list(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_all.main(["--suites", "serving,nope"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "nope" in err and "serving" in err
+
+    @pytest.mark.parametrize("value", ["", ",", " , "])
+    def test_empty_selection_errors_instead_of_running_nothing(self, value, capsys):
+        # Regression: these used to parse to an empty list and "pass"
+        # while producing no artifacts for the gate to check.
+        with pytest.raises(SystemExit) as excinfo:
+            run_all.main(["--suites", value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "selected no suites" in err
+        assert "scenarios" in err  # the valid list is printed
+
+    def test_scenarios_suite_is_registered(self):
+        script, raw, extract = run_all.SUITES["scenarios"]
+        assert script == "bench_scenarios.py"
+        raw_payload = {
+            "metrics": {"cells_completed": 8.0},
+            "gate": ["cells_completed"],
+            "directions": {"cells_completed": "higher"},
+            "grid": {}, "workload": {}, "traces": {}, "cells": [],
+        }
+        extracted = extract(raw_payload)
+        assert extracted["gate"] == ["cells_completed"]
+        assert extracted["metrics"]["cells_completed"] == 8.0

@@ -1,0 +1,164 @@
+"""Open/closed-loop drivers against real (tiny) gateways.
+
+Traces here are sub-second and time-compressed; the assertions are about
+accounting invariants (offered = completed + rejected + expired +
+failures) and mechanism (rejections under a depth-1 queue, deadline
+misses under an impossible budget), never about absolute speed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.async_gateway import AsyncGateway
+from repro.serve.gateway import Gateway
+from repro.sim.driver import (
+    drive_closed_loop,
+    drive_closed_loop_async,
+    drive_open_loop,
+    drive_open_loop_async,
+)
+from repro.sim.workload import generate_trace
+from repro.utils.errors import ValidationError
+
+
+def _trace(*, deadline_s=None, rate=120.0, duration=0.4, seed=2):
+    return generate_trace(
+        "steady",
+        models=["tiny"],
+        tenants=["t0", "t1", "t2"],
+        duration_s=duration,
+        rate_rps=rate,
+        seed=seed,
+        deadline_s=deadline_s,
+    )
+
+
+@pytest.fixture
+def gateway(tiny_archive):
+    gw = Gateway()
+    gw.add_model("tiny", tiny_archive, replicas=1, batch_size=4)
+    gw.start()
+    yield gw
+    gw.close()
+
+
+class TestSyncDrivers:
+    def test_open_loop_accounting(self, gateway, tiny_input):
+        trace = _trace()
+        result = drive_open_loop(gateway, trace, {"tiny": tiny_input})
+        assert result.offered == len(trace.requests) > 0
+        assert result.completed + result.rejected + result.failures == result.offered
+        assert result.expired == 0  # sync gateway never cancels in flight
+        assert result.failures == 0
+        assert len(result.latencies_s) == result.completed
+        assert result.rps > 0
+        stats = result.latency_ms()
+        assert stats["p50"] <= stats["p99"] <= stats["max"]
+
+    def test_open_loop_deadline_scoring(self, gateway, tiny_input):
+        # A 1-microsecond budget: everything completes, everything is late.
+        trace = _trace(deadline_s=1e-6)
+        result = drive_open_loop(gateway, trace, {"tiny": tiny_input})
+        assert result.completed > 0
+        assert result.deadline_misses == result.completed
+        assert result.goodput_rps == 0.0
+        assert result.deadline_miss_rate > 0.0
+
+    def test_open_loop_time_scale_compresses(self, gateway, tiny_input):
+        trace = _trace(duration=1.0, rate=60.0)
+        result = drive_open_loop(gateway, trace, {"tiny": tiny_input}, time_scale=0.2)
+        assert result.elapsed_s < 0.8  # 1s trace replayed in ~0.2s + drain
+
+    def test_closed_loop_accounting(self, gateway, tiny_input):
+        trace = _trace()
+        result = drive_closed_loop(gateway, trace, {"tiny": tiny_input}, clients=3)
+        assert result.mode == "closed"
+        assert result.completed + result.rejected + result.failures == result.offered
+        assert result.failures == 0
+        assert result.completed > 0
+
+    def test_closed_loop_rejects_bad_clients(self, gateway, tiny_input):
+        with pytest.raises(ValidationError):
+            drive_closed_loop(gateway, _trace(), {"tiny": tiny_input}, clients=0)
+
+    def test_missing_input_rejected(self, gateway):
+        with pytest.raises(ValidationError, match="tiny"):
+            drive_open_loop(gateway, _trace(), {})
+
+    def test_overload_counts_rejections(self, tiny_archive, tiny_input):
+        gw = Gateway()
+        gw.add_model(
+            "tiny", tiny_archive, replicas=1, max_queue_depth=1,
+            max_concurrency=1, batch_size=1,
+        )
+        gw.start()
+        try:
+            # 50 requests in ~50ms against a depth-1 queue: some must be
+            # fast-failed by admission control.
+            trace = _trace(rate=1000.0, duration=0.05, seed=7)
+            result = drive_open_loop(gw, trace, {"tiny": tiny_input})
+        finally:
+            gw.close()
+        assert result.rejected > 0
+        assert result.rejection_rate == result.rejected / result.offered
+        assert result.completed + result.rejected + result.failures == result.offered
+
+
+class TestAsyncDrivers:
+    def _run(self, tiny_archive, coro_factory):
+        async def _main():
+            gw = AsyncGateway()
+            gw.add_model("tiny", tiny_archive, replicas=1, batch_size=4)
+            await gw.start()
+            try:
+                return await coro_factory(gw)
+            finally:
+                await gw.close()
+
+        return asyncio.run(_main())
+
+    def test_open_loop_accounting(self, tiny_archive, tiny_input):
+        trace = _trace(deadline_s=5.0)
+
+        result = self._run(
+            tiny_archive,
+            lambda gw: drive_open_loop_async(gw, trace, {"tiny": tiny_input}),
+        )
+        assert result.offered == len(trace.requests)
+        settled = result.completed + result.rejected + result.expired + result.failures
+        assert settled == result.offered
+        assert result.failures == 0
+        assert result.expired == 0  # 5s budget is bottomless here
+        assert result.completed > 0
+
+    def test_open_loop_enforced_deadline_expires(self, tiny_archive, tiny_input):
+        # A 2ms budget at high rate against batch_size=4: the queue wait
+        # alone blows the budget for a measurable share of requests.
+        trace = _trace(deadline_s=0.002, rate=400.0, duration=0.25, seed=9)
+
+        result = self._run(
+            tiny_archive,
+            lambda gw: drive_open_loop_async(gw, trace, {"tiny": tiny_input}),
+        )
+        assert result.expired > 0
+        assert result.deadline_misses >= result.expired
+        settled = result.completed + result.rejected + result.expired + result.failures
+        assert settled == result.offered
+        assert result.goodput_rps <= result.rps
+
+    def test_closed_loop_accounting(self, tiny_archive, tiny_input):
+        trace = _trace(deadline_s=5.0)
+
+        result = self._run(
+            tiny_archive,
+            lambda gw: drive_closed_loop_async(
+                gw, trace, {"tiny": tiny_input}, clients=3
+            ),
+        )
+        assert result.mode == "closed"
+        settled = result.completed + result.rejected + result.expired + result.failures
+        assert settled == result.offered
+        assert result.completed > 0

@@ -1,0 +1,205 @@
+"""Properties of the trace generator: the determinism and distribution
+claims the benchmark matrix rests on."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.workload import (
+    SCENARIOS,
+    WorkloadTrace,
+    generate_trace,
+    get_scenario,
+    list_scenarios,
+    zipf_weights,
+)
+from repro.utils.errors import ValidationError
+
+SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+MODELS = ["m0", "m1", "m2", "m3"]
+TENANTS = ["t0", "t1", "t2"]
+
+
+def _trace(scenario, *, seed=0, duration=4.0, rate=150.0, deadline=None, params=None):
+    return generate_trace(
+        scenario,
+        models=MODELS,
+        tenants=TENANTS,
+        duration_s=duration,
+        rate_rps=rate,
+        seed=seed,
+        deadline_s=deadline,
+        params=params,
+    )
+
+
+scenario_names = st.sampled_from(sorted(SCENARIOS))
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestDeterminism:
+    @SETTINGS
+    @given(scenario=scenario_names, seed=seeds)
+    def test_identical_seed_identical_trace(self, scenario, seed):
+        a = _trace(scenario, seed=seed, duration=1.0)
+        b = _trace(scenario, seed=seed, duration=1.0)
+        assert a.requests == b.requests
+        assert a.to_json() == b.to_json()
+        assert a.digest() == b.digest()
+
+    @SETTINGS
+    @given(scenario=scenario_names, seed=seeds)
+    def test_serialization_round_trips(self, scenario, seed):
+        trace = _trace(scenario, seed=seed, duration=1.0, deadline=0.05)
+        back = WorkloadTrace.from_json(trace.to_json())
+        assert back == trace
+        assert back.digest() == trace.digest()
+
+    def test_different_seeds_differ(self):
+        assert _trace("steady", seed=1).digest() != _trace("steady", seed=2).digest()
+
+    def test_rejects_wrong_schema_version(self):
+        import json
+
+        payload = json.loads(_trace("steady").to_json())
+        payload["schema_version"] = 99
+        with pytest.raises(ValidationError, match="schema_version"):
+            WorkloadTrace.from_json(json.dumps(payload))
+
+
+class TestArrivalProcesses:
+    @SETTINGS
+    @given(seed=seeds)
+    def test_poisson_interarrival_mean_matches_rate(self, seed):
+        # ~600 exponential gaps: the sample mean sits within 30% of 1/rate
+        # with overwhelming margin (30% ≈ 7σ at this n).
+        rate = 150.0
+        trace = _trace("steady", seed=seed, duration=4.0, rate=rate)
+        arrivals = np.array([r.arrival_s for r in trace.requests])
+        gaps = np.diff(arrivals)
+        assert gaps.size > 300
+        assert (gaps >= 0).all()
+        assert 1.0 / rate * 0.7 < gaps.mean() < 1.0 / rate * 1.3
+
+    @SETTINGS
+    @given(seed=seeds)
+    def test_poisson_arrivals_are_uniform_in_time(self, seed):
+        # KS-style bound: for a homogeneous process, arrival times are
+        # i.i.d. uniform on [0, T); the empirical CDF stays close.
+        trace = _trace("steady", seed=seed, duration=4.0, rate=150.0)
+        arrivals = np.sort([r.arrival_s for r in trace.requests]) / 4.0
+        n = arrivals.size
+        ecdf = np.arange(1, n + 1) / n
+        ks = np.abs(ecdf - arrivals).max()
+        assert ks < 0.15  # ~7x the expected KS statistic at this n
+
+    def test_burst_window_is_denser(self):
+        trace = _trace("burst", seed=3, duration=10.0, rate=100.0)
+        arrivals = np.array([r.arrival_s for r in trace.requests])
+        # defaults: 6x rate on [0.4, 0.6) of the trace
+        inside = ((arrivals >= 4.0) & (arrivals < 6.0)).sum() / 2.0
+        outside = ((arrivals < 4.0) | (arrivals >= 6.0)).sum() / 8.0
+        assert inside > 3.0 * outside
+
+    def test_diurnal_peak_beats_trough(self):
+        trace = _trace("diurnal", seed=3, duration=10.0, rate=100.0)
+        arrivals = np.array([r.arrival_s for r in trace.requests])
+        # defaults: trough at t=0/T, peak at T/2
+        peak = ((arrivals >= 4.0) & (arrivals < 6.0)).sum()
+        trough = (arrivals < 2.0).sum() + (arrivals >= 8.0).sum()
+        assert peak > 2.0 * trough
+
+    def test_coldstart_flood_targets_pushed_model(self):
+        trace = _trace("coldstart", seed=3, duration=10.0, rate=120.0)
+        pushed = MODELS[-1]
+        before = [r for r in trace.requests if r.arrival_s < 3.0]
+        after = [r for r in trace.requests if r.arrival_s >= 3.0]
+        assert all(r.model != pushed for r in before)  # not yet pushed
+        share = sum(1 for r in after if r.model == pushed) / max(len(after), 1)
+        assert share > 0.2  # flood_share=0.7 decaying
+
+
+class TestZipf:
+    def test_weights_strictly_decreasing_and_normalized(self):
+        w = zipf_weights(16, s=1.1)
+        assert np.all(np.diff(w) < 0)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_s_zero_is_uniform(self):
+        assert np.allclose(zipf_weights(8, s=0.0), 1.0 / 8)
+
+    @SETTINGS
+    @given(seed=seeds)
+    def test_sampled_model_frequencies_monotone_in_rank(self, seed):
+        # With ~1500 draws over 4 ranks at s=1.1, the head ranks keep
+        # their order with >= 5 sigma of margin; adjacent tail ranks are
+        # only ~3 sigma apart, so the tail is compared to rank 1 instead
+        # (a gap the sampling noise cannot close).
+        trace = _trace("steady", seed=seed, duration=10.0, rate=150.0)
+        counts = [sum(1 for r in trace.requests if r.model == m) for m in MODELS]
+        assert counts[0] > counts[1] > counts[2]
+        assert counts[1] > counts[3]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            zipf_weights(0)
+        with pytest.raises(ValidationError):
+            zipf_weights(4, s=-1.0)
+
+
+class TestRegistry:
+    def test_catalog_contents(self):
+        assert set(list_scenarios()) == {"steady", "diurnal", "burst", "coldstart"}
+        for name in list_scenarios():
+            scenario = get_scenario(name)
+            assert scenario.summary and scenario.stresses
+
+    def test_unknown_scenario_lists_available(self):
+        with pytest.raises(ValidationError, match="steady"):
+            get_scenario("nope")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValidationError, match="burst_x"):
+            _trace("burst", params={"burts_x": 2.0})
+
+    def test_param_override_applies(self):
+        calm = _trace("burst", seed=5, duration=4.0, rate=100.0, params={"burst_x": 1.0})
+        wild = _trace("burst", seed=5, duration=4.0, rate=100.0, params={"burst_x": 8.0})
+        assert len(wild.requests) > len(calm.requests)
+
+    def test_deadline_propagates(self):
+        trace = _trace("steady", deadline=0.025)
+        assert all(r.deadline_s == 0.025 for r in trace.requests)
+
+    def test_coldstart_needs_two_models(self):
+        with pytest.raises(ValidationError, match="2 models"):
+            generate_trace(
+                "coldstart",
+                models=["only"],
+                tenants=TENANTS,
+                duration_s=1.0,
+                rate_rps=50.0,
+            )
+
+    def test_input_validation(self):
+        for kwargs in (
+            dict(models=[], tenants=TENANTS),
+            dict(models=MODELS, tenants=[]),
+            dict(models=MODELS, tenants=TENANTS, duration_s=0.0),
+            dict(models=MODELS, tenants=TENANTS, rate_rps=-1.0),
+        ):
+            merged = dict(duration_s=1.0, rate_rps=50.0)
+            merged.update(kwargs)
+            with pytest.raises(ValidationError):
+                generate_trace("steady", **merged)
+
+    def test_tenants_cover_population(self):
+        trace = _trace("steady", seed=9, duration=6.0, rate=150.0)
+        seen = {r.tenant for r in trace.requests}
+        assert seen == set(TENANTS)  # heavy-hitter Zipf still reaches the tail
